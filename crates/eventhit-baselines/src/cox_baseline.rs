@@ -1,0 +1,189 @@
+//! COX — the survival-regression baseline (§VI.B item 7).
+//!
+//! A Cox proportional-hazards model is fitted per event on the training
+//! records: the "survival time" is the offset at which the event starts
+//! within the horizon (censored at `H` when no event occurs), and the
+//! covariates summarize the collection window. At prediction time the model
+//! yields a survival curve over the horizon; given a threshold `τ_cox`, the
+//! first offset whose predicted event probability `1 - S(t)` reaches the
+//! threshold is taken as the start, and — because the Cox model regresses a
+//! single variable and cannot place the end point (the paper's footnote 7)
+//! — the relay extends from that offset to the end of the horizon.
+
+use eventhit_core::experiment::TaskRun;
+use eventhit_core::infer::IntervalPrediction;
+use eventhit_core::metrics::{evaluate, EvalOutcome};
+use eventhit_survival::cox::{CoxConfig, CoxModel, Subject};
+use eventhit_video::records::Record;
+
+/// Per-event fitted Cox models for one task.
+pub struct CoxBaseline {
+    models: Vec<Option<CoxModel>>,
+    horizon: usize,
+}
+
+/// Summarizes a record's collection window into a Cox covariate vector:
+/// the per-channel mean over the window concatenated with the last frame's
+/// features.
+pub fn summarize(record: &Record) -> Vec<f64> {
+    let m = record.covariates.rows();
+    let d = record.covariates.cols();
+    let mut x = Vec::with_capacity(2 * d);
+    for c in 0..d {
+        let mean: f32 = (0..m).map(|r| record.covariates[(r, c)]).sum::<f32>() / m as f32;
+        x.push(mean as f64);
+    }
+    for c in 0..d {
+        x.push(record.covariates[(m - 1, c)] as f64);
+    }
+    x
+}
+
+impl CoxBaseline {
+    /// Fits one Cox model per event from training records. Events whose
+    /// fit fails (e.g. no positives in the split) are marked unavailable
+    /// and always predicted absent.
+    pub fn fit(train: &[Record], num_events: usize, horizon: usize) -> Self {
+        let models = (0..num_events)
+            .map(|k| {
+                let subjects: Vec<Subject> = train
+                    .iter()
+                    .map(|rec| {
+                        let label = &rec.labels[k];
+                        Subject {
+                            x: summarize(rec),
+                            time: if label.present {
+                                label.start as f64
+                            } else {
+                                horizon as f64
+                            },
+                            observed: label.present,
+                        }
+                    })
+                    .collect();
+                CoxModel::fit(&subjects, &CoxConfig::default()).ok()
+            })
+            .collect();
+        CoxBaseline { models, horizon }
+    }
+
+    /// Fits from a [`TaskRun`]'s training split.
+    pub fn from_run(run: &TaskRun) -> Self {
+        Self::fit(&run.train_records, run.task.num_events(), run.horizon)
+    }
+
+    /// Predicts one record at threshold `tau`: the horizon suffix from the
+    /// first offset where `1 - S(t) >= tau`, or absent if the curve never
+    /// crosses.
+    pub fn predict(&self, record: &Record, tau: f64) -> Vec<IntervalPrediction> {
+        let x = summarize(record);
+        self.models
+            .iter()
+            .map(|model| match model {
+                None => IntervalPrediction::absent(),
+                Some(m) => {
+                    let risk = m.risk(&x);
+                    for t in 1..=self.horizon {
+                        let s = (-m.cumulative_hazard(t as f64) * risk).exp();
+                        if 1.0 - s >= tau {
+                            return IntervalPrediction {
+                                present: true,
+                                start: t as u32,
+                                end: self.horizon as u32,
+                            };
+                        }
+                    }
+                    IntervalPrediction::absent()
+                }
+            })
+            .collect()
+    }
+
+    /// Evaluates over a run's test split at one threshold.
+    pub fn evaluate_at(&self, run: &TaskRun, tau: f64) -> EvalOutcome {
+        let preds: Vec<Vec<IntervalPrediction>> = run
+            .test_records
+            .iter()
+            .map(|r| self.predict(r, tau))
+            .collect();
+        evaluate(&preds, &run.test, run.horizon as u32)
+    }
+
+    /// The REC–SPL curve obtained by sweeping the threshold.
+    pub fn curve(&self, run: &TaskRun, taus: &[f64]) -> Vec<(f64, EvalOutcome)> {
+        taus.iter()
+            .map(|&t| (t, self.evaluate_at(run, t)))
+            .collect()
+    }
+}
+
+/// A default threshold grid for the COX curve.
+pub fn default_taus() -> Vec<f64> {
+    vec![
+        0.02, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eventhit_core::experiment::ExperimentConfig;
+    use eventhit_core::tasks::task;
+    use eventhit_nn::matrix::Matrix;
+    use eventhit_video::records::EventLabel;
+
+    #[test]
+    fn summarize_concatenates_mean_and_last() {
+        let mut cov = Matrix::zeros(2, 2);
+        cov[(0, 0)] = 1.0;
+        cov[(1, 0)] = 3.0;
+        cov[(0, 1)] = 2.0;
+        cov[(1, 1)] = 4.0;
+        let rec = Record {
+            anchor: 0,
+            covariates: cov,
+            labels: vec![EventLabel::absent()],
+        };
+        let x = summarize(&rec);
+        assert_eq!(x, vec![2.0, 3.0, 3.0, 4.0]); // means then last row
+    }
+
+    #[test]
+    fn cox_baseline_end_to_end() {
+        let run = TaskRun::execute(&task("TA10").unwrap(), &ExperimentConfig::quick(31));
+        let cox = CoxBaseline::from_run(&run);
+        // Low threshold: relays aggressively (high recall, high spillage).
+        let lo = cox.evaluate_at(&run, 0.05);
+        // High threshold: conservative.
+        let hi = cox.evaluate_at(&run, 0.9);
+        assert!(lo.rec >= hi.rec, "lo.rec={} hi.rec={}", lo.rec, hi.rec);
+        assert!(lo.spl >= hi.spl, "lo.spl={} hi.spl={}", lo.spl, hi.spl);
+    }
+
+    #[test]
+    fn predictions_are_suffixes() {
+        let run = TaskRun::execute(&task("TA10").unwrap(), &ExperimentConfig::quick(32));
+        let cox = CoxBaseline::from_run(&run);
+        for rec in run.test_records.iter().take(20) {
+            for p in cox.predict(rec, 0.3) {
+                if p.present {
+                    assert_eq!(p.end, run.horizon as u32);
+                    assert!(p.start >= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unavailable_model_predicts_absent() {
+        // All-negative training split: fit fails, predictions absent.
+        let rec = Record {
+            anchor: 0,
+            covariates: Matrix::zeros(3, 2),
+            labels: vec![EventLabel::absent()],
+        };
+        let baseline = CoxBaseline::fit(std::slice::from_ref(&rec), 1, 50);
+        let preds = baseline.predict(&rec, 0.1);
+        assert!(!preds[0].present);
+    }
+}

@@ -1,0 +1,22 @@
+//! # eventhit-baselines
+//!
+//! The comparison algorithms of §VI.B that are not EventHit variants:
+//!
+//! * [`vqs`] — BlazeIt-style video-query filter: relays whole horizons
+//!   whose detector-frame count clears a threshold.
+//! * [`cox_baseline`] — Cox proportional-hazards survival regression:
+//!   relays the horizon suffix once the predicted event probability crosses
+//!   a threshold.
+//! * [`appvae`] — simplified APP-VAE-style generative point-process
+//!   predictor over detected action sequences (windows 200 / 1500).
+//!
+//! OPT and BF live on [`eventhit_core::experiment::TaskRun`]
+//! (`oracle_outcome` / `brute_force_outcome`) since they need only ground
+//! truth.
+
+pub mod appvae;
+pub mod cox_baseline;
+pub mod vqs;
+
+pub use appvae::AppVae;
+pub use cox_baseline::CoxBaseline;

@@ -1,0 +1,131 @@
+//! VQS — the BlazeIt-style video-query-system baseline (§VI.B item 8).
+//!
+//! BlazeIt filters frames with cheap specialized models over object-based
+//! predicates. The paper's adaptation scans each time horizon with the
+//! lightweight detector and relays the *whole* horizon to the CI when the
+//! number of frames containing the target objects reaches a threshold
+//! `τ_vqs`; horizons below the threshold are filtered out. Unlike EventHit
+//! it cannot *predict* — it must observe the horizon's frames — so it
+//! relays entire horizons and pays detector time on every frame.
+
+use eventhit_core::experiment::TaskRun;
+use eventhit_core::infer::IntervalPrediction;
+use eventhit_core::metrics::{evaluate, EvalOutcome};
+use eventhit_video::features::active_count;
+
+/// Per-record VQS predictions at threshold `tau`: the full horizon for each
+/// event whose detector-frame count within the horizon reaches `tau`.
+pub fn predictions(run: &TaskRun, tau: u32) -> Vec<Vec<IntervalPrediction>> {
+    let h = run.horizon as u32;
+    run.test_records
+        .iter()
+        .map(|rec| {
+            (0..run.task.num_events())
+                .map(|k| {
+                    let lo = rec.anchor + 1;
+                    let hi = rec.anchor + run.horizon as u64;
+                    let count = active_count(&run.features, k, lo, hi);
+                    if count >= tau.max(1) {
+                        IntervalPrediction {
+                            present: true,
+                            start: 1,
+                            end: h,
+                        }
+                    } else {
+                        IntervalPrediction::absent()
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Evaluates VQS at one threshold.
+pub fn evaluate_at(run: &TaskRun, tau: u32) -> EvalOutcome {
+    evaluate(&predictions(run, tau), &run.test, run.horizon as u32)
+}
+
+/// The REC–SPL curve obtained by sweeping the threshold.
+pub fn curve(run: &TaskRun, taus: &[u32]) -> Vec<(u32, EvalOutcome)> {
+    taus.iter().map(|&t| (t, evaluate_at(run, t))).collect()
+}
+
+/// A default threshold grid proportional to the horizon length.
+pub fn default_taus(horizon: usize) -> Vec<u32> {
+    let h = horizon as u32;
+    vec![
+        1,
+        h / 100,
+        h / 50,
+        h / 20,
+        h / 10,
+        h / 5,
+        h / 3,
+        h / 2,
+        (h * 3) / 4,
+    ]
+    .into_iter()
+    .map(|t| t.max(1))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eventhit_core::experiment::ExperimentConfig;
+    use eventhit_core::tasks::task;
+
+    fn quick_run() -> TaskRun {
+        // A slightly larger scale than `quick` so the test split is
+        // guaranteed to contain event occurrences.
+        let cfg = ExperimentConfig {
+            scale: 0.15,
+            ..ExperimentConfig::quick(21)
+        };
+        let run = TaskRun::execute(&task("TA10").unwrap(), &cfg);
+        assert!(
+            run.test.iter().any(|r| r.labels[0].present),
+            "test split must contain positives for these tests"
+        );
+        run
+    }
+
+    #[test]
+    fn tau_one_is_near_exhaustive() {
+        // With false alarms at ~1%/frame, nearly every 200-frame horizon has
+        // at least one firing, so tau = 1 relays almost everything.
+        let run = quick_run();
+        let out = evaluate_at(&run, 1);
+        assert!(out.rec > 0.9, "rec={}", out.rec);
+        assert!(out.spl > 0.8, "spl={}", out.spl);
+    }
+
+    #[test]
+    fn raising_tau_reduces_spillage_and_recall() {
+        let run = quick_run();
+        let lo = evaluate_at(&run, 1);
+        let hi = evaluate_at(&run, (run.horizon / 2) as u32);
+        assert!(hi.spl <= lo.spl);
+        assert!(hi.rec <= lo.rec);
+    }
+
+    #[test]
+    fn relays_whole_horizons_only() {
+        let run = quick_run();
+        let preds = predictions(&run, 5);
+        for rec_preds in &preds {
+            for p in rec_preds {
+                if p.present {
+                    assert_eq!((p.start, p.end), (1, run.horizon as u32));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn default_taus_are_positive_and_increasing_coverage() {
+        let taus = default_taus(200);
+        assert!(taus.iter().all(|&t| t >= 1));
+        assert!(taus.len() >= 5);
+    }
+}

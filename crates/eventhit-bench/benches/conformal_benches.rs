@@ -1,0 +1,70 @@
+//! Micro-benchmarks of the conformal machinery: calibration fitting,
+//! p-value queries, and interval adjustment. These run once per record at
+//! deployment time, so their cost bounds the marshaller's overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use eventhit_conformal::classify::ConformalClassifier;
+use eventhit_conformal::nonconformity::Nonconformity;
+use eventhit_conformal::regress::{ConformalRegressor, IntervalCalibration};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn scores(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random::<f64>()).collect()
+}
+
+fn bench_classifier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conformal_classifier");
+    for &n in &[100usize, 1_000, 10_000] {
+        let calib = scores(n, 0);
+        group.bench_with_input(BenchmarkId::new("fit", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(ConformalClassifier::fit(
+                    &calib,
+                    Nonconformity::OneMinusScore,
+                ))
+            })
+        });
+        let cc = ConformalClassifier::fit(&calib, Nonconformity::OneMinusScore);
+        group.bench_with_input(BenchmarkId::new("p_value", n), &n, |b, _| {
+            b.iter(|| black_box(cc.p_value(0.42)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_regressor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conformal_regressor");
+    for &n in &[100usize, 1_000, 10_000] {
+        let residuals = scores(n, 1)
+            .into_iter()
+            .map(|x| x * 50.0)
+            .collect::<Vec<_>>();
+        group.bench_with_input(BenchmarkId::new("fit", n), &n, |b, _| {
+            b.iter(|| black_box(ConformalRegressor::fit(residuals.clone())))
+        });
+        let reg = ConformalRegressor::fit(residuals.clone());
+        group.bench_with_input(BenchmarkId::new("quantile", n), &n, |b, _| {
+            b.iter(|| black_box(reg.quantile(0.9)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_interval_adjust(c: &mut Criterion) {
+    let cal = IntervalCalibration::fit(scores(1_000, 2), scores(1_000, 3));
+    c.bench_function("interval_adjust", |b| {
+        b.iter(|| black_box(cal.adjust(black_box(120), black_box(180), 500, 0.9)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_classifier,
+    bench_regressor,
+    bench_interval_adjust
+);
+criterion_main!(benches);

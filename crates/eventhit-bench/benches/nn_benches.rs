@@ -1,0 +1,99 @@
+//! Micro-benchmarks of the neural substrate: the matrix kernels and the
+//! LSTM/Dense forward/backward passes that dominate EventHit's training and
+//! inference time (§VI.H: EventHit inference is ~0.1% of pipeline time; we
+//! measure the real number here).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use eventhit_nn::activation::Activation;
+use eventhit_nn::dense::Dense;
+use eventhit_nn::init::Init;
+use eventhit_nn::lstm::Lstm;
+use eventhit_nn::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[16usize, 64, 128] {
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = Matrix::uniform(n, n, -1.0, 1.0, &mut rng);
+        let b = Matrix::uniform(n, n, -1.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("square", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("a_t_times_b", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.t_matmul(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("a_times_b_t", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul_t(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lstm(c: &mut Criterion) {
+    // The EventHit encoder shape: batch 64, window 25, D=9, hidden 48.
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut lstm = Lstm::new(9, 48, &mut rng);
+    let xs: Vec<Matrix> = (0..25)
+        .map(|_| Matrix::uniform(64, 9, -1.0, 1.0, &mut rng))
+        .collect();
+
+    c.bench_function("lstm_forward_b64_t25_h48", |b| {
+        b.iter(|| black_box(lstm.forward_inference(&xs)))
+    });
+    c.bench_function("lstm_forward_backward_b64_t25_h48", |b| {
+        b.iter(|| {
+            lstm.zero_grad();
+            let h = lstm.forward(&xs);
+            black_box(lstm.backward_last(&h));
+        })
+    });
+}
+
+fn bench_gru(c: &mut Criterion) {
+    use eventhit_nn::gru::Gru;
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut gru = Gru::new(9, 48, &mut rng);
+    let xs: Vec<Matrix> = (0..25)
+        .map(|_| Matrix::uniform(64, 9, -1.0, 1.0, &mut rng))
+        .collect();
+    c.bench_function("gru_forward_b64_t25_h48", |b| {
+        b.iter(|| black_box(gru.forward_inference(&xs)))
+    });
+    c.bench_function("gru_forward_backward_b64_t25_h48", |b| {
+        b.iter(|| {
+            gru.zero_grad();
+            let h = gru.forward(&xs);
+            black_box(gru.backward_last(&h));
+        })
+    });
+}
+
+fn bench_dense_head(c: &mut Criterion) {
+    // The event head shape: (32 + 9) -> (1 + 500) with sigmoid.
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut head = Dense::new(41, 501, Activation::Sigmoid, Init::XavierUniform, &mut rng);
+    let x = Matrix::uniform(64, 41, -1.0, 1.0, &mut rng);
+    c.bench_function("event_head_forward_b64_h500", |b| {
+        b.iter(|| black_box(head.forward_inference(&x)))
+    });
+    c.bench_function("event_head_forward_backward_b64_h500", |b| {
+        b.iter(|| {
+            head.zero_grad();
+            let y = head.forward(&x);
+            black_box(head.backward(&y));
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_lstm,
+    bench_gru,
+    bench_dense_head
+);
+criterion_main!(benches);

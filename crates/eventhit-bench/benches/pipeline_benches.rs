@@ -1,0 +1,67 @@
+//! End-to-end pipeline benchmarks: EventHit inference throughput (the
+//! quantity behind the paper's FPS accounting, §VI.H), conformal state
+//! fitting, and strategy evaluation sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use eventhit_core::experiment::{ExperimentConfig, TaskRun};
+use eventhit_core::infer::score_records;
+use eventhit_core::pipeline::{ConformalState, Strategy};
+use eventhit_core::tasks::task;
+use eventhit_core::train::TrainConfig;
+
+fn quick_run() -> TaskRun {
+    let cfg = ExperimentConfig {
+        scale: 0.1,
+        train: TrainConfig {
+            epochs: 2,
+            ..Default::default()
+        },
+        ..ExperimentConfig::quick(9)
+    };
+    TaskRun::execute(&task("TA10").unwrap(), &cfg)
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut run = quick_run();
+    let records = run.test_records.clone();
+    let mut group = c.benchmark_group("eventhit_inference");
+    group.sample_size(20);
+    group.throughput(criterion::Throughput::Elements(records.len() as u64));
+    group.bench_function("score_records_batch128", |b| {
+        b.iter(|| black_box(score_records(&mut run.model, &records, 128)))
+    });
+    group.finish();
+}
+
+fn bench_conformal_state(c: &mut Criterion) {
+    let run = quick_run();
+    let mut group = c.benchmark_group("conformal_state");
+    group.sample_size(20);
+    group.bench_function("fit", |b| {
+        b.iter(|| black_box(ConformalState::fit(&run.calib, 1, 0.5, run.horizon)))
+    });
+    group.finish();
+}
+
+fn bench_strategy_sweep(c: &mut Criterion) {
+    let run = quick_run();
+    let mut group = c.benchmark_group("strategy_evaluation");
+    group.sample_size(20);
+    group.bench_function("eho", |b| {
+        b.iter(|| black_box(run.evaluate(&Strategy::Eho { tau1: 0.5 })))
+    });
+    group.bench_function("ehcr", |b| {
+        b.iter(|| black_box(run.evaluate(&Strategy::Ehcr { c: 0.9, alpha: 0.9 })))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_inference,
+    bench_conformal_state,
+    bench_strategy_sweep
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Micro-benchmarks of the survival substrate: Cox fitting (the COX
+//! baseline's training cost) and survival-curve queries (its per-record
+//! inference cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use eventhit_survival::cox::{CoxConfig, CoxModel, Subject};
+use eventhit_survival::km::KaplanMeier;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn subjects(n: usize, d: usize, seed: u64) -> Vec<Subject> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let x: Vec<f64> = (0..d).map(|_| rng.random_range(-1.0..1.0)).collect();
+            let rate = (0.8 * x[0]).exp();
+            let u: f64 = 1.0 - rng.random::<f64>();
+            Subject {
+                x,
+                time: -u.ln() / rate,
+                observed: rng.random::<f64>() < 0.7,
+            }
+        })
+        .collect()
+}
+
+fn bench_cox_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cox_fit");
+    group.sample_size(10);
+    for &(n, d) in &[(200usize, 4usize), (1_000, 8), (2_000, 16)] {
+        let subs = subjects(n, d, 0);
+        group.bench_with_input(
+            BenchmarkId::new("newton", format!("n{n}_d{d}")),
+            &n,
+            |b, _| b.iter(|| black_box(CoxModel::fit(&subs, &CoxConfig::default()).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_survival_curve(c: &mut Criterion) {
+    let subs = subjects(1_000, 8, 1);
+    let model = CoxModel::fit(&subs, &CoxConfig::default()).unwrap();
+    let x: Vec<f64> = (0..8).map(|i| 0.1 * i as f64).collect();
+    let times: Vec<f64> = (1..=500).map(|t| t as f64 / 100.0).collect();
+    c.bench_function("cox_survival_curve_500pts", |b| {
+        b.iter(|| black_box(model.survival_curve(&x, &times)))
+    });
+}
+
+fn bench_kaplan_meier(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let obs: Vec<(f64, bool)> = (0..5_000)
+        .map(|_| (rng.random_range(0.0..100.0), rng.random::<f64>() < 0.6))
+        .collect();
+    c.bench_function("kaplan_meier_fit_5000", |b| {
+        b.iter(|| black_box(KaplanMeier::fit(&obs)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cox_fit,
+    bench_survival_curve,
+    bench_kaplan_meier
+);
+criterion_main!(benches);

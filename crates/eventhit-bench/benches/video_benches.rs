@@ -1,0 +1,62 @@
+//! Micro-benchmarks of the video substrate: stream planting, simulated
+//! feature extraction throughput (frames/second of the generator — not the
+//! modeled detector), and record slicing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use eventhit_video::dataset::{Dataset, SplitSpec};
+use eventhit_video::features::{extract, FeatureConfig};
+use eventhit_video::records::extract_record;
+use eventhit_video::stream::VideoStream;
+use eventhit_video::synthetic;
+
+fn bench_stream_generation(c: &mut Criterion) {
+    let profile = synthetic::virat().scaled(0.1);
+    c.bench_function("stream_generate_virat_60k", |b| {
+        b.iter(|| black_box(VideoStream::generate(&profile, 1)))
+    });
+}
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    let profile = synthetic::thumos().scaled(0.1);
+    let stream = VideoStream::generate(&profile, 2);
+    let cfg = FeatureConfig::default();
+    let mut group = c.benchmark_group("feature_extraction");
+    group.sample_size(20);
+    group.bench_function("thumos_24k_frames", |b| {
+        b.iter(|| black_box(extract(&stream, &cfg, 3)))
+    });
+    group.finish();
+}
+
+fn bench_record_extraction(c: &mut Criterion) {
+    let profile = synthetic::thumos().scaled(0.1);
+    let stream = VideoStream::generate(&profile, 4);
+    let features = extract(&stream, &FeatureConfig::default(), 5);
+    c.bench_function("extract_record_m10_h200", |b| {
+        b.iter(|| black_box(extract_record(&stream, &features, 5_000, 10, 200)))
+    });
+    let mut group = c.benchmark_group("dataset_build");
+    group.sample_size(10);
+    group.bench_function("thumos_24k_stride50", |b| {
+        b.iter(|| {
+            black_box(Dataset::build(
+                &stream,
+                &features,
+                10,
+                200,
+                &SplitSpec::default(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_stream_generation,
+    bench_feature_extraction,
+    bench_record_extraction
+);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Empirical validation of the conformal guarantees (Theorems 4.2 and 5.2)
+//! on the actual EventHit pipeline: the test split plays the role of the
+//! exchangeable new data.
+//!
+//! * Theorem 4.2: among records whose horizon truly contains the event, the
+//!   fraction *not* flagged by C-CLASSIFY at confidence `c` must be ≤ 1-c
+//!   (up to exchangeability violations from the temporal split and
+//!   finite-sample noise).
+//! * Theorem 5.2: among true positives, the true start (end) offset must
+//!   fall within ±q̂ of the raw estimate with probability ≥ α.
+//!
+//! ```text
+//! cargo run --release -p eventhit-bench --bin coverage [--task TA10] [--scale F]
+//! ```
+
+use eventhit_bench::{f, run_trials, tsv_header, CommonArgs};
+use eventhit_core::infer::raw_interval;
+
+fn main() {
+    let args = CommonArgs::parse();
+    println!("# Conformal coverage: empirical vs nominal (Theorems 4.2 / 5.2)");
+    println!(
+        "# scale={} seed={} trials={}",
+        args.scale, args.seed, args.trials
+    );
+    tsv_header(&["task", "guarantee", "level", "nominal_bound", "empirical"]);
+
+    for task in args.tasks_or(&["TA1", "TA10", "TA13"]) {
+        let runs = run_trials(&task, &args);
+        for run in &runs {
+            // Theorem 4.2 — miss rate of C-CLASSIFY at confidence c.
+            for &c in &[0.5, 0.7, 0.9, 0.95] {
+                let mut misses = 0usize;
+                let mut positives = 0usize;
+                for rec in &run.test {
+                    for k in 0..run.task.num_events() {
+                        if !rec.labels[k].present {
+                            continue;
+                        }
+                        positives += 1;
+                        if !run.state.classifier(k).predict(rec.scores[k].b, c) {
+                            misses += 1;
+                        }
+                    }
+                }
+                if positives > 0 {
+                    println!(
+                        "{}\tmiss_rate(c)\t{c}\t{}\t{}",
+                        task.id,
+                        f(1.0 - c),
+                        f(misses as f64 / positives as f64)
+                    );
+                }
+            }
+
+            // Theorem 5.2 — start/end coverage of the ±q̂ band at level α.
+            for &alpha in &[0.5, 0.8, 0.9] {
+                let mut start_cov = 0usize;
+                let mut end_cov = 0usize;
+                let mut positives = 0usize;
+                for rec in &run.test {
+                    for k in 0..run.task.num_events() {
+                        let label = &rec.labels[k];
+                        if !label.present {
+                            continue;
+                        }
+                        positives += 1;
+                        let (s_hat, e_hat) = raw_interval(&rec.scores[k], 0.5);
+                        let (qs, qe) = run.state.interval_calibration(k).quantiles(alpha);
+                        if (label.start as f64 - s_hat as f64).abs() <= qs {
+                            start_cov += 1;
+                        }
+                        if (label.end as f64 - e_hat as f64).abs() <= qe {
+                            end_cov += 1;
+                        }
+                    }
+                }
+                if positives > 0 {
+                    println!(
+                        "{}\tstart_coverage(alpha)\t{alpha}\t{}\t{}",
+                        task.id,
+                        f(alpha),
+                        f(start_cov as f64 / positives as f64)
+                    );
+                    println!(
+                        "{}\tend_coverage(alpha)\t{alpha}\t{}\t{}",
+                        task.id,
+                        f(alpha),
+                        f(end_cov as f64 / positives as f64)
+                    );
+                }
+            }
+        }
+    }
+    println!("# miss_rate should be <= the nominal bound; coverages should be >= alpha");
+    println!("# (both up to finite-sample noise and the temporal-split");
+    println!("# exchangeability approximation).");
+}

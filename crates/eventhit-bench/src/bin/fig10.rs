@@ -1,0 +1,64 @@
+//! Figure 10 — proportion of wall-clock time per pipeline stage (feature
+//! extraction / EventHit / CI) for EHCR on TA10 at REC ≈ 0.9.
+//!
+//! ```text
+//! cargo run --release -p eventhit-bench --bin fig10 [--scale F] [--trials N]
+//! ```
+//!
+//! Expected shape (paper: CI 95.9%, feature extraction 4.0%, EventHit
+//! 0.1%): CI time dominates, which is exactly why reducing CI invocations
+//! is worthwhile.
+
+use eventhit_bench::{ehcr_at_target_rec, f, run_trials, CommonArgs};
+use eventhit_core::ci::CiConfig;
+
+fn main() {
+    let args = CommonArgs::parse();
+    let ci = CiConfig::default();
+    println!("# Figure 10: time proportion per stage, EHCR on TA10 at REC>=0.9");
+    println!(
+        "# scale={} seed={} trials={}",
+        args.scale, args.seed, args.trials
+    );
+
+    let task = args.tasks_or(&["TA10"]).remove(0);
+    let runs = run_trials(&task, &args);
+
+    let Some((strategy, outcome)) = ehcr_at_target_rec(&runs, 0.9) else {
+        println!("# EHCR could not reach REC 0.9 at this scale; rerun with a larger --scale");
+        return;
+    };
+
+    let n = runs[0].test.len();
+    let predictor = runs
+        .iter()
+        .map(|r| r.predictor_seconds_per_record)
+        .sum::<f64>()
+        / runs.len() as f64
+        * n as f64;
+    let report = ci.account(
+        n,
+        runs[0].window,
+        runs[0].horizon,
+        outcome.frames_relayed.round() as u64,
+        predictor,
+    );
+    let (fe, pr, cif) = report.stage_fractions();
+
+    println!(
+        "# operating point: {strategy:?}, achieved REC={}",
+        f(outcome.rec)
+    );
+    println!("#stage\tseconds\tfraction\tpaper_fraction");
+    println!(
+        "feature_extraction\t{}\t{}\t0.040",
+        f(report.feature_seconds),
+        f(fe)
+    );
+    println!(
+        "eventhit\t{}\t{}\t0.001",
+        f(report.predictor_seconds),
+        f(pr)
+    );
+    println!("ci\t{}\t{}\t0.959", f(report.ci_seconds), f(cif));
+}

@@ -1,0 +1,38 @@
+//! Figure 5 — EHC: REC, SPL and REC_c as functions of the confidence
+//! level `c`, on the paper's four representative tasks.
+//!
+//! ```text
+//! cargo run --release -p eventhit-bench --bin fig5 [--scale F] [--trials N]
+//! ```
+//!
+//! Expected shape: REC and SPL increase with c; REC_c → 1 as c → 1 while
+//! REC saturates below 1 (interval-estimation error remains).
+
+use eventhit_bench::{evaluate_trials, f, run_trials, tsv_header, CommonArgs};
+use eventhit_core::pipeline::Strategy;
+
+fn main() {
+    let args = CommonArgs::parse();
+    println!("# Figure 5: EHC with varying confidence level c");
+    println!(
+        "# scale={} seed={} trials={}",
+        args.scale, args.seed, args.trials
+    );
+    tsv_header(&["task", "c", "REC", "SPL", "REC_c"]);
+
+    let cs = [0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.98, 0.99, 0.995, 0.999];
+    for task in args.tasks_or(&["TA1", "TA5", "TA7", "TA10"]) {
+        let runs = run_trials(&task, &args);
+        for &c in &cs {
+            let o = evaluate_trials(&runs, &Strategy::Ehc { c });
+            println!(
+                "{}\t{}\t{}\t{}\t{}",
+                task.id,
+                c,
+                f(o.rec),
+                f(o.spl),
+                f(o.rec_c)
+            );
+        }
+    }
+}

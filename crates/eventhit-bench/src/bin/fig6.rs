@@ -1,0 +1,40 @@
+//! Figure 6 — EHR: REC, SPL and REC_r as functions of the coverage level
+//! `α`, on the paper's four representative tasks.
+//!
+//! ```text
+//! cargo run --release -p eventhit-bench --bin fig6 [--scale F] [--trials N]
+//! ```
+//!
+//! Expected shape: larger α widens intervals, raising REC_r (≥0.95 by
+//! α = 0.5 per §VI.E) and SPL; tasks whose EHO interval estimates are
+//! already good (TA1, TA10) gain little, Group-2 tasks (TA5, TA7) gain a
+//! lot.
+
+use eventhit_bench::{evaluate_trials, f, run_trials, tsv_header, CommonArgs};
+use eventhit_core::pipeline::Strategy;
+
+fn main() {
+    let args = CommonArgs::parse();
+    println!("# Figure 6: EHR with varying coverage level alpha");
+    println!(
+        "# scale={} seed={} trials={}",
+        args.scale, args.seed, args.trials
+    );
+    tsv_header(&["task", "alpha", "REC", "SPL", "REC_r"]);
+
+    let alphas = [0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95];
+    for task in args.tasks_or(&["TA1", "TA5", "TA7", "TA10"]) {
+        let runs = run_trials(&task, &args);
+        for &alpha in &alphas {
+            let o = evaluate_trials(&runs, &Strategy::Ehr { tau1: 0.5, alpha });
+            println!(
+                "{}\t{}\t{}\t{}\t{}",
+                task.id,
+                alpha,
+                f(o.rec),
+                f(o.spl),
+                f(o.rec_r)
+            );
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Figure 7 — SPL of EHCR at fixed REC levels, varying the collection
+//! window `M` (left panel) and the horizon `H` (right panel) on TA1.
+//!
+//! ```text
+//! cargo run --release -p eventhit-bench --bin fig7 [--scale F] [--trials N]
+//! ```
+//!
+//! Expected shape: SPL falls with M up to ≈50 then plateaus (diminishing
+//! returns); larger H raises the SPL needed for high REC levels because
+//! the event occupies a shrinking fraction of the horizon.
+
+use eventhit_bench::{ehcr_at_target_rec, f, tsv_header, CommonArgs};
+use eventhit_core::experiment::TaskRun;
+
+const REC_LEVELS: [f64; 4] = [0.6, 0.7, 0.8, 0.9];
+
+fn main() {
+    let args = CommonArgs::parse();
+    println!("# Figure 7: EHCR SPL at fixed REC levels varying M (left) and H (right), TA1");
+    println!(
+        "# scale={} seed={} trials={}",
+        args.scale, args.seed, args.trials
+    );
+    tsv_header(&["panel", "value", "target_REC", "SPL", "achieved_REC"]);
+    let task = args.tasks_or(&["TA1"]).remove(0);
+
+    // Left panel: vary M at the default H.
+    for m in [5usize, 10, 25, 50, 100] {
+        let runs: Vec<TaskRun> = (0..args.trials)
+            .map(|t| {
+                let mut cfg = args.config(t);
+                cfg.override_window = Some(m);
+                TaskRun::execute(&task, &cfg)
+            })
+            .collect();
+        for &target in &REC_LEVELS {
+            match ehcr_at_target_rec(&runs, target) {
+                Some((_, o)) => println!("M\t{m}\t{target}\t{}\t{}", f(o.spl), f(o.rec)),
+                None => println!("M\t{m}\t{target}\tNA\tNA"),
+            }
+        }
+    }
+
+    // Right panel: vary H at the default M.
+    for h in [100usize, 300, 500, 700, 900] {
+        let runs: Vec<TaskRun> = (0..args.trials)
+            .map(|t| {
+                let mut cfg = args.config(t);
+                cfg.override_horizon = Some(h);
+                TaskRun::execute(&task, &cfg)
+            })
+            .collect();
+        for &target in &REC_LEVELS {
+            match ehcr_at_target_rec(&runs, target) {
+                Some((_, o)) => println!("H\t{h}\t{target}\t{}\t{}", f(o.spl), f(o.rec)),
+                None => println!("H\t{h}\t{target}\tNA\tNA"),
+            }
+        }
+    }
+}

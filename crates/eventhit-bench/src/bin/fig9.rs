@@ -1,0 +1,101 @@
+//! Figure 9 — REC versus end-to-end FPS for EHCR, COX and VQS on TA10 and
+//! TA11.
+//!
+//! FPS accounting (DESIGN.md §3.3): per prediction episode, EHCR and COX
+//! extract features for the `M`-frame collection window (YOLOv3-class,
+//! simulated throughput) and send their predicted frames to the CI
+//! (I3D-class, simulated); EventHit's own inference time is *measured*.
+//! VQS must scan every frame of every horizon with its specialized model
+//! before deciding, then relays whole horizons.
+//!
+//! ```text
+//! cargo run --release -p eventhit-bench --bin fig9 [--scale F] [--trials N]
+//! ```
+//!
+//! Expected shape: EHCR dominates the REC–FPS trade-off; at REC = 0.9 it
+//! sustains >100 FPS on TA11 while COX and VQS stay below ~40–50.
+
+use eventhit_baselines::cox_baseline::{self, CoxBaseline};
+use eventhit_baselines::vqs;
+use eventhit_bench::{f, mean_outcome, run_trials, tsv_header, CommonArgs, MeanOutcome};
+use eventhit_core::ci::CiConfig;
+use eventhit_core::experiment::{grids, TaskRun};
+
+fn fps_of(runs: &[TaskRun], ci: &CiConfig, o: &MeanOutcome, window: usize) -> f64 {
+    let n = runs[0].test.len();
+    let predictor = runs
+        .iter()
+        .map(|r| r.predictor_seconds_per_record)
+        .sum::<f64>()
+        / runs.len() as f64
+        * n as f64;
+    ci.account(
+        n,
+        window,
+        runs[0].horizon,
+        o.frames_relayed.round() as u64,
+        predictor,
+    )
+    .fps()
+}
+
+fn main() {
+    let args = CommonArgs::parse();
+    let ci = CiConfig::default();
+    println!("# Figure 9: REC vs FPS for EHCR, COX, VQS");
+    println!(
+        "# scale={} seed={} trials={}",
+        args.scale, args.seed, args.trials
+    );
+    println!(
+        "# stage model: feature extraction {} fps, CI {} fps, EventHit measured",
+        ci.feature_extraction.fps, ci.ci.fps
+    );
+    tsv_header(&["task", "algorithm", "knob", "REC", "FPS"]);
+
+    for task in args.tasks_or(&["TA10", "TA11"]) {
+        let runs = run_trials(&task, &args);
+        let window = runs[0].window;
+        let horizon = runs[0].horizon;
+
+        for s in grids::ehcr() {
+            let o = eventhit_bench::evaluate_trials(&runs, &s);
+            if let eventhit_core::pipeline::Strategy::Ehcr { c, alpha } = s {
+                println!(
+                    "{}\tEHCR\tc={c},alpha={alpha}\t{}\t{}",
+                    task.id,
+                    f(o.rec),
+                    f(fps_of(&runs, &ci, &o, window))
+                );
+            }
+        }
+
+        let cox_models: Vec<CoxBaseline> = runs.iter().map(CoxBaseline::from_run).collect();
+        for tau in cox_baseline::default_taus() {
+            let outs: Vec<_> = cox_models
+                .iter()
+                .zip(&runs)
+                .map(|(m, r)| m.evaluate_at(r, tau))
+                .collect();
+            let o = mean_outcome(&outs);
+            println!(
+                "{}\tCOX\ttau={tau}\t{}\t{}",
+                task.id,
+                f(o.rec),
+                f(fps_of(&runs, &ci, &o, window))
+            );
+        }
+
+        for tau in vqs::default_taus(horizon) {
+            let outs: Vec<_> = runs.iter().map(|r| vqs::evaluate_at(r, tau)).collect();
+            let o = mean_outcome(&outs);
+            // VQS scans the whole horizon with its model: window = horizon.
+            println!(
+                "{}\tVQS\ttau={tau}\t{}\t{}",
+                task.id,
+                f(o.rec),
+                f(fps_of(&runs, &ci, &o, horizon))
+            );
+        }
+    }
+}

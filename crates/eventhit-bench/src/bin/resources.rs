@@ -1,0 +1,56 @@
+//! §VI.H details of resource utilization: training time, parameter count,
+//! memory footprint, and per-record inference latency of EventHit.
+//!
+//! The paper reports: training < 1 hour at batch 128, ≈150 MB of GPU
+//! memory for training and inference. Our model is CPU-resident and much
+//! smaller (synthetic features are low-dimensional), so the absolute
+//! numbers are far lower; the point reproduced is that the predictor is
+//! *lightweight* relative to the CI models it gates.
+//!
+//! ```text
+//! cargo run --release -p eventhit-bench --bin resources [--scale F] [--task TAi]
+//! ```
+
+use std::time::Instant;
+
+use eventhit_bench::{f, CommonArgs};
+use eventhit_core::experiment::TaskRun;
+use eventhit_core::infer::score_records;
+
+fn main() {
+    let args = CommonArgs::parse();
+    println!("# Resource utilization (paper §VI.H)");
+    println!("# scale={} seed={}", args.scale, args.seed);
+    println!("#task\tparams\tparam_mb\ttrain_s\ttrain_records\tinfer_us_per_record\tthroughput_rec_per_s");
+
+    for task in args.tasks_or(&["TA1", "TA10", "TA13"]) {
+        let cfg = args.config(0);
+        let t0 = Instant::now();
+        let mut run = TaskRun::execute(&task, &cfg);
+        let train_seconds = t0.elapsed().as_secs_f64();
+
+        let params = run.model.param_count();
+        // Values + gradients + Adam moments, f32 each.
+        let param_mb = (params * 4 * 4) as f64 / (1024.0 * 1024.0);
+
+        // Measured inference latency over the test split.
+        let records = run.test_records.clone();
+        let t0 = Instant::now();
+        let _ = score_records(&mut run.model, &records, 128);
+        let secs = t0.elapsed().as_secs_f64();
+        let per_record_us = secs / records.len().max(1) as f64 * 1e6;
+
+        println!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            task.id,
+            params,
+            f(param_mb),
+            f(train_seconds),
+            run.train_records.len(),
+            f(per_record_us),
+            f(records.len() as f64 / secs.max(1e-12)),
+        );
+    }
+    println!("# paper: training < 1 h (batch 128), ~150 MB GPU for train+inference;");
+    println!("# ours is CPU-only and far smaller — the predictor stays lightweight.");
+}

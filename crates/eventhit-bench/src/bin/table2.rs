@@ -1,0 +1,24 @@
+//! Table II — the sixteen prediction tasks and their events of interest.
+//!
+//! ```text
+//! cargo run --release -p eventhit-bench --bin table2
+//! ```
+
+use eventhit_bench::tsv_header;
+use eventhit_core::tasks::all_tasks;
+
+fn main() {
+    println!("# Table II: tasks");
+    tsv_header(&["task", "dataset", "events", "M", "H"]);
+    for t in all_tasks() {
+        let p = t.profile();
+        println!(
+            "{}\t{:?}\t{}\t{}\t{}",
+            t.id,
+            t.dataset,
+            t.events.join(","),
+            p.collection_window,
+            p.horizon
+        );
+    }
+}

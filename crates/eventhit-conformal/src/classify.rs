@@ -1,0 +1,205 @@
+//! Conformal binary classification — the machinery behind C-CLASSIFY
+//! (Algorithm 1).
+//!
+//! The calibrator stores the non-conformity scores of the *positive*
+//! calibration examples. For a new example with score `b_o`, the p-value is
+//! the fraction of positive calibration examples at least as non-conforming
+//! as the new one:
+//!
+//! ```text
+//! p_o = (|{n : y_n = 1 and a_o <= a_n}| + 1) / (|positives| + 1)
+//! ```
+//!
+//! and the example is predicted positive iff `p_o >= 1 - c` for confidence
+//! level `c`. Theorem 4.2 then bounds the probability of missing a true
+//! positive by `1 - c` (marginally, under exchangeability — the probability
+//! is over the draw of the calibration set *and* the test point).
+//!
+//! Note: Algorithm 1 in the paper typesets the numerator without the `+1`
+//! that counts the test point itself; the standard conformal p-value
+//! (Vovk et al., 2005) includes it, and without it the miss probability can
+//! exceed `1 - c` by `1 / (n + 1)`. We implement the inclusive version so
+//! Theorem 4.1 holds exactly.
+
+use crate::nonconformity::Nonconformity;
+
+/// A fitted conformal binary classifier for one event type.
+#[derive(Debug, Clone)]
+pub struct ConformalClassifier {
+    measure: Nonconformity,
+    /// Non-conformity scores of positive calibration examples, ascending.
+    calib: Vec<f64>,
+}
+
+impl ConformalClassifier {
+    /// Fits the calibrator from the positive-class scores `b_n` of the
+    /// calibration examples whose true label is positive.
+    ///
+    /// An empty calibration set is allowed: every p-value is then
+    /// `1 / 1 = 1` divided by… strictly, `0 + something / (0 + 1)`; we
+    /// define it as 1.0 (always predict positive), the conservative choice
+    /// that preserves the recall guarantee vacuously.
+    pub fn fit(positive_scores: &[f64], measure: Nonconformity) -> Self {
+        let mut calib: Vec<f64> = positive_scores.iter().map(|&b| measure.score(b)).collect();
+        calib.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        ConformalClassifier { measure, calib }
+    }
+
+    /// Number of positive calibration examples.
+    pub fn calibration_size(&self) -> usize {
+        self.calib.len()
+    }
+
+    /// The p-value of a new example with positive-class score `b_o`.
+    pub fn p_value(&self, b_o: f64) -> f64 {
+        if self.calib.is_empty() {
+            return 1.0;
+        }
+        let a_o = self.measure.score(b_o);
+        // Count of calibration scores >= a_o  ==  n - #{a_n < a_o},
+        // plus one for the test point itself.
+        let below = self.calib.partition_point(|&a| a < a_o);
+        let ge = self.calib.len() - below;
+        (ge + 1) as f64 / (self.calib.len() + 1) as f64
+    }
+
+    /// Predicts the positive label at confidence level `c`
+    /// (`p_value >= 1 - c`, Eq. 9).
+    pub fn predict(&self, b_o: f64, c: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&c),
+            "confidence level must be in [0, 1]"
+        );
+        self.p_value(b_o) >= 1.0 - c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn p_value_hand_computed() {
+        // Positive calibration scores b: [0.9, 0.8, 0.6, 0.3]
+        // => non-conformity a: [0.1, 0.2, 0.4, 0.7] sorted.
+        let cc = ConformalClassifier::fit(&[0.9, 0.8, 0.6, 0.3], Nonconformity::OneMinusScore);
+        // b_o = 0.5 => a_o = 0.5; calib scores >= 0.5: {0.7} => (1+1)/5.
+        assert!((cc.p_value(0.5) - 0.4).abs() < 1e-12);
+        // b_o = 0.95 => a_o = 0.05; all 4 >= => (4+1)/5 = 1.
+        assert!((cc.p_value(0.95) - 1.0).abs() < 1e-12);
+        // b_o = 0.1 => a_o = 0.9; none >= => 1/5.
+        assert!((cc.p_value(0.1) - 0.2).abs() < 1e-12);
+        // Tie: b_o = 0.8 => a_o = 0.2; {0.2, 0.4, 0.7} (<= counts ties) => 4/5.
+        assert!((cc.p_value(0.8) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_calibration_predicts_positive() {
+        let cc = ConformalClassifier::fit(&[], Nonconformity::OneMinusScore);
+        assert_eq!(cc.p_value(0.01), 1.0);
+        assert!(cc.predict(0.01, 0.5));
+    }
+
+    #[test]
+    fn higher_confidence_is_more_permissive() {
+        // Eq. 10: c1 > c2 implies the prediction set at c1 contains the one
+        // at c2 — if an example is predicted positive at c2, it must also be
+        // at c1.
+        let cc = ConformalClassifier::fit(&[0.9, 0.7, 0.5, 0.3, 0.1], Nonconformity::OneMinusScore);
+        for b in [0.05, 0.2, 0.4, 0.6, 0.8, 0.95] {
+            if cc.predict(b, 0.6) {
+                assert!(cc.predict(b, 0.9), "b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn p_value_monotone_in_score() {
+        let cc = ConformalClassifier::fit(&[0.9, 0.7, 0.5, 0.3], Nonconformity::OneMinusScore);
+        let mut prev = -1.0;
+        for b in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
+            let p = cc.p_value(b);
+            assert!(p >= prev, "p-value must be non-decreasing in b");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn marginal_coverage_guarantee_holds_empirically() {
+        // Theorem 4.2: for exchangeable data, P(miss) <= 1 - c, where the
+        // probability is MARGINAL — over the draw of the calibration set
+        // *and* the test point. A single calibration draw can over- or
+        // under-cover by several percent, so we average over many draws.
+        let mut rng = StdRng::seed_from_u64(99);
+        let draw_pos_score = |rng: &mut StdRng| -> f64 {
+            0.4 + 0.6 * rng.random::<f64>() // uniform in [0.4, 1.0)
+        };
+
+        for &c in &[0.5, 0.7, 0.9, 0.95] {
+            let mut missed = 0u32;
+            let mut trials = 0u32;
+            for _ in 0..300 {
+                let calib: Vec<f64> = (0..200).map(|_| draw_pos_score(&mut rng)).collect();
+                let cc = ConformalClassifier::fit(&calib, Nonconformity::OneMinusScore);
+                for _ in 0..40 {
+                    let b = draw_pos_score(&mut rng);
+                    trials += 1;
+                    if !cc.predict(b, c) {
+                        missed += 1;
+                    }
+                }
+            }
+            let miss_rate = missed as f64 / trials as f64;
+            assert!(
+                miss_rate <= (1.0 - c) + 0.015,
+                "c={c}: miss rate {miss_rate} exceeds guarantee {}",
+                1.0 - c
+            );
+        }
+    }
+
+    #[test]
+    fn identical_p_values_across_monotone_measures() {
+        let scores = [0.9, 0.75, 0.6, 0.42, 0.3, 0.11];
+        let a = ConformalClassifier::fit(&scores, Nonconformity::OneMinusScore);
+        let b = ConformalClassifier::fit(&scores, Nonconformity::NegLogScore);
+        let m = ConformalClassifier::fit(&scores, Nonconformity::Margin);
+        for q in [0.05, 0.33, 0.5, 0.77, 0.95] {
+            assert_eq!(a.p_value(q), b.p_value(q));
+            assert_eq!(a.p_value(q), m.p_value(q));
+        }
+    }
+
+    proptest! {
+        /// p-values always lie in [1/(n+1), 1].
+        #[test]
+        fn p_value_range(
+            calib in proptest::collection::vec(0.0..1.0f64, 0..100),
+            b in 0.0..1.0f64,
+        ) {
+            let cc = ConformalClassifier::fit(&calib, Nonconformity::OneMinusScore);
+            let p = cc.p_value(b);
+            prop_assert!((0.0..=1.0).contains(&p));
+            let n = calib.len() as f64;
+            prop_assert!(p >= 1.0 / (n + 1.0) - 1e-12);
+        }
+
+        /// Monotonicity of prediction sets in c (Eq. 10), property-based.
+        #[test]
+        fn prediction_monotone_in_confidence(
+            calib in proptest::collection::vec(0.0..1.0f64, 1..50),
+            b in 0.0..1.0f64,
+            c1 in 0.0..1.0f64,
+            c2 in 0.0..1.0f64,
+        ) {
+            let (lo, hi) = if c1 <= c2 { (c1, c2) } else { (c2, c1) };
+            let cc = ConformalClassifier::fit(&calib, Nonconformity::OneMinusScore);
+            if cc.predict(b, lo) {
+                prop_assert!(cc.predict(b, hi));
+            }
+        }
+    }
+}

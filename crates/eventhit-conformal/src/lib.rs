@@ -1,0 +1,26 @@
+//! # eventhit-conformal
+//!
+//! Conformal prediction machinery for EventHit (§IV and §V of the paper):
+//!
+//! * [`classify::ConformalClassifier`] — conformal binary classification
+//!   with p-values over a positive calibration set (Algorithm 1,
+//!   C-CLASSIFY). Confidence level `c` bounds the probability of missing a
+//!   true positive by `1 - c` (Theorem 4.2).
+//! * [`regress::ConformalRegressor`] / [`regress::IntervalCalibration`] —
+//!   split conformal regression over absolute residuals (Algorithm 2,
+//!   C-REGRESS). Coverage level `α` guarantees the true start/end frames
+//!   fall within the widened band with probability ≥ α (Theorem 5.2).
+//!
+//! Both guarantees are *marginal* (averaged over exchangeable draws), not
+//! conditional; the property tests in this crate check them empirically.
+
+pub mod classify;
+pub mod mondrian;
+pub mod nonconformity;
+pub mod quantile;
+pub mod regress;
+
+pub use classify::ConformalClassifier;
+pub use mondrian::MondrianClassifier;
+pub use nonconformity::Nonconformity;
+pub use regress::{ConformalRegressor, IntervalCalibration};

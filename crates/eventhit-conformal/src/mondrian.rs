@@ -1,0 +1,184 @@
+//! Mondrian (category-conditional) conformal classification.
+//!
+//! Theorem 4.2's guarantee is *marginal*: averaged over all horizons, the
+//! miss rate is at most `1 − c`, but specific sub-populations (say, events
+//! that start late in the horizon, where the precursor is barely visible)
+//! can be missed far more often. The Mondrian construction (Vovk et al.,
+//! 2005, ch. 4) restores the guarantee *per category*: calibration scores
+//! are bucketed by a category function known at calibration time, and each
+//! bucket carries its own conformal p-value. Categories with no
+//! calibration examples fall back to the pooled (marginal) calibrator —
+//! conservative for recall.
+
+use crate::classify::ConformalClassifier;
+use crate::nonconformity::Nonconformity;
+
+/// A Mondrian conformal classifier over `C` categories.
+#[derive(Debug, Clone)]
+pub struct MondrianClassifier {
+    per_category: Vec<ConformalClassifier>,
+    pooled: ConformalClassifier,
+}
+
+impl MondrianClassifier {
+    /// Fits from `(score, category)` pairs of the positive calibration
+    /// examples; `categories` is the number of buckets.
+    ///
+    /// # Panics
+    /// Panics if a pair references a category `>= categories`.
+    pub fn fit(positives: &[(f64, usize)], categories: usize, measure: Nonconformity) -> Self {
+        assert!(categories > 0, "at least one category required");
+        let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); categories];
+        let mut all = Vec::with_capacity(positives.len());
+        for &(b, cat) in positives {
+            assert!(cat < categories, "category {cat} out of range");
+            buckets[cat].push(b);
+            all.push(b);
+        }
+        MondrianClassifier {
+            per_category: buckets
+                .into_iter()
+                .map(|scores| ConformalClassifier::fit(&scores, measure))
+                .collect(),
+            pooled: ConformalClassifier::fit(&all, measure),
+        }
+    }
+
+    /// Number of categories.
+    pub fn categories(&self) -> usize {
+        self.per_category.len()
+    }
+
+    /// Positive calibration count in one category.
+    pub fn category_size(&self, cat: usize) -> usize {
+        self.per_category[cat].calibration_size()
+    }
+
+    /// The category-conditional p-value. Categories with an empty
+    /// calibration bucket fall back to the pooled p-value.
+    pub fn p_value(&self, b: f64, cat: usize) -> f64 {
+        let cc = &self.per_category[cat];
+        if cc.calibration_size() == 0 {
+            self.pooled.p_value(b)
+        } else {
+            cc.p_value(b)
+        }
+    }
+
+    /// Category-conditional positive prediction at confidence `c`.
+    pub fn predict(&self, b: f64, cat: usize, c: f64) -> bool {
+        self.p_value(b, cat) >= 1.0 - c
+    }
+}
+
+/// A convenient category function for EventHit: buckets the horizon by the
+/// (predicted) start offset into `buckets` equal slices — late-starting
+/// events are the hard sub-population.
+pub fn start_offset_category(start: u32, horizon: u32, buckets: usize) -> usize {
+    assert!(buckets > 0 && horizon > 0);
+    let start = start.clamp(1, horizon);
+    (((start - 1) as usize * buckets) / horizon as usize).min(buckets - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn category_function_buckets_evenly() {
+        assert_eq!(start_offset_category(1, 100, 4), 0);
+        assert_eq!(start_offset_category(25, 100, 4), 0);
+        assert_eq!(start_offset_category(26, 100, 4), 1);
+        assert_eq!(start_offset_category(100, 100, 4), 3);
+        // Clamping.
+        assert_eq!(start_offset_category(0, 100, 4), 0);
+        assert_eq!(start_offset_category(500, 100, 4), 3);
+    }
+
+    #[test]
+    fn empty_category_falls_back_to_pooled() {
+        let m = MondrianClassifier::fit(&[(0.9, 0), (0.8, 0)], 2, Nonconformity::OneMinusScore);
+        assert_eq!(m.category_size(1), 0);
+        // Pooled fallback equals the plain classifier on all positives.
+        let pooled = ConformalClassifier::fit(&[0.9, 0.8], Nonconformity::OneMinusScore);
+        for b in [0.1, 0.5, 0.85, 0.95] {
+            assert_eq!(m.p_value(b, 1), pooled.p_value(b));
+        }
+    }
+
+    #[test]
+    fn per_category_calibration_differs_from_marginal() {
+        // Category 0: strong scores (~0.9); category 1: weak scores (~0.3).
+        let mut positives = Vec::new();
+        for i in 0..50 {
+            positives.push((0.85 + 0.001 * i as f64 / 10.0, 0usize));
+            positives.push((0.25 + 0.001 * i as f64 / 10.0, 1usize));
+        }
+        let m = MondrianClassifier::fit(&positives, 2, Nonconformity::OneMinusScore);
+        // A 0.4-scoring example is very nonconforming for category 0 but
+        // conforming for category 1.
+        assert!(m.p_value(0.4, 0) < 0.1);
+        assert!(m.p_value(0.4, 1) > 0.5);
+    }
+
+    #[test]
+    fn conditional_coverage_holds_per_category() {
+        // Two sub-populations with very different score distributions: the
+        // marginal classifier over-misses the weak category; the Mondrian
+        // one bounds the miss rate in BOTH.
+        let mut rng = StdRng::seed_from_u64(11);
+        let draw = |cat: usize, rng: &mut StdRng| -> f64 {
+            match cat {
+                0 => 0.7 + 0.3 * rng.random::<f64>(), // strong
+                _ => 0.1 + 0.3 * rng.random::<f64>(), // weak
+            }
+        };
+        let c = 0.9;
+        let mut marginal_miss = [0usize; 2];
+        let mut mondrian_miss = [0usize; 2];
+        let mut totals = [0usize; 2];
+        for _ in 0..200 {
+            let calib: Vec<(f64, usize)> = (0..200)
+                .map(|i| {
+                    let cat = i % 2;
+                    (draw(cat, &mut rng), cat)
+                })
+                .collect();
+            let flat: Vec<f64> = calib.iter().map(|&(b, _)| b).collect();
+            let plain = ConformalClassifier::fit(&flat, Nonconformity::OneMinusScore);
+            let mondrian = MondrianClassifier::fit(&calib, 2, Nonconformity::OneMinusScore);
+            for _ in 0..20 {
+                let cat = rng.random_range(0..2usize);
+                let b = draw(cat, &mut rng);
+                totals[cat] += 1;
+                if !plain.predict(b, c) {
+                    marginal_miss[cat] += 1;
+                }
+                if !mondrian.predict(b, cat, c) {
+                    mondrian_miss[cat] += 1;
+                }
+            }
+        }
+        let rate = |m: usize, t: usize| m as f64 / t as f64;
+        // The marginal classifier concentrates its misses on the weak
+        // category, blowing the conditional bound...
+        assert!(
+            rate(marginal_miss[1], totals[1]) > 0.15,
+            "weak-category marginal miss {}",
+            rate(marginal_miss[1], totals[1])
+        );
+        // ...while the Mondrian classifier bounds both categories.
+        for cat in 0..2 {
+            let r = rate(mondrian_miss[cat], totals[cat]);
+            assert!(r <= 0.12, "cat {cat} mondrian miss {r} exceeds 1-c");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_category() {
+        let _ = MondrianClassifier::fit(&[(0.5, 3)], 2, Nonconformity::OneMinusScore);
+    }
+}

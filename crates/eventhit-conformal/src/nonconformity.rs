@@ -1,0 +1,76 @@
+//! Non-conformity measures for binary classification scores.
+//!
+//! A non-conformity measure maps a classifier's positive-class score
+//! `b ∈ [0, 1]` to a real value that is *larger* when the example looks
+//! *less* like a positive. Theorem 4.1 guarantees marginal validity for
+//! any measure; measures that are monotone transforms of each other yield
+//! identical p-values (the p-value only depends on the score ordering),
+//! which the tests verify explicitly — this is the paper's footnote 5.
+
+/// A non-conformity measure on positive-class scores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Nonconformity {
+    /// `a = 1 - b` — the paper's choice (§IV.B).
+    OneMinusScore,
+    /// `a = -ln(b)` — a monotone transform of `OneMinusScore`; produces
+    /// identical p-values (used by the ablation bench to demonstrate
+    /// measure-independence).
+    NegLogScore,
+    /// `a = 0.5 - b` (signed margin to the decision boundary); again a
+    /// monotone transform.
+    Margin,
+}
+
+impl Nonconformity {
+    /// Applies the measure to a positive-class score.
+    pub fn score(self, b: f64) -> f64 {
+        match self {
+            Nonconformity::OneMinusScore => 1.0 - b,
+            Nonconformity::NegLogScore => -(b.max(1e-12).ln()),
+            Nonconformity::Margin => 0.5 - b,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn one_minus_score_values() {
+        assert_eq!(Nonconformity::OneMinusScore.score(0.0), 1.0);
+        assert_eq!(Nonconformity::OneMinusScore.score(1.0), 0.0);
+        assert_eq!(Nonconformity::OneMinusScore.score(0.25), 0.75);
+    }
+
+    #[test]
+    fn neg_log_is_stable_at_zero() {
+        assert!(Nonconformity::NegLogScore.score(0.0).is_finite());
+    }
+
+    proptest! {
+        /// All measures are strictly decreasing in the score: a higher
+        /// positive-class score always means lower non-conformity.
+        #[test]
+        fn measures_are_monotone_decreasing(b1 in 0.0..1.0f64, b2 in 0.0..1.0f64) {
+            prop_assume!(b1 < b2);
+            for m in [Nonconformity::OneMinusScore, Nonconformity::NegLogScore, Nonconformity::Margin] {
+                prop_assert!(m.score(b1) > m.score(b2), "{m:?}");
+            }
+        }
+
+        /// Monotone measures preserve orderings, hence identical p-values.
+        #[test]
+        fn measures_agree_on_ordering(scores in proptest::collection::vec(0.001..0.999f64, 2..50)) {
+            let order = |m: Nonconformity| {
+                let mut idx: Vec<usize> = (0..scores.len()).collect();
+                idx.sort_by(|&i, &j| m.score(scores[i]).partial_cmp(&m.score(scores[j])).unwrap());
+                idx
+            };
+            let a = order(Nonconformity::OneMinusScore);
+            prop_assert_eq!(&a, &order(Nonconformity::NegLogScore));
+            prop_assert_eq!(&a, &order(Nonconformity::Margin));
+        }
+    }
+}

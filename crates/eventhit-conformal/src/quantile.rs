@@ -1,0 +1,101 @@
+//! Order-statistic quantiles with the paper's ⌈α·n⌉ convention.
+
+/// Returns the `⌈α·n⌉`-th smallest value (1-indexed) of `sorted`,
+/// the quantile convention of split conformal regression (§V.A) and of
+/// Algorithm 2 lines 15–16.
+///
+/// `alpha` is clamped to `(0, 1]`; the index is clamped to `[1, n]`.
+///
+/// # Panics
+/// Panics if `sorted` is empty or not ascending.
+pub fn ceil_quantile(sorted: &[f64], alpha: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty sample");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "input must be sorted ascending"
+    );
+    let n = sorted.len();
+    let alpha = alpha.clamp(f64::MIN_POSITIVE, 1.0);
+    let rank = ((alpha * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+/// Sorts a residual sample ascending (IEEE total order, so NaNs sort to the
+/// end instead of poisoning the comparison; the conformal pipeline never
+/// produces NaN residuals, but a stray NaN must not corrupt the sort).
+pub fn sort_residuals(mut residuals: Vec<f64>) -> Vec<f64> {
+    residuals.sort_by(f64::total_cmp);
+    residuals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn quantile_known_values() {
+        let v = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(ceil_quantile(&v, 0.2), 1.0); // ceil(1.0) = 1
+        assert_eq!(ceil_quantile(&v, 0.21), 2.0); // ceil(1.05) = 2
+        assert_eq!(ceil_quantile(&v, 0.5), 3.0);
+        assert_eq!(ceil_quantile(&v, 0.9), 5.0);
+        assert_eq!(ceil_quantile(&v, 1.0), 5.0);
+    }
+
+    #[test]
+    fn quantile_single_element() {
+        assert_eq!(ceil_quantile(&[7.5], 0.01), 7.5);
+        assert_eq!(ceil_quantile(&[7.5], 1.0), 7.5);
+    }
+
+    #[test]
+    fn quantile_clamps_alpha() {
+        let v = vec![1.0, 2.0];
+        assert_eq!(ceil_quantile(&v, 0.0), 1.0);
+        assert_eq!(ceil_quantile(&v, 2.0), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_rejects_empty() {
+        let _ = ceil_quantile(&[], 0.5);
+    }
+
+    #[test]
+    fn sort_residuals_handles_nan() {
+        let sorted = sort_residuals(vec![3.0, f64::NAN, 1.0]);
+        assert_eq!(sorted[0], 1.0);
+    }
+
+    proptest! {
+        /// The quantile is always an element of the sample and is monotone
+        /// in alpha.
+        #[test]
+        fn quantile_monotone_in_alpha(
+            mut xs in proptest::collection::vec(-1e6..1e6f64, 1..200),
+            a1 in 0.01..1.0f64,
+            a2 in 0.01..1.0f64,
+        ) {
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let (lo, hi) = if a1 <= a2 { (a1, a2) } else { (a2, a1) };
+            let q_lo = ceil_quantile(&xs, lo);
+            let q_hi = ceil_quantile(&xs, hi);
+            prop_assert!(q_lo <= q_hi);
+            prop_assert!(xs.contains(&q_lo));
+        }
+
+        /// At least ⌈α·n⌉ sample points are ≤ the α-quantile.
+        #[test]
+        fn quantile_covers_alpha_fraction(
+            mut xs in proptest::collection::vec(-1e3..1e3f64, 1..100),
+            alpha in 0.01..1.0f64,
+        ) {
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let q = ceil_quantile(&xs, alpha);
+            let below = xs.iter().filter(|&&x| x <= q).count();
+            let needed = ((alpha * xs.len() as f64).ceil() as usize).clamp(1, xs.len());
+            prop_assert!(below >= needed);
+        }
+    }
+}

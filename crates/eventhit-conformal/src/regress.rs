@@ -1,0 +1,220 @@
+//! Split conformal regression — the machinery behind C-REGRESS
+//! (Algorithm 2).
+//!
+//! [`ConformalRegressor`] implements the generic split-conformal band: fit
+//! on absolute residuals of a calibration set, then widen any point
+//! prediction by the ⌈α·n⌉-th residual. [`IntervalCalibration`] packages the
+//! paper's use of two regressors per event — one for the occurrence-interval
+//! start, one for the end — and applies the asymmetric adjustment of
+//! Algorithm 2 lines 17–18 (start moved earlier, end moved later, clamped
+//! to `[1, H]`).
+
+use crate::quantile::{ceil_quantile, sort_residuals};
+
+/// A fitted split-conformal regressor over absolute residuals.
+#[derive(Debug, Clone)]
+pub struct ConformalRegressor {
+    residuals: Vec<f64>,
+}
+
+impl ConformalRegressor {
+    /// Fits from absolute residuals `|y_i - mu(x_i)|` of the calibration
+    /// split. Negative inputs are rejected.
+    pub fn fit(residuals: Vec<f64>) -> Self {
+        assert!(
+            residuals.iter().all(|&r| r >= 0.0),
+            "residuals must be absolute values"
+        );
+        ConformalRegressor {
+            residuals: sort_residuals(residuals),
+        }
+    }
+
+    /// Number of calibration residuals.
+    pub fn calibration_size(&self) -> usize {
+        self.residuals.len()
+    }
+
+    /// The half-width `q̂` of the prediction band at coverage `alpha`.
+    ///
+    /// Algorithm 2 (lines 15–16) uses the `⌈α·n⌉`-th smallest residual; we
+    /// use the inclusive rank `⌈α·(n+1)⌉` (clamped to `n`), the standard
+    /// split-conformal convention for which Theorem 5.1 holds exactly —
+    /// without the `+1` the marginal coverage can fall short of `α` by
+    /// `1/(n+1)`. Returns 0 when no residuals were provided.
+    pub fn quantile(&self, alpha: f64) -> f64 {
+        let n = self.residuals.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let adjusted = (alpha * (n as f64 + 1.0) / n as f64).min(1.0);
+        ceil_quantile(&self.residuals, adjusted)
+    }
+
+    /// The symmetric prediction band `[mu - q̂, mu + q̂]` around a point
+    /// prediction (Theorem 5.1).
+    pub fn band(&self, prediction: f64, alpha: f64) -> (f64, f64) {
+        let q = self.quantile(alpha);
+        (prediction - q, prediction + q)
+    }
+}
+
+/// Per-event start/end calibration for occurrence-interval predictions —
+/// the quantiles `q̂_k^s`, `q̂_k^e` of Algorithm 2.
+#[derive(Debug, Clone)]
+pub struct IntervalCalibration {
+    start: ConformalRegressor,
+    end: ConformalRegressor,
+}
+
+impl IntervalCalibration {
+    /// Fits from the absolute start/end residuals of calibration records
+    /// where the event truly occurs (Algorithm 2 lines 6–12).
+    pub fn fit(start_residuals: Vec<f64>, end_residuals: Vec<f64>) -> Self {
+        IntervalCalibration {
+            start: ConformalRegressor::fit(start_residuals),
+            end: ConformalRegressor::fit(end_residuals),
+        }
+    }
+
+    /// Calibrated start/end quantiles at coverage `alpha`.
+    pub fn quantiles(&self, alpha: f64) -> (f64, f64) {
+        (self.start.quantile(alpha), self.end.quantile(alpha))
+    }
+
+    /// Number of calibration residual pairs.
+    pub fn calibration_size(&self) -> usize {
+        self.start.calibration_size()
+    }
+
+    /// Applies the C-REGRESS adjustment (Eq. 11): the predicted interval
+    /// `[s, e]` (1-based offsets within a horizon of `h` frames) is widened
+    /// to `[max(1, s - q̂^s), min(h, e + q̂^e)]`.
+    pub fn adjust(&self, start: u32, end: u32, h: u32, alpha: f64) -> (u32, u32) {
+        assert!(
+            start >= 1 && start <= end && end <= h,
+            "invalid interval [{start}, {end}] for h={h}"
+        );
+        let (qs, qe) = self.quantiles(alpha);
+        let new_start = ((start as f64 - qs).floor().max(1.0)) as u32;
+        let new_end = ((end as f64 + qe).ceil().min(h as f64)) as u32;
+        (new_start, new_end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn band_widens_with_alpha() {
+        let reg = ConformalRegressor::fit(vec![1.0, 2.0, 5.0, 10.0]);
+        let (l1, h1) = reg.band(0.0, 0.5);
+        let (l2, h2) = reg.band(0.0, 0.95);
+        assert!(l2 <= l1 && h2 >= h1);
+        assert_eq!(h1, 5.0); // inclusive rank ceil(0.5 * 5) = 3rd smallest
+        assert_eq!(h2, 10.0); // ceil(0.95 * 5) = 5 clamped to 4th
+    }
+
+    #[test]
+    fn empty_regressor_gives_zero_band() {
+        let reg = ConformalRegressor::fit(vec![]);
+        assert_eq!(reg.quantile(0.9), 0.0);
+        assert_eq!(reg.band(5.0, 0.9), (5.0, 5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "absolute values")]
+    fn rejects_negative_residuals() {
+        let _ = ConformalRegressor::fit(vec![1.0, -0.5]);
+    }
+
+    #[test]
+    fn coverage_guarantee_holds_empirically() {
+        // Theorem 5.1: P(y in band) >= alpha for exchangeable residuals.
+        // The guarantee is marginal over calibration *and* test draws, so
+        // we average over many calibration sets.
+        let mut rng = StdRng::seed_from_u64(5);
+        let noise = |rng: &mut StdRng| -> f64 { (rng.random::<f64>() - 0.5) * 20.0 };
+        for &alpha in &[0.5, 0.8, 0.9, 0.95] {
+            let mut covered = 0u32;
+            let mut trials = 0u32;
+            for _ in 0..250 {
+                let calib: Vec<f64> = (0..200).map(|_| noise(&mut rng).abs()).collect();
+                let reg = ConformalRegressor::fit(calib);
+                let (lo, hi) = reg.band(0.0, alpha);
+                for _ in 0..40 {
+                    let y = noise(&mut rng);
+                    trials += 1;
+                    if (lo..=hi).contains(&y) {
+                        covered += 1;
+                    }
+                }
+            }
+            let cov = covered as f64 / trials as f64;
+            assert!(cov >= alpha - 0.01, "alpha={alpha} coverage={cov}");
+        }
+    }
+
+    #[test]
+    fn adjust_widens_and_clamps() {
+        let cal = IntervalCalibration::fit(vec![3.0, 5.0, 8.0], vec![2.0, 4.0, 6.0]);
+        // alpha = 1.0 -> quantiles (8, 6).
+        let (s, e) = cal.adjust(10, 20, 100, 1.0);
+        assert_eq!((s, e), (2, 26));
+        // Clamping at horizon edges.
+        let (s, e) = cal.adjust(3, 98, 100, 1.0);
+        assert_eq!((s, e), (1, 100));
+    }
+
+    #[test]
+    fn adjust_with_zero_quantiles_is_identity() {
+        let cal = IntervalCalibration::fit(vec![0.0, 0.0], vec![0.0, 0.0]);
+        assert_eq!(cal.adjust(5, 9, 50, 0.9), (5, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid interval")]
+    fn adjust_rejects_inverted_interval() {
+        let cal = IntervalCalibration::fit(vec![1.0], vec![1.0]);
+        let _ = cal.adjust(9, 5, 50, 0.9);
+    }
+
+    proptest! {
+        /// Theorem 5.1 monotonicity: bands are nested in alpha.
+        #[test]
+        fn bands_nested_in_alpha(
+            residuals in proptest::collection::vec(0.0..100.0f64, 1..100),
+            mu in -50.0..50.0f64,
+            a1 in 0.01..1.0f64,
+            a2 in 0.01..1.0f64,
+        ) {
+            let (lo_a, hi_a) = if a1 <= a2 { (a1, a2) } else { (a2, a1) };
+            let reg = ConformalRegressor::fit(residuals);
+            let (l1, h1) = reg.band(mu, lo_a);
+            let (l2, h2) = reg.band(mu, hi_a);
+            prop_assert!(l2 <= l1 && h2 >= h1);
+        }
+
+        /// The adjusted interval always contains the original and stays in
+        /// [1, h].
+        #[test]
+        fn adjusted_interval_contains_original(
+            rs in proptest::collection::vec(0.0..50.0f64, 1..50),
+            re in proptest::collection::vec(0.0..50.0f64, 1..50),
+            s in 1u32..100,
+            len in 0u32..50,
+            alpha in 0.01..1.0f64,
+        ) {
+            let h = 200u32;
+            let e = (s + len).min(h);
+            let cal = IntervalCalibration::fit(rs, re);
+            let (ns, ne) = cal.adjust(s, e, h, alpha);
+            prop_assert!(ns <= s && ne >= e);
+            prop_assert!(ns >= 1 && ne <= h);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Capacity planning: pick a conformal operating point that meets a recall
+//! target *and* keeps the CI queue stable.
+//!
+//! The latency experiment shows that an operating point chosen purely for
+//! recall can saturate the CI (offered load ≥ service rate) and fall
+//! behind the live stream without bound. Stability requires the long-run
+//! relay rate (frames relayed per stream frame, i.e. the duty cycle) to
+//! stay below the service-to-capture rate ratio:
+//!
+//! ```text
+//! duty_cycle * stream_fps  <  ci_fps        (ρ < 1)
+//! ```
+//!
+//! [`plan`] sweeps the EHCR grid and returns the best stable point for a
+//! recall target, plus diagnostics for every candidate.
+
+use crate::ci_queue::QueueConfig;
+use crate::experiment::{grids, TaskRun};
+use crate::metrics::EvalOutcome;
+use crate::pipeline::Strategy;
+
+/// Diagnostics of one candidate operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidatePlan {
+    /// The strategy evaluated.
+    pub strategy: Strategy,
+    /// Its test-split outcome.
+    pub outcome: EvalOutcome,
+    /// Relay duty cycle: relayed frames per covered stream frame.
+    pub duty_cycle: f64,
+    /// Offered load ρ = duty_cycle × stream_fps / ci_fps.
+    pub rho: f64,
+}
+
+impl CandidatePlan {
+    /// True when the CI queue is stable under this point (with the given
+    /// safety headroom, e.g. 0.2 for ρ ≤ 0.8).
+    pub fn is_stable(&self, headroom: f64) -> bool {
+        self.rho <= 1.0 - headroom
+    }
+}
+
+/// The planner's verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    /// A stable point meeting the target, with all evaluated candidates.
+    Feasible {
+        /// The chosen point (min ρ among those meeting the target).
+        chosen: CandidatePlan,
+        /// Every candidate, for reporting.
+        candidates: Vec<CandidatePlan>,
+    },
+    /// No stable point meets the target; the best recall achievable under
+    /// the stability constraint is reported.
+    Infeasible {
+        /// The stable point with the highest recall, if any is stable.
+        best_stable: Option<CandidatePlan>,
+        /// Every candidate.
+        candidates: Vec<CandidatePlan>,
+    },
+}
+
+/// Evaluates every EHCR grid point against the recall target and queue
+/// stability (`headroom` of service rate held in reserve).
+pub fn plan(run: &TaskRun, queue: &QueueConfig, target_recall: f64, headroom: f64) -> Plan {
+    assert!((0.0..1.0).contains(&headroom), "headroom in [0, 1)");
+    let horizon_frames = (run.test.len() * run.horizon).max(1) as f64;
+
+    let candidates: Vec<CandidatePlan> = grids::ehcr()
+        .into_iter()
+        .map(|strategy| {
+            let outcome = run.evaluate(&strategy);
+            let duty_cycle = outcome.frames_relayed as f64 / horizon_frames;
+            let rho = duty_cycle * queue.stream_fps / queue.ci.fps;
+            CandidatePlan {
+                strategy,
+                outcome,
+                duty_cycle,
+                rho,
+            }
+        })
+        .collect();
+
+    let feasible = candidates
+        .iter()
+        .filter(|c| c.outcome.rec >= target_recall && c.is_stable(headroom))
+        .min_by(|a, b| a.rho.total_cmp(&b.rho))
+        .copied();
+
+    match feasible {
+        Some(chosen) => Plan::Feasible { chosen, candidates },
+        None => {
+            let best_stable = candidates
+                .iter()
+                .filter(|c| c.is_stable(headroom))
+                .max_by(|a, b| a.outcome.rec.total_cmp(&b.outcome.rec))
+                .copied();
+            Plan::Infeasible {
+                best_stable,
+                candidates,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::ExperimentConfig;
+    use crate::tasks::task;
+    use eventhit_video::detector::StageModel;
+
+    fn quick_run() -> TaskRun {
+        let cfg = ExperimentConfig {
+            scale: 0.15,
+            ..ExperimentConfig::quick(71)
+        };
+        TaskRun::execute(&task("TA10").unwrap(), &cfg)
+    }
+
+    #[test]
+    fn stability_check_uses_headroom() {
+        let c = CandidatePlan {
+            strategy: Strategy::Eho { tau1: 0.5 },
+            outcome: quick_outcome(),
+            duty_cycle: 0.2,
+            rho: 0.85,
+        };
+        assert!(c.is_stable(0.1));
+        assert!(!c.is_stable(0.2));
+    }
+
+    fn quick_outcome() -> EvalOutcome {
+        EvalOutcome {
+            rec: 0.9,
+            spl: 0.1,
+            rec_c: 0.9,
+            rec_r: 0.9,
+            frames_relayed: 100,
+            true_frames: 50,
+            positives: 10,
+            records: 20,
+        }
+    }
+
+    #[test]
+    fn generous_ci_makes_targets_feasible() {
+        let run = quick_run();
+        // A CI far faster than the stream: everything is stable.
+        let queue = QueueConfig {
+            stream_fps: 30.0,
+            ci: StageModel::new("fast ci", 1000.0),
+        };
+        match plan(&run, &queue, 0.8, 0.2) {
+            Plan::Feasible { chosen, candidates } => {
+                assert!(chosen.outcome.rec >= 0.8);
+                assert!(chosen.is_stable(0.2));
+                assert!(!candidates.is_empty());
+            }
+            Plan::Infeasible { .. } => panic!("fast CI should make the target feasible"),
+        }
+    }
+
+    #[test]
+    fn starved_ci_is_infeasible_with_fallback() {
+        let run = quick_run();
+        // A CI that can barely process anything.
+        let queue = QueueConfig {
+            stream_fps: 30.0,
+            ci: StageModel::new("slow ci", 0.01),
+        };
+        match plan(&run, &queue, 0.99, 0.2) {
+            Plan::Infeasible {
+                best_stable,
+                candidates,
+            } => {
+                assert!(!candidates.is_empty());
+                if let Some(b) = best_stable {
+                    assert!(b.is_stable(0.2));
+                }
+            }
+            Plan::Feasible { chosen, .. } => {
+                panic!("0.01 fps CI cannot stably support rho {}", chosen.rho)
+            }
+        }
+    }
+
+    #[test]
+    fn chosen_point_minimizes_load_among_feasible() {
+        let run = quick_run();
+        let queue = QueueConfig {
+            stream_fps: 30.0,
+            ci: StageModel::new("ci", 100.0),
+        };
+        if let Plan::Feasible { chosen, candidates } = plan(&run, &queue, 0.5, 0.1) {
+            for c in candidates {
+                if c.outcome.rec >= 0.5 && c.is_stable(0.1) {
+                    assert!(chosen.rho <= c.rho + 1e-12);
+                }
+            }
+        }
+    }
+}

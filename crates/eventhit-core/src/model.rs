@@ -1,0 +1,456 @@
+//! The EventHit network (paper §III, Fig. 3).
+//!
+//! A shared sub-network — LSTM encoder over the collection window, a fully
+//! connected layer with dropout producing the latent vector `z` — feeds `K`
+//! event-specific sub-networks. Each head consumes `z ⊕ X_n` (the latent
+//! concatenated with the *last* feature vector of the window) and emits,
+//! through a sigmoid, the vector `Θ_k = [b_k, θ_{k,1}, …, θ_{k,H}]`:
+//! `b_k` scores the event's occurrence anywhere in the horizon and
+//! `θ_{k,v}` scores its occurrence at horizon offset `v`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use eventhit_nn::activation::Activation;
+use eventhit_nn::dense::Dense;
+use eventhit_nn::dropout::Dropout;
+use eventhit_nn::gru::Gru;
+use eventhit_nn::init::Init;
+use eventhit_nn::lstm::Lstm;
+use eventhit_nn::matrix::Matrix;
+use eventhit_nn::optimizer::ParamMut;
+
+use eventhit_video::records::Record;
+
+/// Hyper-parameters of the EventHit network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventHitConfig {
+    /// Feature dimensionality `D`.
+    pub input_dim: usize,
+    /// Collection-window length `M`.
+    pub window: usize,
+    /// Time-horizon length `H`.
+    pub horizon: usize,
+    /// Number of event types `K`.
+    pub num_events: usize,
+    /// LSTM hidden size.
+    pub hidden_dim: usize,
+    /// Latent dimension of `z` after the shared fully connected layer.
+    pub shared_dim: usize,
+    /// Dropout probability on `z` during training.
+    pub dropout: f32,
+}
+
+impl EventHitConfig {
+    /// A reasonable default for the synthetic datasets: 48 LSTM units,
+    /// 32-dim latent, 20% dropout.
+    pub fn new(input_dim: usize, window: usize, horizon: usize, num_events: usize) -> Self {
+        EventHitConfig {
+            input_dim,
+            window,
+            horizon,
+            num_events,
+            hidden_dim: 48,
+            shared_dim: 32,
+            dropout: 0.2,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.input_dim > 0 && self.window > 0 && self.horizon > 0);
+        assert!(self.num_events > 0, "at least one event type required");
+        assert!(self.hidden_dim > 0 && self.shared_dim > 0);
+    }
+}
+
+/// Which recurrent encoder the shared sub-network uses. The paper uses an
+/// LSTM (§III); GRU is provided for the encoder-choice ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EncoderKind {
+    /// Long short-term memory (the paper's choice).
+    #[default]
+    Lstm,
+    /// Gated recurrent unit (ablation alternative).
+    Gru,
+}
+
+/// The recurrent encoder, dispatching on [`EncoderKind`].
+enum Encoder {
+    Lstm(Lstm),
+    Gru(Gru),
+}
+
+impl Encoder {
+    fn forward(&mut self, xs: &[Matrix]) -> Matrix {
+        match self {
+            Encoder::Lstm(l) => l.forward(xs),
+            Encoder::Gru(g) => g.forward(xs),
+        }
+    }
+
+    fn forward_inference(&mut self, xs: &[Matrix]) -> Matrix {
+        match self {
+            Encoder::Lstm(l) => l.forward_inference(xs),
+            Encoder::Gru(g) => g.forward_inference(xs),
+        }
+    }
+
+    fn backward_last(&mut self, dh: &Matrix) {
+        match self {
+            Encoder::Lstm(l) => {
+                l.backward_last(dh);
+            }
+            Encoder::Gru(g) => {
+                g.backward_last(dh);
+            }
+        }
+    }
+
+    fn zero_grad(&mut self) {
+        match self {
+            Encoder::Lstm(l) => l.zero_grad(),
+            Encoder::Gru(g) => g.zero_grad(),
+        }
+    }
+
+    fn params_mut(&mut self) -> Vec<ParamMut<'_>> {
+        match self {
+            Encoder::Lstm(l) => l.params_mut(),
+            Encoder::Gru(g) => g.params_mut(),
+        }
+    }
+
+    fn param_count(&self) -> usize {
+        match self {
+            Encoder::Lstm(l) => l.param_count(),
+            Encoder::Gru(g) => g.param_count(),
+        }
+    }
+
+    fn kind(&self) -> EncoderKind {
+        match self {
+            Encoder::Lstm(_) => EncoderKind::Lstm,
+            Encoder::Gru(_) => EncoderKind::Gru,
+        }
+    }
+}
+
+/// The EventHit network.
+pub struct EventHit {
+    config: EventHitConfig,
+    encoder: Encoder,
+    shared_fc: Dense,
+    dropout: Dropout,
+    heads: Vec<Dense>,
+    rng: StdRng,
+    /// Cache of the last-forward concatenated input (training mode).
+    cache_concat: Option<Matrix>,
+}
+
+impl EventHit {
+    /// Creates a network with freshly initialized weights and the paper's
+    /// LSTM encoder.
+    pub fn new(config: EventHitConfig, seed: u64) -> Self {
+        Self::with_encoder(config, EncoderKind::Lstm, seed)
+    }
+
+    /// Creates a network with the chosen recurrent encoder.
+    pub fn with_encoder(config: EventHitConfig, kind: EncoderKind, seed: u64) -> Self {
+        config.validate();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let encoder = match kind {
+            EncoderKind::Lstm => {
+                Encoder::Lstm(Lstm::new(config.input_dim, config.hidden_dim, &mut rng))
+            }
+            EncoderKind::Gru => {
+                Encoder::Gru(Gru::new(config.input_dim, config.hidden_dim, &mut rng))
+            }
+        };
+        // Tanh keeps the latent bounded and kink-free (the paper does not
+        // specify the shared layer's activation).
+        let shared_fc = Dense::new(
+            config.hidden_dim,
+            config.shared_dim,
+            Activation::Tanh,
+            Init::XavierUniform,
+            &mut rng,
+        );
+        let dropout = Dropout::new(config.dropout);
+        let head_in = config.shared_dim + config.input_dim;
+        let heads = (0..config.num_events)
+            .map(|_| {
+                Dense::new(
+                    head_in,
+                    1 + config.horizon,
+                    Activation::Sigmoid,
+                    Init::XavierUniform,
+                    &mut rng,
+                )
+            })
+            .collect();
+        EventHit {
+            config,
+            encoder,
+            shared_fc,
+            dropout,
+            heads,
+            rng,
+            cache_concat: None,
+        }
+    }
+
+    /// The network configuration.
+    pub fn config(&self) -> &EventHitConfig {
+        &self.config
+    }
+
+    /// Which recurrent encoder this network uses.
+    pub fn encoder_kind(&self) -> EncoderKind {
+        self.encoder.kind()
+    }
+
+    /// Total number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.encoder.param_count()
+            + self.shared_fc.param_count()
+            + self.heads.iter().map(Dense::param_count).sum::<usize>()
+    }
+
+    /// Switches dropout between training and inference behaviour.
+    pub fn set_training(&mut self, training: bool) {
+        self.dropout.set_training(training);
+    }
+
+    /// Assembles the LSTM input sequence from a batch of records:
+    /// `xs[t]` is the `batch x D` matrix of the `t`-th window frame.
+    fn batch_sequence(&self, records: &[&Record]) -> Vec<Matrix> {
+        let m = self.config.window;
+        let d = self.config.input_dim;
+        let batch = records.len();
+        (0..m)
+            .map(|t| {
+                let mut x = Matrix::zeros(batch, d);
+                for (i, r) in records.iter().enumerate() {
+                    assert_eq!(
+                        r.covariates.shape(),
+                        (m, d),
+                        "record covariates must be {m}x{d}"
+                    );
+                    x.set_row(i, r.covariates.row(t));
+                }
+                x
+            })
+            .collect()
+    }
+
+    /// Forward pass over a batch of records, caching intermediates for
+    /// [`EventHit::backward`]. Returns one `batch x (1 + H)` sigmoid output
+    /// per event head.
+    pub fn forward(&mut self, records: &[&Record]) -> Vec<Matrix> {
+        assert!(!records.is_empty(), "empty batch");
+        let xs = self.batch_sequence(records);
+        let h = self.encoder.forward(&xs);
+        let z = self.shared_fc.forward(&h);
+        let z = self.dropout.forward(&z, &mut self.rng);
+        let concat = z.hcat(&xs[self.config.window - 1]);
+        let outputs = self
+            .heads
+            .iter_mut()
+            .map(|head| head.forward(&concat))
+            .collect();
+        self.cache_concat = Some(concat);
+        outputs
+    }
+
+    /// Inference-only forward pass (dropout off regardless of mode, no
+    /// caching of the training graph).
+    pub fn forward_inference(&mut self, records: &[&Record]) -> Vec<Matrix> {
+        assert!(!records.is_empty(), "empty batch");
+        let was_training = self.dropout.is_training();
+        self.dropout.set_training(false);
+        let xs = self.batch_sequence(records);
+        let h = self.encoder.forward_inference(&xs);
+        let z = self.shared_fc.forward_inference(&h);
+        let concat = z.hcat(&xs[self.config.window - 1]);
+        let outputs = self
+            .heads
+            .iter_mut()
+            .map(|head| head.forward_inference(&concat))
+            .collect();
+        self.dropout.set_training(was_training);
+        outputs
+    }
+
+    /// Backward pass: `grads[k]` is dL/d(output of head `k`). Accumulates
+    /// all parameter gradients.
+    pub fn backward(&mut self, grads: &[Matrix]) {
+        assert_eq!(
+            grads.len(),
+            self.heads.len(),
+            "one gradient per head required"
+        );
+        let concat = self
+            .cache_concat
+            .as_ref()
+            .expect("EventHit::backward before forward")
+            .clone();
+        let mut d_concat = Matrix::zeros(concat.rows(), concat.cols());
+        for (head, g) in self.heads.iter_mut().zip(grads) {
+            d_concat.add_assign(&head.backward(g));
+        }
+        let (d_z, _d_xlast) = d_concat.hsplit(self.config.shared_dim);
+        let d_z = self.dropout.backward(&d_z);
+        let d_h = self.shared_fc.backward(&d_z);
+        self.encoder.backward_last(&d_h);
+    }
+
+    /// Zeros all accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.encoder.zero_grad();
+        self.shared_fc.zero_grad();
+        for head in &mut self.heads {
+            head.zero_grad();
+        }
+    }
+
+    /// All `(parameter, gradient)` pairs, in a stable order.
+    pub fn params_mut(&mut self) -> Vec<ParamMut<'_>> {
+        let mut params = self.encoder.params_mut();
+        params.extend(self.shared_fc.params_mut());
+        for head in &mut self.heads {
+            params.extend(head.params_mut());
+        }
+        params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eventhit_video::records::EventLabel;
+
+    fn record(m: usize, d: usize, value: f32) -> Record {
+        Record {
+            anchor: 0,
+            covariates: Matrix::filled(m, d, value),
+            labels: vec![EventLabel::absent()],
+        }
+    }
+
+    fn tiny_config() -> EventHitConfig {
+        EventHitConfig {
+            input_dim: 4,
+            window: 5,
+            horizon: 10,
+            num_events: 2,
+            hidden_dim: 6,
+            shared_dim: 5,
+            dropout: 0.0,
+        }
+    }
+
+    #[test]
+    fn forward_output_shapes() {
+        let mut model = EventHit::new(tiny_config(), 0);
+        let r1 = record(5, 4, 0.1);
+        let r2 = record(5, 4, 0.9);
+        let outs = model.forward(&[&r1, &r2]);
+        assert_eq!(outs.len(), 2);
+        for o in &outs {
+            assert_eq!(o.shape(), (2, 11));
+            assert!(o.as_slice().iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn inference_matches_forward_without_dropout() {
+        let mut model = EventHit::new(tiny_config(), 1);
+        let r = record(5, 4, 0.3);
+        let a = model.forward(&[&r]);
+        let b = model.forward_inference(&[&r]);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn dropout_only_active_in_training() {
+        let mut cfg = tiny_config();
+        cfg.dropout = 0.5;
+        let mut model = EventHit::new(cfg, 2);
+        let r = record(5, 4, 0.5);
+        // Training forwards are stochastic: across several passes the
+        // sampled masks must produce at least two distinct outputs.
+        let passes: Vec<Matrix> = (0..8).map(|_| model.forward(&[&r]).remove(0)).collect();
+        assert!(
+            passes.iter().any(|p| *p != passes[0]),
+            "dropout should perturb training forward passes"
+        );
+        // Inference passes are deterministic.
+        let c = model.forward_inference(&[&r]);
+        let d = model.forward_inference(&[&r]);
+        assert_eq!(c[0], d[0]);
+    }
+
+    #[test]
+    fn gradients_flow_to_all_parameters() {
+        let mut model = EventHit::new(tiny_config(), 3);
+        let r1 = record(5, 4, 0.2);
+        let r2 = record(5, 4, -0.4);
+        model.zero_grad();
+        let outs = model.forward(&[&r1, &r2]);
+        // Loss = sum of outputs; dL/dout = 1.
+        let grads: Vec<Matrix> = outs
+            .iter()
+            .map(|o| Matrix::filled(o.rows(), o.cols(), 1.0))
+            .collect();
+        model.backward(&grads);
+        let mut nonzero_params = 0;
+        for p in model.params_mut() {
+            if p.grad.max_abs() > 0.0 {
+                nonzero_params += 1;
+            }
+        }
+        // LSTM (3) + shared (2) + 2 heads (2 each) = 9 parameter tensors.
+        assert_eq!(
+            nonzero_params, 9,
+            "all parameter tensors should receive gradient"
+        );
+    }
+
+    #[test]
+    fn analytic_gradients_match_finite_differences() {
+        use eventhit_nn::gradcheck::check_gradients;
+        let mut model = EventHit::new(tiny_config(), 4);
+        let r1 = record(5, 4, 0.2);
+        let r2 = record(5, 4, 0.7);
+        let loss_fn = |m: &mut EventHit| {
+            let outs = m.forward(&[&r1, &r2]);
+            outs.iter()
+                .map(|o| 0.5 * o.as_slice().iter().map(|&v| v * v).sum::<f32>())
+                .sum()
+        };
+        let grad_fn = |m: &mut EventHit| {
+            m.zero_grad();
+            let outs = m.forward(&[&r1, &r2]);
+            m.backward(&outs);
+        };
+        let err = check_gradients(&mut model, loss_fn, grad_fn, |m| m.params_mut(), 1e-2);
+        assert!(err < 5e-2, "max rel err {err}");
+    }
+
+    #[test]
+    fn param_count_is_consistent() {
+        let model = EventHit::new(tiny_config(), 5);
+        // LSTM: 4*6*(4 + 6 + 1) = 264; shared: 5*6 + 5 = 35;
+        // heads: 2 * (11 * 9 + 11) = 220.
+        assert_eq!(model.param_count(), 264 + 35 + 220);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn forward_rejects_empty_batch() {
+        let mut model = EventHit::new(tiny_config(), 6);
+        let _ = model.forward(&[]);
+    }
+}

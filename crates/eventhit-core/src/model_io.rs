@@ -1,0 +1,245 @@
+//! Model persistence: save and load trained EventHit weights.
+//!
+//! Training happens once (against CI-labelled data, §I); the deployed
+//! marshaller then needs the weights without retraining. The format is a
+//! small versioned binary layout — magic, version, config, then each
+//! parameter tensor in the model's stable parameter order — written with
+//! plain `std::io`, no serialization framework.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::model::{EncoderKind, EventHit, EventHitConfig};
+
+const MAGIC: &[u8; 4] = b"EVHT";
+const VERSION: u32 = 1;
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_f32(w: &mut impl Write, v: f32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_f32(r: &mut impl Read) -> io::Result<f32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(f32::from_le_bytes(buf))
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Serializes a trained model.
+pub fn save(model: &mut EventHit, w: &mut impl Write) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    write_u32(w, VERSION)?;
+    let cfg = model.config().clone();
+    write_u32(w, cfg.input_dim as u32)?;
+    write_u32(w, cfg.window as u32)?;
+    write_u32(w, cfg.horizon as u32)?;
+    write_u32(w, cfg.num_events as u32)?;
+    write_u32(w, cfg.hidden_dim as u32)?;
+    write_u32(w, cfg.shared_dim as u32)?;
+    write_f32(w, cfg.dropout)?;
+    write_u32(
+        w,
+        match model.encoder_kind() {
+            EncoderKind::Lstm => 0,
+            EncoderKind::Gru => 1,
+        },
+    )?;
+
+    let params = model.params_mut();
+    write_u32(w, params.len() as u32)?;
+    for p in &params {
+        write_u32(w, p.value.rows() as u32)?;
+        write_u32(w, p.value.cols() as u32)?;
+        for &x in p.value.as_slice() {
+            write_f32(w, x)?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserializes a model saved with [`save`].
+pub fn load(r: &mut impl Read) -> io::Result<EventHit> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not an EventHit model file (bad magic)"));
+    }
+    let version = read_u32(r)?;
+    if version != VERSION {
+        return Err(bad("unsupported model file version"));
+    }
+    let cfg = EventHitConfig {
+        input_dim: read_u32(r)? as usize,
+        window: read_u32(r)? as usize,
+        horizon: read_u32(r)? as usize,
+        num_events: read_u32(r)? as usize,
+        hidden_dim: read_u32(r)? as usize,
+        shared_dim: read_u32(r)? as usize,
+        dropout: read_f32(r)?,
+    };
+    let kind = match read_u32(r)? {
+        0 => EncoderKind::Lstm,
+        1 => EncoderKind::Gru,
+        _ => return Err(bad("unknown encoder kind")),
+    };
+    let mut model = EventHit::with_encoder(cfg, kind, 0);
+
+    let n_params = read_u32(r)? as usize;
+    let mut params = model.params_mut();
+    if n_params != params.len() {
+        return Err(bad("parameter count mismatch"));
+    }
+    for p in params.iter_mut() {
+        let rows = read_u32(r)? as usize;
+        let cols = read_u32(r)? as usize;
+        if (rows, cols) != p.value.shape() {
+            return Err(bad("parameter shape mismatch"));
+        }
+        for x in p.value.as_mut_slice() {
+            *x = read_f32(r)?;
+        }
+    }
+    drop(params);
+    Ok(model)
+}
+
+/// Saves to a file path.
+pub fn save_to_path(model: &mut EventHit, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    save(model, &mut w)?;
+    w.flush()
+}
+
+/// Loads from a file path.
+pub fn load_from_path(path: impl AsRef<Path>) -> io::Result<EventHit> {
+    let mut r = BufReader::new(File::open(path)?);
+    load(&mut r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eventhit_nn::matrix::Matrix;
+    use eventhit_video::records::{EventLabel, Record};
+
+    fn tiny_model(seed: u64) -> EventHit {
+        EventHit::new(
+            EventHitConfig {
+                input_dim: 4,
+                window: 3,
+                horizon: 8,
+                num_events: 2,
+                hidden_dim: 6,
+                shared_dim: 5,
+                dropout: 0.1,
+            },
+            seed,
+        )
+    }
+
+    fn probe_record() -> Record {
+        Record {
+            anchor: 0,
+            covariates: Matrix::from_vec(3, 4, (0..12).map(|i| (i as f32) / 12.0 - 0.4).collect()),
+            labels: vec![EventLabel::absent(); 2],
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_predictions() {
+        let mut model = tiny_model(1);
+        let rec = probe_record();
+        let before = model.forward_inference(&[&rec]);
+
+        let mut buf = Vec::new();
+        save(&mut model, &mut buf).unwrap();
+        let mut restored = load(&mut buf.as_slice()).unwrap();
+        let after = restored.forward_inference(&[&rec]);
+
+        assert_eq!(before, after, "loaded model must predict identically");
+        assert_eq!(restored.config(), model.config());
+    }
+
+    #[test]
+    fn round_trip_via_file() {
+        let mut model = tiny_model(2);
+        let path = std::env::temp_dir().join("eventhit_model_io_test.evht");
+        save_to_path(&mut model, &path).unwrap();
+        let mut restored = load_from_path(&path).unwrap();
+        let rec = probe_record();
+        assert_eq!(
+            model.forward_inference(&[&rec]),
+            restored.forward_inference(&[&rec])
+        );
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut buf = Vec::new();
+        save(&mut tiny_model(3), &mut buf).unwrap();
+        buf[0] = b'X';
+        assert!(load(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut buf = Vec::new();
+        save(&mut tiny_model(4), &mut buf).unwrap();
+        buf[4..8].copy_from_slice(&99u32.to_le_bytes());
+        assert!(load(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let mut buf = Vec::new();
+        save(&mut tiny_model(5), &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(load(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn gru_round_trip_preserves_encoder_and_predictions() {
+        let cfg = EventHitConfig {
+            input_dim: 4,
+            window: 3,
+            horizon: 8,
+            num_events: 1,
+            hidden_dim: 6,
+            shared_dim: 5,
+            dropout: 0.0,
+        };
+        let mut model = EventHit::with_encoder(cfg, EncoderKind::Gru, 11);
+        let rec = probe_record();
+        let before = model.forward_inference(&[&rec]);
+        let mut buf = Vec::new();
+        save(&mut model, &mut buf).unwrap();
+        let mut restored = load(&mut buf.as_slice()).unwrap();
+        assert_eq!(restored.encoder_kind(), EncoderKind::Gru);
+        assert_eq!(before, restored.forward_inference(&[&rec]));
+    }
+
+    #[test]
+    fn different_models_serialize_differently() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        save(&mut tiny_model(6), &mut a).unwrap();
+        save(&mut tiny_model(7), &mut b).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(a.len(), b.len(), "same architecture, same file size");
+    }
+}

@@ -1,0 +1,198 @@
+//! The sixteen prediction tasks of Table II.
+
+use eventhit_video::synthetic::{self, DatasetProfile};
+
+/// Which synthetic dataset a task draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// VIRAT surveillance events (E1–E6).
+    Virat,
+    /// THUMOS sports actions (E7–E9).
+    Thumos,
+    /// Breakfast cooking action units (E10–E12).
+    Breakfast,
+}
+
+impl DatasetKind {
+    /// The full dataset profile.
+    pub fn profile(self) -> DatasetProfile {
+        match self {
+            DatasetKind::Virat => synthetic::virat(),
+            DatasetKind::Thumos => synthetic::thumos(),
+            DatasetKind::Breakfast => synthetic::breakfast(),
+        }
+    }
+}
+
+/// One prediction task: a dataset and the subset of events of interest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Task {
+    /// Task identifier, `"TA1"` … `"TA16"`.
+    pub id: &'static str,
+    /// Source dataset.
+    pub dataset: DatasetKind,
+    /// Paper ids of the events of interest (`"E1"` …).
+    pub events: Vec<&'static str>,
+}
+
+impl Task {
+    /// The dataset profile restricted to this task's events, in task order.
+    pub fn profile(&self) -> DatasetProfile {
+        let full = self.dataset.profile();
+        let indices: Vec<usize> = self
+            .events
+            .iter()
+            .map(|e| {
+                full.class_index(e)
+                    .unwrap_or_else(|| panic!("event {e} not in dataset {:?}", self.dataset))
+            })
+            .collect();
+        full.select_classes(&indices)
+    }
+
+    /// Number of events of interest.
+    pub fn num_events(&self) -> usize {
+        self.events.len()
+    }
+}
+
+/// All tasks of Table II, in order.
+pub fn all_tasks() -> Vec<Task> {
+    use DatasetKind::*;
+    vec![
+        Task {
+            id: "TA1",
+            dataset: Virat,
+            events: vec!["E1"],
+        },
+        Task {
+            id: "TA2",
+            dataset: Virat,
+            events: vec!["E2"],
+        },
+        Task {
+            id: "TA3",
+            dataset: Virat,
+            events: vec!["E3"],
+        },
+        Task {
+            id: "TA4",
+            dataset: Virat,
+            events: vec!["E4"],
+        },
+        Task {
+            id: "TA5",
+            dataset: Virat,
+            events: vec!["E5"],
+        },
+        Task {
+            id: "TA6",
+            dataset: Virat,
+            events: vec!["E6"],
+        },
+        Task {
+            id: "TA7",
+            dataset: Virat,
+            events: vec!["E1", "E5"],
+        },
+        Task {
+            id: "TA8",
+            dataset: Virat,
+            events: vec!["E5", "E6"],
+        },
+        Task {
+            id: "TA9",
+            dataset: Virat,
+            events: vec!["E1", "E5", "E6"],
+        },
+        Task {
+            id: "TA10",
+            dataset: Thumos,
+            events: vec!["E7"],
+        },
+        Task {
+            id: "TA11",
+            dataset: Thumos,
+            events: vec!["E8"],
+        },
+        Task {
+            id: "TA12",
+            dataset: Thumos,
+            events: vec!["E9"],
+        },
+        Task {
+            id: "TA13",
+            dataset: Breakfast,
+            events: vec!["E10"],
+        },
+        Task {
+            id: "TA14",
+            dataset: Breakfast,
+            events: vec!["E11"],
+        },
+        Task {
+            id: "TA15",
+            dataset: Breakfast,
+            events: vec!["E11", "E12"],
+        },
+        Task {
+            id: "TA16",
+            dataset: Breakfast,
+            events: vec!["E10", "E12"],
+        },
+    ]
+}
+
+/// Looks up a task by id (case-insensitive).
+pub fn task(id: &str) -> Option<Task> {
+    all_tasks()
+        .into_iter()
+        .find(|t| t.id.eq_ignore_ascii_case(id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_tasks() {
+        let tasks = all_tasks();
+        assert_eq!(tasks.len(), 16);
+        assert_eq!(tasks[0].id, "TA1");
+        assert_eq!(tasks[15].id, "TA16");
+    }
+
+    #[test]
+    fn table2_event_sets() {
+        assert_eq!(task("TA7").unwrap().events, vec!["E1", "E5"]);
+        assert_eq!(task("TA8").unwrap().events, vec!["E5", "E6"]);
+        assert_eq!(task("TA9").unwrap().events, vec!["E1", "E5", "E6"]);
+        assert_eq!(task("TA15").unwrap().events, vec!["E11", "E12"]);
+        assert_eq!(task("TA16").unwrap().events, vec!["E10", "E12"]);
+    }
+
+    #[test]
+    fn datasets_match_events() {
+        for t in all_tasks() {
+            let full = t.dataset.profile();
+            for e in &t.events {
+                assert!(full.class_index(e).is_some(), "{}: {e}", t.id);
+            }
+        }
+    }
+
+    #[test]
+    fn profile_selects_task_events_in_order() {
+        let p = task("TA9").unwrap().profile();
+        let ids: Vec<&str> = p.classes.iter().map(|c| c.paper_id.as_str()).collect();
+        assert_eq!(ids, vec!["E1", "E5", "E6"]);
+        assert_eq!(p.collection_window, 25);
+        assert_eq!(p.horizon, 500);
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive_and_total() {
+        assert!(task("ta10").is_some());
+        assert!(task("TA17").is_none());
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests of the §VI.C metrics and interval utilities.
+
+use eventhit_core::infer::{EventScores, IntervalPrediction, ScoredRecord};
+use eventhit_core::metrics::{eta, evaluate, spillage_term, union_frames};
+use eventhit_core::multi::merge_overlapping;
+use eventhit_video::records::EventLabel;
+use proptest::prelude::*;
+
+const H: u32 = 100;
+
+prop_compose! {
+    fn interval()(s in 1u32..=H)(s in Just(s), len in 0u32..(H - s + 1)) -> (u32, u32) {
+        (s, s + len)
+    }
+}
+
+prop_compose! {
+    fn label()(present in proptest::bool::ANY, iv in interval()) -> EventLabel {
+        if present {
+            EventLabel { present: true, start: iv.0, end: iv.1, censored: false }
+        } else {
+            EventLabel::absent()
+        }
+    }
+}
+
+prop_compose! {
+    fn prediction()(present in proptest::bool::ANY, iv in interval()) -> IntervalPrediction {
+        if present {
+            IntervalPrediction { present: true, start: iv.0, end: iv.1 }
+        } else {
+            IntervalPrediction::absent()
+        }
+    }
+}
+
+fn scored(labels: Vec<EventLabel>) -> ScoredRecord {
+    let scores = labels
+        .iter()
+        .map(|_| EventScores {
+            b: 0.5,
+            theta: vec![],
+        })
+        .collect();
+    ScoredRecord {
+        anchor: 0,
+        scores,
+        labels,
+    }
+}
+
+proptest! {
+    #[test]
+    fn eta_is_a_fraction(p in prediction(), l in label()) {
+        if let Some(e) = eta(&p, &l) {
+            prop_assert!((0.0..=1.0).contains(&e));
+        } else {
+            prop_assert!(!l.present);
+        }
+    }
+
+    #[test]
+    fn eta_one_iff_prediction_covers_label(l in label()) {
+        prop_assume!(l.present);
+        let covering = IntervalPrediction { present: true, start: 1, end: H };
+        prop_assert_eq!(eta(&covering, &l), Some(1.0));
+    }
+
+    #[test]
+    fn spillage_term_is_a_fraction(p in prediction(), l in label()) {
+        let t = spillage_term(&p, &l, H);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&t));
+    }
+
+    #[test]
+    fn spillage_zero_when_prediction_within_truth(l in label()) {
+        prop_assume!(l.present);
+        let inside = IntervalPrediction { present: true, start: l.start, end: l.end };
+        prop_assert_eq!(spillage_term(&inside, &l, H), 0.0);
+    }
+
+    #[test]
+    fn union_frames_bounded_by_sum(preds in proptest::collection::vec(prediction(), 0..6)) {
+        let union = union_frames(&preds);
+        let sum: u64 = preds.iter().map(IntervalPrediction::frames).sum();
+        let max_single = preds.iter().map(IntervalPrediction::frames).max().unwrap_or(0);
+        prop_assert!(union <= sum);
+        prop_assert!(union >= max_single);
+        prop_assert!(union <= H as u64);
+    }
+
+    #[test]
+    fn evaluate_outputs_are_fractions(
+        rows in proptest::collection::vec((label(), prediction()), 1..20),
+    ) {
+        let records: Vec<ScoredRecord> = rows.iter().map(|(l, _)| scored(vec![*l])).collect();
+        let preds: Vec<Vec<IntervalPrediction>> = rows.iter().map(|(_, p)| vec![*p]).collect();
+        let o = evaluate(&preds, &records, H);
+        prop_assert!((0.0..=1.0).contains(&o.rec));
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&o.spl));
+        prop_assert!((0.0..=1.0).contains(&o.rec_c));
+        prop_assert!((0.0..=1.0).contains(&o.rec_r));
+        prop_assert!(o.rec <= o.rec_c + 1e-12, "frame recall cannot exceed existence recall");
+    }
+
+    #[test]
+    fn oracle_predictions_score_perfectly(labels in proptest::collection::vec(label(), 1..20)) {
+        let records: Vec<ScoredRecord> = labels.iter().map(|l| scored(vec![*l])).collect();
+        let preds: Vec<Vec<IntervalPrediction>> = labels
+            .iter()
+            .map(|l| {
+                vec![if l.present {
+                    IntervalPrediction { present: true, start: l.start, end: l.end }
+                } else {
+                    IntervalPrediction::absent()
+                }]
+            })
+            .collect();
+        let o = evaluate(&preds, &records, H);
+        prop_assert_eq!(o.spl, 0.0);
+        if o.positives > 0 {
+            prop_assert_eq!(o.rec, 1.0);
+            prop_assert_eq!(o.rec_c, 1.0);
+        }
+    }
+
+    #[test]
+    fn merged_intervals_are_canonical(ivs in proptest::collection::vec(interval(), 0..10)) {
+        let merged = merge_overlapping(ivs.clone());
+        // Sorted, non-overlapping, non-adjacent.
+        for w in merged.windows(2) {
+            prop_assert!(w[0].1 + 1 < w[1].0);
+        }
+        // Coverage preserved exactly.
+        let covered = |set: &[(u32, u32)], v: u32| set.iter().any(|&(s, e)| (s..=e).contains(&v));
+        for v in 1..=H {
+            prop_assert_eq!(covered(&ivs, v), covered(&merged, v));
+        }
+    }
+}

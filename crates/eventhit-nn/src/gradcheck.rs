@@ -1,0 +1,126 @@
+//! Finite-difference gradient checking.
+//!
+//! Used pervasively in tests: every layer's analytic backward pass is
+//! validated against central finite differences of its forward loss.
+
+use crate::optimizer::ParamMut;
+
+/// Compares analytic gradients against central finite differences.
+///
+/// * `loss_fn` runs a forward pass and returns the scalar loss.
+/// * `grad_fn` zeroes gradients, runs forward + backward, leaving analytic
+///   gradients in the layer's accumulators.
+/// * `params_fn` exposes the layer's `(value, grad)` pairs.
+/// * `eps` is the perturbation size (f32 arithmetic wants ~1e-2).
+///
+/// Returns the maximum relative error over all checked entries. Large
+/// parameter tensors are subsampled with a stride so checks stay fast.
+pub fn check_gradients<L>(
+    layer: &mut L,
+    mut loss_fn: impl FnMut(&mut L) -> f32,
+    mut grad_fn: impl FnMut(&mut L),
+    params_fn: impl Fn(&mut L) -> Vec<ParamMut<'_>>,
+    eps: f32,
+) -> f32 {
+    // Capture analytic gradients.
+    grad_fn(layer);
+    let analytic: Vec<Vec<f32>> = params_fn(layer)
+        .iter()
+        .map(|p| p.grad.as_slice().to_vec())
+        .collect();
+
+    let sizes: Vec<usize> = analytic.iter().map(Vec::len).collect();
+    let mut max_rel_err = 0.0f32;
+
+    for (pi, &size) in sizes.iter().enumerate() {
+        // Check every entry for small tensors; subsample big ones.
+        let stride = (size / 64).max(1);
+        let mut ei = 0;
+        while ei < size {
+            let orig = {
+                let mut params = params_fn(layer);
+                let v = params[pi].value.as_mut_slice();
+                let orig = v[ei];
+                v[ei] = orig + eps;
+                orig
+            };
+            let loss_plus = loss_fn(layer);
+            {
+                let mut params = params_fn(layer);
+                params[pi].value.as_mut_slice()[ei] = orig - eps;
+            }
+            let loss_minus = loss_fn(layer);
+            {
+                let mut params = params_fn(layer);
+                params[pi].value.as_mut_slice()[ei] = orig;
+            }
+            let numeric = (loss_plus - loss_minus) / (2.0 * eps);
+            let a = analytic[pi][ei];
+            let denom = a.abs().max(numeric.abs()).max(1e-2);
+            let rel = (a - numeric).abs() / denom;
+            if rel > max_rel_err {
+                max_rel_err = rel;
+            }
+            ei += stride;
+        }
+    }
+    max_rel_err
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    /// A toy "layer": loss = sum(w^2), so dL/dw = 2w.
+    struct Quad {
+        w: Matrix,
+        g: Matrix,
+    }
+
+    impl Quad {
+        fn params(&mut self) -> Vec<ParamMut<'_>> {
+            vec![ParamMut {
+                value: &mut self.w,
+                grad: &self.g,
+            }]
+        }
+    }
+
+    #[test]
+    fn accepts_correct_gradient() {
+        let mut q = Quad {
+            w: Matrix::from_vec(1, 3, vec![1.0, -2.0, 0.5]),
+            g: Matrix::zeros(1, 3),
+        };
+        let err = check_gradients(
+            &mut q,
+            |q| q.w.as_slice().iter().map(|&x| x * x).sum(),
+            |q| {
+                q.g = q.w.map(|x| 2.0 * x);
+            },
+            |q| q.params(),
+            1e-3,
+        );
+        assert!(err < 1e-2, "err={err}");
+    }
+
+    #[test]
+    fn rejects_wrong_gradient() {
+        let mut q = Quad {
+            w: Matrix::from_vec(1, 2, vec![1.0, 2.0]),
+            g: Matrix::zeros(1, 2),
+        };
+        let err = check_gradients(
+            &mut q,
+            |q| q.w.as_slice().iter().map(|&x| x * x).sum(),
+            |q| {
+                // Deliberately wrong: factor 3 instead of 2.
+                q.g = q.w.map(|x| 3.0 * x);
+            },
+            |q| q.params(),
+            1e-3,
+        );
+        assert!(err > 0.1, "gradient checker failed to flag wrong gradient");
+    }
+}

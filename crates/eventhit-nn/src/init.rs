@@ -1,0 +1,114 @@
+//! Weight initialization schemes.
+//!
+//! Gaussian samples are produced with the Box–Muller transform so the crate
+//! only depends on `rand`'s uniform source.
+
+use rand::Rng;
+
+use crate::matrix::Matrix;
+
+/// Draws one standard-normal sample via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    // Avoid log(0) by sampling u1 from (0, 1].
+    let u1: f32 = 1.0 - rng.random::<f32>();
+    let u2: f32 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// Initialization scheme for a weight matrix with `fan_in` inputs and
+/// `fan_out` outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Init {
+    /// Glorot/Xavier uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+    XavierUniform,
+    /// Glorot/Xavier normal: `N(0, 2 / (fan_in + fan_out))`.
+    XavierNormal,
+    /// He/Kaiming normal: `N(0, 2 / fan_in)` — suited to ReLU layers.
+    HeNormal,
+    /// All zeros (used for biases).
+    Zeros,
+}
+
+impl Init {
+    /// Materializes a `rows x cols` matrix where `cols` is treated as
+    /// `fan_in` and `rows` as `fan_out` (row-major `out x in` convention).
+    pub fn matrix<R: Rng + ?Sized>(self, rows: usize, cols: usize, rng: &mut R) -> Matrix {
+        let fan_in = cols as f32;
+        let fan_out = rows as f32;
+        match self {
+            Init::XavierUniform => {
+                let a = (6.0 / (fan_in + fan_out)).sqrt();
+                Matrix::uniform(rows, cols, -a, a, rng)
+            }
+            Init::XavierNormal => {
+                let std = (2.0 / (fan_in + fan_out)).sqrt();
+                let data = (0..rows * cols)
+                    .map(|_| standard_normal(rng) * std)
+                    .collect();
+                Matrix::from_vec(rows, cols, data)
+            }
+            Init::HeNormal => {
+                let std = (2.0 / fan_in).sqrt();
+                let data = (0..rows * cols)
+                    .map(|_| standard_normal(rng) * std)
+                    .collect();
+                Matrix::from_vec(rows, cols, data)
+            }
+            Init::Zeros => Matrix::zeros(rows, cols),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 50_000;
+        let samples: Vec<f32> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.02, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.05, "var={var}");
+    }
+
+    #[test]
+    fn xavier_uniform_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = Init::XavierUniform.matrix(20, 30, &mut rng);
+        let a = (6.0f32 / 50.0).sqrt();
+        assert!(m.as_slice().iter().all(|&x| x.abs() <= a));
+        // Not degenerate.
+        assert!(m.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn he_normal_variance_close() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let m = Init::HeNormal.matrix(100, 200, &mut rng);
+        let var = m.as_slice().iter().map(|&x| x * x).sum::<f32>() / m.len() as f32;
+        let target = 2.0 / 200.0;
+        assert!(
+            (var - target).abs() < target * 0.2,
+            "var={var} target={target}"
+        );
+    }
+
+    #[test]
+    fn zeros_is_zero() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let m = Init::Zeros.matrix(3, 3, &mut rng);
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Init::XavierNormal.matrix(4, 4, &mut StdRng::seed_from_u64(5));
+        let b = Init::XavierNormal.matrix(4, 4, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,51 @@
+//! # eventhit-nn
+//!
+//! A small, self-contained neural-network substrate used by the EventHit
+//! reproduction: dense row-major `f32` matrices, fully connected and LSTM
+//! layers with hand-written backward passes (validated against finite
+//! differences), inverted dropout, binary cross-entropy losses, and SGD /
+//! Adam optimizers.
+//!
+//! The layer set is exactly what the paper's architecture (Fig. 3) needs:
+//! an LSTM encoder, fully connected layers with sigmoid/tanh/relu
+//! activations, and dropout. There is no general autograd — the model graph
+//! is fixed, and each layer exposes `forward` / `backward` / `params_mut`.
+//!
+//! ```
+//! use eventhit_nn::activation::Activation;
+//! use eventhit_nn::dense::Dense;
+//! use eventhit_nn::init::Init;
+//! use eventhit_nn::matrix::Matrix;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut layer = Dense::new(4, 2, Activation::Sigmoid, Init::XavierUniform, &mut rng);
+//! let x = Matrix::uniform(3, 4, -1.0, 1.0, &mut rng);
+//! let probs = layer.forward(&x);
+//! assert_eq!(probs.shape(), (3, 2));
+//! ```
+
+pub mod activation;
+pub mod dense;
+pub mod dropout;
+pub mod gradcheck;
+pub mod gru;
+pub mod init;
+pub mod loss;
+pub mod lstm;
+pub mod matrix;
+pub mod optimizer;
+pub mod schedule;
+pub mod weight_decay;
+
+pub use activation::Activation;
+pub use dense::Dense;
+pub use dropout::Dropout;
+pub use gru::Gru;
+pub use init::Init;
+pub use lstm::Lstm;
+pub use matrix::Matrix;
+pub use optimizer::{Adam, Optimizer, ParamMut, Sgd};
+pub use schedule::LrSchedule;
+pub use weight_decay::WeightDecay;

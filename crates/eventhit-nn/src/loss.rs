@@ -1,0 +1,203 @@
+//! Loss functions.
+//!
+//! All losses return `(scalar_loss, gradient_wrt_prediction)` so callers can
+//! feed the gradient straight into the network's backward pass. Predictions
+//! are probabilities (post-sigmoid), matching the paper's architecture where
+//! every head ends in a sigmoid; probabilities are clamped away from 0/1 for
+//! numerical stability.
+
+use crate::matrix::Matrix;
+
+/// Probability clamp used by the cross-entropy losses.
+pub const PROB_EPS: f32 = 1e-6;
+
+#[inline]
+fn clamp_prob(p: f32) -> f32 {
+    p.clamp(PROB_EPS, 1.0 - PROB_EPS)
+}
+
+/// Binary cross-entropy of a single probability/label pair.
+#[inline]
+pub fn bce_scalar(p: f32, y: f32) -> f32 {
+    let p = clamp_prob(p);
+    -(y * p.ln() + (1.0 - y) * (1.0 - p).ln())
+}
+
+/// Gradient of [`bce_scalar`] w.r.t. `p`.
+#[inline]
+pub fn bce_scalar_grad(p: f32, y: f32) -> f32 {
+    let p = clamp_prob(p);
+    (p - y) / (p * (1.0 - p))
+}
+
+/// Mean binary cross-entropy over a batch of probabilities.
+///
+/// `preds` and `targets` must have identical shapes; `targets` entries are
+/// 0/1 (soft labels also work). Returns the mean loss and the gradient
+/// matrix `dL/dpred` (already divided by the element count).
+pub fn bce(preds: &Matrix, targets: &Matrix) -> (f32, Matrix) {
+    assert_eq!(preds.shape(), targets.shape(), "bce shape mismatch");
+    let n = preds.len() as f32;
+    let mut loss = 0.0;
+    let mut grad = Matrix::zeros(preds.rows(), preds.cols());
+    for ((g, &p), &y) in grad
+        .as_mut_slice()
+        .iter_mut()
+        .zip(preds.as_slice())
+        .zip(targets.as_slice())
+    {
+        loss += bce_scalar(p, y);
+        *g = bce_scalar_grad(p, y) / n;
+    }
+    (loss / n, grad)
+}
+
+/// Weighted binary cross-entropy: each element carries its own weight
+/// (weight 0 masks the element out entirely).
+///
+/// The loss is `sum_i w_i * bce(p_i, y_i) / sum_i w_i` and the gradient is
+/// scaled accordingly. Returns `(0, zeros)` when all weights are zero.
+pub fn weighted_bce(preds: &Matrix, targets: &Matrix, weights: &Matrix) -> (f32, Matrix) {
+    assert_eq!(
+        preds.shape(),
+        targets.shape(),
+        "weighted_bce shape mismatch"
+    );
+    assert_eq!(
+        preds.shape(),
+        weights.shape(),
+        "weighted_bce weights mismatch"
+    );
+    let wsum: f32 = weights.as_slice().iter().sum();
+    let mut grad = Matrix::zeros(preds.rows(), preds.cols());
+    if wsum <= 0.0 {
+        return (0.0, grad);
+    }
+    let mut loss = 0.0;
+    for (((g, &p), &y), &w) in grad
+        .as_mut_slice()
+        .iter_mut()
+        .zip(preds.as_slice())
+        .zip(targets.as_slice())
+        .zip(weights.as_slice())
+    {
+        if w == 0.0 {
+            continue;
+        }
+        loss += w * bce_scalar(p, y);
+        *g = w * bce_scalar_grad(p, y) / wsum;
+    }
+    (loss / wsum, grad)
+}
+
+/// Mean squared error and its gradient.
+pub fn mse(preds: &Matrix, targets: &Matrix) -> (f32, Matrix) {
+    assert_eq!(preds.shape(), targets.shape(), "mse shape mismatch");
+    let n = preds.len() as f32;
+    let mut loss = 0.0;
+    let mut grad = Matrix::zeros(preds.rows(), preds.cols());
+    for ((g, &p), &y) in grad
+        .as_mut_slice()
+        .iter_mut()
+        .zip(preds.as_slice())
+        .zip(targets.as_slice())
+    {
+        let d = p - y;
+        loss += d * d;
+        *g = 2.0 * d / n;
+    }
+    (loss / n, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bce_known_value() {
+        // BCE(0.5, 1) = -ln(0.5) = ln 2.
+        let p = Matrix::from_vec(1, 1, vec![0.5]);
+        let y = Matrix::from_vec(1, 1, vec![1.0]);
+        let (loss, _) = bce(&p, &y);
+        assert!((loss - std::f32::consts::LN_2).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bce_perfect_prediction_near_zero() {
+        let p = Matrix::from_vec(1, 2, vec![1.0 - 1e-6, 1e-6]);
+        let y = Matrix::from_vec(1, 2, vec![1.0, 0.0]);
+        let (loss, _) = bce(&p, &y);
+        assert!(loss < 1e-4);
+    }
+
+    #[test]
+    fn bce_is_stable_at_extremes() {
+        let p = Matrix::from_vec(1, 2, vec![0.0, 1.0]);
+        let y = Matrix::from_vec(1, 2, vec![1.0, 0.0]);
+        let (loss, grad) = bce(&p, &y);
+        assert!(loss.is_finite());
+        assert!(grad.all_finite());
+    }
+
+    #[test]
+    fn bce_gradient_matches_finite_difference() {
+        let y = Matrix::from_vec(1, 3, vec![1.0, 0.0, 1.0]);
+        let p0 = vec![0.3f32, 0.7, 0.9];
+        let p = Matrix::from_vec(1, 3, p0.clone());
+        let (_, grad) = bce(&p, &y);
+        let eps = 1e-3;
+        for e in 0..3 {
+            let mut pp = p0.clone();
+            pp[e] += eps;
+            let (lp, _) = bce(&Matrix::from_vec(1, 3, pp.clone()), &y);
+            pp[e] -= 2.0 * eps;
+            let (lm, _) = bce(&Matrix::from_vec(1, 3, pp), &y);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - grad.as_slice()[e]).abs() < 1e-2, "e={e}");
+        }
+    }
+
+    #[test]
+    fn weighted_bce_masks_zero_weight() {
+        let p = Matrix::from_vec(1, 2, vec![0.9, 0.1]);
+        let y = Matrix::from_vec(1, 2, vec![0.0, 0.0]);
+        // Only the first element counts.
+        let w = Matrix::from_vec(1, 2, vec![1.0, 0.0]);
+        let (loss, grad) = weighted_bce(&p, &y, &w);
+        assert!((loss - bce_scalar(0.9, 0.0)).abs() < 1e-5);
+        assert_eq!(grad.as_slice()[1], 0.0);
+        assert!(grad.as_slice()[0] > 0.0);
+    }
+
+    #[test]
+    fn weighted_bce_all_zero_weights() {
+        let p = Matrix::from_vec(1, 2, vec![0.9, 0.1]);
+        let y = Matrix::from_vec(1, 2, vec![0.0, 1.0]);
+        let w = Matrix::zeros(1, 2);
+        let (loss, grad) = weighted_bce(&p, &y, &w);
+        assert_eq!(loss, 0.0);
+        assert!(grad.as_slice().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn weighted_bce_uniform_weights_equals_bce() {
+        let p = Matrix::from_vec(1, 3, vec![0.2, 0.5, 0.8]);
+        let y = Matrix::from_vec(1, 3, vec![0.0, 1.0, 1.0]);
+        let w = Matrix::filled(1, 3, 1.0);
+        let (lw, gw) = weighted_bce(&p, &y, &w);
+        let (lb, gb) = bce(&p, &y);
+        assert!((lw - lb).abs() < 1e-6);
+        for (a, b) in gw.as_slice().iter().zip(gb.as_slice()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn mse_known_value_and_gradient() {
+        let p = Matrix::from_vec(1, 2, vec![1.0, 3.0]);
+        let y = Matrix::from_vec(1, 2, vec![0.0, 1.0]);
+        let (loss, grad) = mse(&p, &y);
+        assert!((loss - 2.5).abs() < 1e-6); // (1 + 4) / 2
+        assert_eq!(grad.as_slice(), &[1.0, 2.0]); // 2d/n
+    }
+}

@@ -1,0 +1,136 @@
+//! Learning-rate schedules.
+//!
+//! Schedules are pure functions of the step index; the trainer queries the
+//! schedule each step and sets the optimizer's learning rate, keeping the
+//! optimizer itself schedule-agnostic.
+
+/// A learning-rate schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant {
+        /// The learning rate.
+        lr: f32,
+    },
+    /// Step decay: `lr * factor^(step / every)`.
+    StepDecay {
+        /// Initial learning rate.
+        lr: f32,
+        /// Multiplicative factor applied at each boundary, in (0, 1].
+        factor: f32,
+        /// Steps between decays.
+        every: usize,
+    },
+    /// Linear warmup to `lr` over `warmup` steps, then cosine decay to
+    /// `lr * floor` at `total` steps (clamped thereafter).
+    WarmupCosine {
+        /// Peak learning rate.
+        lr: f32,
+        /// Warmup steps.
+        warmup: usize,
+        /// Total steps of the schedule.
+        total: usize,
+        /// Final learning rate as a fraction of the peak, in [0, 1].
+        floor: f32,
+    },
+}
+
+impl LrSchedule {
+    /// The learning rate at `step` (0-based).
+    pub fn at(&self, step: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant { lr } => lr,
+            LrSchedule::StepDecay { lr, factor, every } => {
+                assert!(every > 0, "decay interval must be positive");
+                lr * factor.powi((step / every) as i32)
+            }
+            LrSchedule::WarmupCosine {
+                lr,
+                warmup,
+                total,
+                floor,
+            } => {
+                assert!(total > warmup, "total must exceed warmup");
+                if step < warmup {
+                    lr * (step + 1) as f32 / warmup as f32
+                } else {
+                    let t = ((step - warmup) as f32 / (total - warmup) as f32).min(1.0);
+                    let cos = 0.5 * (1.0 + (std::f32::consts::PI * t).cos());
+                    lr * (floor + (1.0 - floor) * cos)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant { lr: 0.01 };
+        assert_eq!(s.at(0), 0.01);
+        assert_eq!(s.at(10_000), 0.01);
+    }
+
+    #[test]
+    fn step_decay_halves_at_boundaries() {
+        let s = LrSchedule::StepDecay {
+            lr: 0.1,
+            factor: 0.5,
+            every: 100,
+        };
+        assert_eq!(s.at(0), 0.1);
+        assert_eq!(s.at(99), 0.1);
+        assert_eq!(s.at(100), 0.05);
+        assert_eq!(s.at(250), 0.025);
+    }
+
+    #[test]
+    fn warmup_rises_linearly_then_decays() {
+        let s = LrSchedule::WarmupCosine {
+            lr: 1.0,
+            warmup: 10,
+            total: 110,
+            floor: 0.1,
+        };
+        assert!((s.at(0) - 0.1).abs() < 1e-6);
+        assert!((s.at(4) - 0.5).abs() < 1e-6);
+        assert!((s.at(9) - 1.0).abs() < 1e-6);
+        // Midpoint of cosine: (1 + 0)/2 scaled into [floor, 1].
+        let mid = s.at(10 + 50);
+        assert!((mid - (0.1 + 0.9 * 0.5)).abs() < 1e-3, "mid={mid}");
+        // End and beyond: floor.
+        assert!((s.at(110) - 0.1).abs() < 1e-3);
+        assert!((s.at(10_000) - 0.1).abs() < 1e-3);
+    }
+
+    #[test]
+    fn cosine_is_monotone_after_warmup() {
+        let s = LrSchedule::WarmupCosine {
+            lr: 0.5,
+            warmup: 5,
+            total: 105,
+            floor: 0.0,
+        };
+        let mut prev = f32::INFINITY;
+        for step in 5..105 {
+            let lr = s.at(step);
+            assert!(lr <= prev + 1e-7, "step {step}");
+            prev = lr;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "total must exceed warmup")]
+    fn rejects_degenerate_cosine() {
+        let _ = LrSchedule::WarmupCosine {
+            lr: 0.1,
+            warmup: 10,
+            total: 10,
+            floor: 0.0,
+        }
+        .at(0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Decoupled weight decay (AdamW, Loshchilov & Hutter 2019).
+//!
+//! Applies `w -= lr * wd * w` *before* the optimizer's gradient step, so
+//! the decay is not distorted by Adam's second-moment normalization. Kept
+//! separate from the optimizers so any of them composes with it.
+
+use crate::optimizer::ParamMut;
+
+/// Decoupled weight-decay regularizer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightDecay {
+    /// Decay coefficient `wd` (typical range 1e-4 … 1e-2).
+    pub wd: f32,
+}
+
+impl WeightDecay {
+    /// Creates a regularizer; `wd = 0` is a no-op.
+    pub fn new(wd: f32) -> Self {
+        assert!(wd >= 0.0, "weight decay must be non-negative");
+        WeightDecay { wd }
+    }
+
+    /// Applies the decay to all parameters at learning rate `lr`.
+    /// Bias-like parameters (single-row tensors) are conventionally
+    /// excluded; pass `decay_biases = false` for that behaviour.
+    pub fn apply(&self, params: &mut [ParamMut<'_>], lr: f32, decay_biases: bool) {
+        if self.wd == 0.0 {
+            return;
+        }
+        let factor = 1.0 - lr * self.wd;
+        for p in params.iter_mut() {
+            if !decay_biases && p.value.rows() == 1 {
+                continue;
+            }
+            p.value.scale(factor);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    #[test]
+    fn decay_shrinks_weights_multiplicatively() {
+        let mut w = Matrix::filled(2, 2, 1.0);
+        let g = Matrix::zeros(2, 2);
+        let wd = WeightDecay::new(0.1);
+        wd.apply(
+            &mut [ParamMut {
+                value: &mut w,
+                grad: &g,
+            }],
+            0.5,
+            true,
+        );
+        // factor = 1 - 0.5 * 0.1 = 0.95.
+        assert!(w.as_slice().iter().all(|&x| (x - 0.95).abs() < 1e-6));
+    }
+
+    #[test]
+    fn biases_can_be_excluded() {
+        let mut w = Matrix::filled(2, 2, 1.0);
+        let mut b = Matrix::filled(1, 2, 1.0);
+        let gw = Matrix::zeros(2, 2);
+        let gb = Matrix::zeros(1, 2);
+        let wd = WeightDecay::new(0.1);
+        wd.apply(
+            &mut [
+                ParamMut {
+                    value: &mut w,
+                    grad: &gw,
+                },
+                ParamMut {
+                    value: &mut b,
+                    grad: &gb,
+                },
+            ],
+            1.0,
+            false,
+        );
+        assert!(w.as_slice()[0] < 1.0);
+        assert_eq!(b.as_slice()[0], 1.0, "bias untouched");
+    }
+
+    #[test]
+    fn zero_decay_is_identity() {
+        let mut w = Matrix::filled(1, 3, 2.0);
+        let g = Matrix::zeros(1, 3);
+        WeightDecay::new(0.0).apply(
+            &mut [ParamMut {
+                value: &mut w,
+                grad: &g,
+            }],
+            0.1,
+            true,
+        );
+        assert!(w.as_slice().iter().all(|&x| x == 2.0));
+    }
+
+    #[test]
+    fn decayed_training_shrinks_norm_vs_undecayed() {
+        use crate::optimizer::{Adam, Optimizer};
+        // Minimize a flat loss (zero gradient): only decay acts.
+        let run = |wd_coef: f32| -> f32 {
+            let mut w = Matrix::filled(4, 4, 1.0);
+            let g = Matrix::zeros(4, 4);
+            let mut opt = Adam::new(0.01);
+            let wd = WeightDecay::new(wd_coef);
+            for _ in 0..100 {
+                let mut params = [ParamMut {
+                    value: &mut w,
+                    grad: &g,
+                }];
+                wd.apply(&mut params, opt.learning_rate(), true);
+                opt.step(&mut params);
+            }
+            w.norm()
+        };
+        assert!(run(1.0) < run(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_decay() {
+        let _ = WeightDecay::new(-0.1);
+    }
+}

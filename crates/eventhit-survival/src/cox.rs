@@ -1,0 +1,464 @@
+//! Cox proportional-hazards regression (Cox, 1972).
+//!
+//! Fits `h(t | x) = h_0(t) * exp(β·x)` by Newton–Raphson on the partial
+//! log-likelihood with Breslow's approximation for tied event times, and
+//! estimates the baseline cumulative hazard with the Breslow estimator so
+//! survival curves `S(t | x) = exp(-H_0(t) e^{β·x})` can be predicted for
+//! new covariates. This powers the paper's COX baseline (§VI.B item 7).
+
+use crate::linalg::{dot, norm, solve};
+
+/// One survival observation: covariates, the observed (possibly censored)
+/// time, and whether the event was observed (`true`) or censored (`false`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Subject {
+    /// Covariate vector.
+    pub x: Vec<f64>,
+    /// Observed time (event time if `observed`, censoring time otherwise).
+    pub time: f64,
+    /// True iff the event occurred at `time`.
+    pub observed: bool,
+}
+
+/// Configuration of the Newton–Raphson fitter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoxConfig {
+    /// Maximum Newton iterations.
+    pub max_iter: usize,
+    /// Convergence tolerance on the gradient norm.
+    pub tol: f64,
+    /// Ridge added to the Hessian diagonal for numerical stability.
+    pub ridge: f64,
+}
+
+impl Default for CoxConfig {
+    fn default() -> Self {
+        CoxConfig {
+            max_iter: 50,
+            tol: 1e-6,
+            ridge: 1e-6,
+        }
+    }
+}
+
+/// A fitted Cox proportional-hazards model.
+#[derive(Debug, Clone)]
+pub struct CoxModel {
+    /// Fitted coefficients `β`.
+    pub beta: Vec<f64>,
+    /// Final partial log-likelihood.
+    pub log_likelihood: f64,
+    /// Newton iterations used.
+    pub iterations: usize,
+    /// Breslow baseline cumulative hazard, as `(time, H_0(time))` pairs in
+    /// increasing time order.
+    pub baseline_hazard: Vec<(f64, f64)>,
+}
+
+/// Errors from fitting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoxError {
+    /// Fewer than one observed (uncensored) event.
+    NoEvents,
+    /// Covariate dimensions disagree across subjects.
+    DimensionMismatch,
+    /// The Newton system was singular and could not be regularized.
+    Singular,
+}
+
+impl std::fmt::Display for CoxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoxError::NoEvents => write!(f, "no observed events in the sample"),
+            CoxError::DimensionMismatch => write!(f, "covariate dimension mismatch"),
+            CoxError::Singular => write!(f, "singular Newton system"),
+        }
+    }
+}
+
+impl std::error::Error for CoxError {}
+
+/// Computes the Breslow partial log-likelihood, gradient, and Hessian at
+/// `beta`. Subjects must be sorted by descending time so risk sets can be
+/// accumulated incrementally.
+fn partial_likelihood(sorted: &[&Subject], beta: &[f64]) -> (f64, Vec<f64>, Vec<f64>) {
+    let d = beta.len();
+    let mut loglik = 0.0;
+    let mut grad = vec![0.0; d];
+    let mut hess = vec![0.0; d * d];
+
+    // Risk-set accumulators: S0 = Σ e^{βx}, S1 = Σ x e^{βx},
+    // S2 = Σ x xᵀ e^{βx} over subjects with time >= current.
+    let mut s0 = 0.0f64;
+    let mut s1 = vec![0.0; d];
+    let mut s2 = vec![0.0; d * d];
+
+    let mut i = 0;
+    while i < sorted.len() {
+        let t = sorted[i].time;
+        // Add everyone with this time to the risk set (ties enter together).
+        let mut j = i;
+        while j < sorted.len() && sorted[j].time == t {
+            let subj = sorted[j];
+            let w = dot(&subj.x, beta).exp();
+            s0 += w;
+            for a in 0..d {
+                s1[a] += subj.x[a] * w;
+                for b in 0..d {
+                    s2[a * d + b] += subj.x[a] * subj.x[b] * w;
+                }
+            }
+            j += 1;
+        }
+        // Breslow: each event at this time contributes against the same
+        // risk-set sums.
+        for subj in &sorted[i..j] {
+            if !subj.observed {
+                continue;
+            }
+            loglik += dot(&subj.x, beta) - s0.ln();
+            for a in 0..d {
+                let mean_a = s1[a] / s0;
+                grad[a] += subj.x[a] - mean_a;
+                for b in 0..d {
+                    let mean_b = s1[b] / s0;
+                    hess[a * d + b] -= s2[a * d + b] / s0 - mean_a * mean_b;
+                }
+            }
+        }
+        i = j;
+    }
+    (loglik, grad, hess)
+}
+
+impl CoxModel {
+    /// Fits the model to `subjects`.
+    pub fn fit(subjects: &[Subject], config: &CoxConfig) -> Result<CoxModel, CoxError> {
+        let n_events = subjects.iter().filter(|s| s.observed).count();
+        if n_events == 0 {
+            return Err(CoxError::NoEvents);
+        }
+        let d = subjects[0].x.len();
+        if subjects.iter().any(|s| s.x.len() != d) {
+            return Err(CoxError::DimensionMismatch);
+        }
+
+        // Sort descending by time; ties keep input order (irrelevant).
+        let mut sorted: Vec<&Subject> = subjects.iter().collect();
+        sorted.sort_by(|a, b| b.time.total_cmp(&a.time));
+
+        let mut beta = vec![0.0; d];
+        let (mut loglik, mut grad, mut hess) = partial_likelihood(&sorted, &beta);
+        let mut iterations = 0;
+
+        for iter in 0..config.max_iter {
+            iterations = iter + 1;
+            if norm(&grad) < config.tol {
+                break;
+            }
+            // Newton step: solve (-H + ridge I) Δ = grad.
+            let mut neg_h = hess.iter().map(|&v| -v).collect::<Vec<f64>>();
+            for a in 0..d {
+                neg_h[a * d + a] += config.ridge;
+            }
+            let delta = solve(&neg_h, &grad, d).ok_or(CoxError::Singular)?;
+
+            // Step halving to guarantee likelihood ascent.
+            let mut step = 1.0;
+            let mut improved = false;
+            for _ in 0..20 {
+                let candidate: Vec<f64> = beta
+                    .iter()
+                    .zip(&delta)
+                    .map(|(&b, &dl)| b + step * dl)
+                    .collect();
+                let (ll, g, h) = partial_likelihood(&sorted, &candidate);
+                if ll > loglik - 1e-12 {
+                    beta = candidate;
+                    loglik = ll;
+                    grad = g;
+                    hess = h;
+                    improved = true;
+                    break;
+                }
+                step *= 0.5;
+            }
+            if !improved {
+                break;
+            }
+        }
+
+        let baseline_hazard = breslow_baseline(&sorted, &beta);
+        Ok(CoxModel {
+            beta,
+            log_likelihood: loglik,
+            iterations,
+            baseline_hazard,
+        })
+    }
+
+    /// Linear predictor `β·x`.
+    pub fn linear_predictor(&self, x: &[f64]) -> f64 {
+        dot(&self.beta, x)
+    }
+
+    /// Relative risk `exp(β·x)`.
+    pub fn risk(&self, x: &[f64]) -> f64 {
+        self.linear_predictor(x).exp()
+    }
+
+    /// Baseline cumulative hazard `H_0(t)` (step function, right-continuous).
+    pub fn cumulative_hazard(&self, t: f64) -> f64 {
+        // baseline_hazard is sorted by time ascending.
+        match self
+            .baseline_hazard
+            .partition_point(|&(ti, _)| ti <= t)
+            .checked_sub(1)
+        {
+            Some(idx) => self.baseline_hazard[idx].1,
+            None => 0.0,
+        }
+    }
+
+    /// Predicted survival probability `S(t | x)`.
+    pub fn survival(&self, x: &[f64], t: f64) -> f64 {
+        (-self.cumulative_hazard(t) * self.risk(x)).exp()
+    }
+
+    /// Predicted survival curve at the given times.
+    pub fn survival_curve(&self, x: &[f64], times: &[f64]) -> Vec<f64> {
+        times.iter().map(|&t| self.survival(x, t)).collect()
+    }
+}
+
+/// Breslow estimator of the baseline cumulative hazard:
+/// `H_0(t) = Σ_{t_i <= t} d_i / S0(t_i)` over distinct event times.
+fn breslow_baseline(sorted_desc: &[&Subject], beta: &[f64]) -> Vec<(f64, f64)> {
+    // Walk descending, accumulating risk-set S0, recording d_i / S0 per
+    // distinct event time; then reverse and cumulate.
+    let mut increments: Vec<(f64, f64)> = Vec::new();
+    let mut s0 = 0.0;
+    let mut i = 0;
+    while i < sorted_desc.len() {
+        let t = sorted_desc[i].time;
+        let mut j = i;
+        let mut deaths = 0u32;
+        while j < sorted_desc.len() && sorted_desc[j].time == t {
+            s0 += dot(&sorted_desc[j].x, beta).exp();
+            if sorted_desc[j].observed {
+                deaths += 1;
+            }
+            j += 1;
+        }
+        if deaths > 0 {
+            increments.push((t, deaths as f64 / s0));
+        }
+        i = j;
+    }
+    increments.reverse();
+    let mut cum = 0.0;
+    increments
+        .into_iter()
+        .map(|(t, inc)| {
+            cum += inc;
+            (t, cum)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn subject(x: Vec<f64>, time: f64, observed: bool) -> Subject {
+        Subject { x, time, observed }
+    }
+
+    #[test]
+    fn rejects_all_censored() {
+        let subs = vec![subject(vec![1.0], 1.0, false)];
+        assert_eq!(
+            CoxModel::fit(&subs, &CoxConfig::default()).unwrap_err(),
+            CoxError::NoEvents
+        );
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch() {
+        let subs = vec![
+            subject(vec![1.0], 1.0, true),
+            subject(vec![1.0, 2.0], 2.0, true),
+        ];
+        assert_eq!(
+            CoxModel::fit(&subs, &CoxConfig::default()).unwrap_err(),
+            CoxError::DimensionMismatch
+        );
+    }
+
+    #[test]
+    fn partial_likelihood_hand_computed_at_zero() {
+        // Three subjects, times 1 < 2 < 3, all observed, scalar covariate.
+        // At beta = 0: loglik = ln(1/3) + ln(1/2) + ln(1/1) = -ln 6.
+        let subs = [
+            subject(vec![0.5], 1.0, true),
+            subject(vec![-0.5], 2.0, true),
+            subject(vec![1.0], 3.0, true),
+        ];
+        let sorted: Vec<&Subject> = {
+            let mut v: Vec<&Subject> = subs.iter().collect();
+            v.sort_by(|a, b| b.time.total_cmp(&a.time));
+            v
+        };
+        let (ll, _, _) = partial_likelihood(&sorted, &[0.0]);
+        assert!((ll - (-(6.0f64).ln())).abs() < 1e-10, "ll={ll}");
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let subs: Vec<Subject> = (0..30)
+            .map(|_| {
+                subject(
+                    vec![rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0)],
+                    rng.random_range(0.1..10.0),
+                    rng.random::<f64>() < 0.7,
+                )
+            })
+            .collect();
+        let sorted: Vec<&Subject> = {
+            let mut v: Vec<&Subject> = subs.iter().collect();
+            v.sort_by(|a, b| b.time.total_cmp(&a.time));
+            v
+        };
+        let beta = vec![0.3, -0.7];
+        let (_, grad, _) = partial_likelihood(&sorted, &beta);
+        let eps = 1e-5;
+        for k in 0..2 {
+            let mut bp = beta.clone();
+            bp[k] += eps;
+            let (lp, _, _) = partial_likelihood(&sorted, &bp);
+            bp[k] -= 2.0 * eps;
+            let (lm, _, _) = partial_likelihood(&sorted, &bp);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grad[k]).abs() < 1e-5,
+                "k={k}: {numeric} vs {}",
+                grad[k]
+            );
+        }
+    }
+
+    #[test]
+    fn recovers_known_coefficient() {
+        // Exponential survival with hazard rate exp(beta * x), beta = 1.5.
+        let mut rng = StdRng::seed_from_u64(7);
+        let beta_true = 1.5;
+        let subs: Vec<Subject> = (0..800)
+            .map(|_| {
+                let x: f64 = rng.random_range(-1.0..1.0);
+                let rate = (beta_true * x).exp();
+                let u: f64 = 1.0 - rng.random::<f64>();
+                let t = -u.ln() / rate;
+                subject(vec![x], t, true)
+            })
+            .collect();
+        let model = CoxModel::fit(&subs, &CoxConfig::default()).unwrap();
+        assert!(
+            (model.beta[0] - beta_true).abs() < 0.15,
+            "beta={} (true {beta_true})",
+            model.beta[0]
+        );
+    }
+
+    #[test]
+    fn handles_censoring() {
+        // Same generative process but censor half the sample at random
+        // times; the estimate should remain consistent.
+        let mut rng = StdRng::seed_from_u64(8);
+        let beta_true = 1.0;
+        let subs: Vec<Subject> = (0..1200)
+            .map(|_| {
+                let x: f64 = rng.random_range(-1.0..1.0);
+                let rate = (beta_true * x).exp();
+                let u: f64 = 1.0 - rng.random::<f64>();
+                let t_event = -u.ln() / rate;
+                let t_cens = rng.random_range(0.1..3.0);
+                if t_event <= t_cens {
+                    subject(vec![x], t_event, true)
+                } else {
+                    subject(vec![x], t_cens, false)
+                }
+            })
+            .collect();
+        let model = CoxModel::fit(&subs, &CoxConfig::default()).unwrap();
+        assert!(
+            (model.beta[0] - beta_true).abs() < 0.2,
+            "beta={} (true {beta_true})",
+            model.beta[0]
+        );
+    }
+
+    #[test]
+    fn survival_curve_is_monotone_decreasing() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let subs: Vec<Subject> = (0..100)
+            .map(|_| {
+                subject(
+                    vec![rng.random_range(-1.0..1.0)],
+                    rng.random_range(0.1..5.0),
+                    true,
+                )
+            })
+            .collect();
+        let model = CoxModel::fit(&subs, &CoxConfig::default()).unwrap();
+        let times: Vec<f64> = (0..50).map(|i| i as f64 * 0.1).collect();
+        let curve = model.survival_curve(&[0.5], &times);
+        assert!((curve[0] - 1.0).abs() < 1e-9 || curve[0] <= 1.0);
+        for w in curve.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+        assert!(curve.iter().all(|&s| (0.0..=1.0).contains(&s)));
+    }
+
+    #[test]
+    fn higher_risk_covariate_has_lower_survival() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let subs: Vec<Subject> = (0..400)
+            .map(|_| {
+                let x: f64 = rng.random_range(-1.0..1.0);
+                let rate = (1.2 * x).exp();
+                let u: f64 = 1.0 - rng.random::<f64>();
+                subject(vec![x], -u.ln() / rate, true)
+            })
+            .collect();
+        let model = CoxModel::fit(&subs, &CoxConfig::default()).unwrap();
+        let t = 0.8;
+        assert!(model.survival(&[1.0], t) < model.survival(&[-1.0], t));
+    }
+
+    #[test]
+    fn cumulative_hazard_before_first_event_is_zero() {
+        let subs = vec![subject(vec![0.0], 5.0, true), subject(vec![0.0], 6.0, true)];
+        let model = CoxModel::fit(&subs, &CoxConfig::default()).unwrap();
+        assert_eq!(model.cumulative_hazard(1.0), 0.0);
+        assert!(model.cumulative_hazard(5.0) > 0.0);
+        // Survival at t=0 is exactly 1.
+        assert_eq!(model.survival(&[0.0], 0.0), 1.0);
+    }
+
+    #[test]
+    fn breslow_handles_ties() {
+        // Two events at the same time must both contribute.
+        let subs = vec![
+            subject(vec![0.0], 2.0, true),
+            subject(vec![0.0], 2.0, true),
+            subject(vec![0.0], 3.0, false),
+        ];
+        let model = CoxModel::fit(&subs, &CoxConfig::default()).unwrap();
+        // At beta=0 (single constant covariate has no signal so beta ~ 0):
+        // H0(2) = 2 deaths / 3 at risk = 2/3.
+        assert!((model.cumulative_hazard(2.5) - 2.0 / 3.0).abs() < 1e-6);
+    }
+}

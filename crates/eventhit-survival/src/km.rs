@@ -1,0 +1,127 @@
+//! Kaplan–Meier product-limit estimator of the survival function.
+
+/// A fitted Kaplan–Meier curve: `(time, S(time))` steps in increasing time
+/// order. `S` is right-continuous; `S(t) = 1` before the first event time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KaplanMeier {
+    steps: Vec<(f64, f64)>,
+}
+
+impl KaplanMeier {
+    /// Fits from `(time, observed)` pairs — `observed = false` marks a
+    /// censored observation.
+    ///
+    /// # Panics
+    /// Panics on an empty sample or non-finite times.
+    pub fn fit(observations: &[(f64, bool)]) -> Self {
+        assert!(!observations.is_empty(), "empty sample");
+        assert!(
+            observations.iter().all(|&(t, _)| t.is_finite() && t >= 0.0),
+            "times must be finite and non-negative"
+        );
+        let mut sorted: Vec<(f64, bool)> = observations.to_vec();
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+        let mut steps = Vec::new();
+        let mut at_risk = sorted.len() as f64;
+        let mut survival = 1.0;
+        let mut i = 0;
+        while i < sorted.len() {
+            let t = sorted[i].0;
+            let mut deaths = 0.0;
+            let mut leaving = 0.0;
+            while i < sorted.len() && sorted[i].0 == t {
+                if sorted[i].1 {
+                    deaths += 1.0;
+                }
+                leaving += 1.0;
+                i += 1;
+            }
+            if deaths > 0.0 {
+                survival *= 1.0 - deaths / at_risk;
+                steps.push((t, survival));
+            }
+            at_risk -= leaving;
+        }
+        KaplanMeier { steps }
+    }
+
+    /// Survival probability at time `t`.
+    pub fn survival(&self, t: f64) -> f64 {
+        match self
+            .steps
+            .partition_point(|&(ti, _)| ti <= t)
+            .checked_sub(1)
+        {
+            Some(idx) => self.steps[idx].1,
+            None => 1.0,
+        }
+    }
+
+    /// The step points `(time, S(time))`.
+    pub fn steps(&self) -> &[(f64, f64)] {
+        &self.steps
+    }
+
+    /// Median survival time: the earliest time with `S(t) <= 0.5`, if the
+    /// curve drops that low.
+    pub fn median(&self) -> Option<f64> {
+        self.steps.iter().find(|&&(_, s)| s <= 0.5).map(|&(t, _)| t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_example() {
+        // Classic example: times 1, 2+, 3, 4+ (+ = censored).
+        // S(1) = 3/4; S(3) = 3/4 * (1 - 1/2) = 3/8.
+        let km = KaplanMeier::fit(&[(1.0, true), (2.0, false), (3.0, true), (4.0, false)]);
+        assert!((km.survival(1.0) - 0.75).abs() < 1e-12);
+        assert!((km.survival(2.5) - 0.75).abs() < 1e-12);
+        assert!((km.survival(3.0) - 0.375).abs() < 1e-12);
+        assert!((km.survival(10.0) - 0.375).abs() < 1e-12);
+        assert_eq!(km.survival(0.5), 1.0);
+    }
+
+    #[test]
+    fn all_observed_steps_to_zero() {
+        let km = KaplanMeier::fit(&[(1.0, true), (2.0, true), (3.0, true)]);
+        assert!(km.survival(3.0).abs() < 1e-12);
+        assert_eq!(km.median(), Some(2.0));
+    }
+
+    #[test]
+    fn all_censored_stays_at_one() {
+        let km = KaplanMeier::fit(&[(1.0, false), (2.0, false)]);
+        assert_eq!(km.survival(100.0), 1.0);
+        assert_eq!(km.median(), None);
+        assert!(km.steps().is_empty());
+    }
+
+    #[test]
+    fn tied_event_times() {
+        // Two deaths at t=1 among 4 at risk: S(1) = 1/2.
+        let km = KaplanMeier::fit(&[(1.0, true), (1.0, true), (2.0, false), (3.0, false)]);
+        assert!((km.survival(1.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_non_increasing() {
+        let obs: Vec<(f64, bool)> = (1..50).map(|i| (i as f64, i % 3 != 0)).collect();
+        let km = KaplanMeier::fit(&obs);
+        let mut prev = 1.0;
+        for &(_, s) in km.steps() {
+            assert!(s <= prev + 1e-12);
+            prev = s;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn rejects_empty() {
+        let _ = KaplanMeier::fit(&[]);
+    }
+}

@@ -1,0 +1,19 @@
+//! # eventhit-survival
+//!
+//! Survival-analysis substrate for the EventHit reproduction: a Cox
+//! proportional-hazards model fitted by Newton–Raphson on the Breslow
+//! partial likelihood, the Breslow baseline cumulative-hazard estimator,
+//! and a Kaplan–Meier product-limit estimator.
+//!
+//! These power the paper's COX baseline (§VI.B item 7), which regresses
+//! survival ("time until the event") on window covariates and relays the
+//! horizon suffix once the predicted event probability crosses a threshold.
+
+pub mod cox;
+pub mod km;
+pub mod linalg;
+pub mod weibull;
+
+pub use cox::{CoxConfig, CoxError, CoxModel, Subject};
+pub use km::KaplanMeier;
+pub use weibull::{WeibullError, WeibullModel};

@@ -1,0 +1,129 @@
+//! Small dense `f64` linear algebra for the Newton–Raphson Cox fitter.
+//!
+//! The Cox model's Hessian is `d x d` with `d` in the tens, so a simple LU
+//! solve with partial pivoting is plenty.
+
+/// Solves `A x = b` for square `A` (row-major, `n x n`) via LU decomposition
+/// with partial pivoting. Returns `None` if `A` is singular to working
+/// precision.
+pub fn solve(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
+    assert_eq!(a.len(), n * n, "matrix size mismatch");
+    assert_eq!(b.len(), n, "rhs size mismatch");
+    let mut lu = a.to_vec();
+    let mut x = b.to_vec();
+    let mut perm: Vec<usize> = (0..n).collect();
+
+    for col in 0..n {
+        // Partial pivot.
+        let mut pivot = col;
+        let mut max = lu[perm[col] * n + col].abs();
+        for (r, &pr) in perm.iter().enumerate().skip(col + 1) {
+            let v = lu[pr * n + col].abs();
+            if v > max {
+                max = v;
+                pivot = r;
+            }
+        }
+        if max < 1e-12 {
+            return None;
+        }
+        perm.swap(col, pivot);
+        let prow = perm[col];
+        let pivot_val = lu[prow * n + col];
+        for &r in &perm[col + 1..] {
+            let factor = lu[r * n + col] / pivot_val;
+            lu[r * n + col] = factor;
+            for c in col + 1..n {
+                lu[r * n + c] -= factor * lu[prow * n + c];
+            }
+        }
+    }
+
+    // Forward substitution (Ly = Pb).
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut acc = x[perm[i]];
+        for j in 0..i {
+            acc -= lu[perm[i] * n + j] * y[j];
+        }
+        y[i] = acc;
+    }
+    // Back substitution (Ux = y).
+    for i in (0..n).rev() {
+        let mut acc = y[i];
+        for j in i + 1..n {
+            acc -= lu[perm[i] * n + j] * x[j];
+        }
+        x[i] = acc / lu[perm[i] * n + i];
+    }
+    Some(x)
+}
+
+/// Dot product.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// Euclidean norm.
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_identity() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let b = vec![3.0, -4.0];
+        let x = solve(&a, &b, 2).unwrap();
+        assert_eq!(x, b);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // [2 1; 1 3] x = [5; 10] => x = [1; 3].
+        let a = vec![2.0, 1.0, 1.0, 3.0];
+        let b = vec![5.0, 10.0];
+        let x = solve(&a, &b, 2).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero on the diagonal: needs row swap.
+        let a = vec![0.0, 1.0, 1.0, 0.0];
+        let b = vec![2.0, 7.0];
+        let x = solve(&a, &b, 2).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-10);
+        assert!((x[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn solve_detects_singular() {
+        let a = vec![1.0, 2.0, 2.0, 4.0];
+        assert!(solve(&a, &[1.0, 2.0], 2).is_none());
+    }
+
+    #[test]
+    fn solve_3x3_round_trip() {
+        let a = vec![4.0, 1.0, 2.0, 1.0, 5.0, 1.0, 2.0, 1.0, 6.0];
+        let x_true = [1.0, -2.0, 0.5];
+        let b: Vec<f64> = (0..3)
+            .map(|i| (0..3).map(|j| a[i * 3 + j] * x_true[j]).sum())
+            .collect();
+        let x = solve(&a, &b, 3).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert!((norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,270 @@
+//! Ground-truth annotation import/export.
+//!
+//! Lets users bring their own videos: run any detector to produce per-frame
+//! features, and provide event annotations in a simple line-oriented text
+//! format (in the spirit of VIRAT's annotation files):
+//!
+//! ```text
+//! # eventhit-annotations v1
+//! # stream_len <N>
+//! # class <id> <name>
+//! <class_id> <start_frame> <end_frame>
+//! ```
+//!
+//! Lines starting with `#` are directives or comments; data lines are
+//! whitespace-separated `class start end` triples with inclusive frame
+//! ranges.
+
+use std::fmt::Write as _;
+
+use crate::event::{EventClass, EventInstance, OccurrenceInterval};
+use crate::stream::VideoStream;
+
+/// Errors from parsing an annotation document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnnotationError {
+    /// The version header is missing or unsupported.
+    BadHeader,
+    /// A malformed line, with its 1-based line number.
+    Malformed(usize),
+    /// An instance references an undeclared class id.
+    UnknownClass(usize),
+    /// An instance lies outside the declared stream length.
+    OutOfBounds(usize),
+    /// `stream_len` directive missing.
+    MissingStreamLen,
+}
+
+impl std::fmt::Display for AnnotationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnnotationError::BadHeader => write!(f, "missing or unsupported header"),
+            AnnotationError::Malformed(l) => write!(f, "malformed annotation at line {l}"),
+            AnnotationError::UnknownClass(l) => write!(f, "unknown class id at line {l}"),
+            AnnotationError::OutOfBounds(l) => write!(f, "instance out of bounds at line {l}"),
+            AnnotationError::MissingStreamLen => write!(f, "missing stream_len directive"),
+        }
+    }
+}
+
+impl std::error::Error for AnnotationError {}
+
+/// Serializes a stream's ground truth to the annotation format.
+pub fn to_annotation_text(stream: &VideoStream) -> String {
+    let mut out = String::new();
+    out.push_str("# eventhit-annotations v1\n");
+    let _ = writeln!(out, "# stream_len {}", stream.len);
+    for (id, class) in stream.classes.iter().enumerate() {
+        let _ = writeln!(out, "# class {id} {}", class.name.replace('\n', " "));
+    }
+    for inst in &stream.instances {
+        let _ = writeln!(
+            out,
+            "{} {} {}",
+            inst.class, inst.interval.start, inst.interval.end
+        );
+    }
+    out
+}
+
+/// Parses an annotation document into a [`VideoStream`].
+///
+/// Classes declared in the header get placeholder generator statistics
+/// (irrelevant when the stream's features come from a real detector, not
+/// the synthetic generator).
+pub fn from_annotation_text(text: &str) -> Result<VideoStream, AnnotationError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, l)) if l.trim() == "# eventhit-annotations v1" => {}
+        _ => return Err(AnnotationError::BadHeader),
+    }
+
+    let mut stream_len: Option<u64> = None;
+    let mut classes: Vec<EventClass> = Vec::new();
+    let mut instances: Vec<EventInstance> = Vec::new();
+
+    for (idx, raw) in lines {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim();
+            if let Some(v) = rest.strip_prefix("stream_len ") {
+                stream_len = Some(
+                    v.trim()
+                        .parse()
+                        .map_err(|_| AnnotationError::Malformed(line_no))?,
+                );
+            } else if let Some(v) = rest.strip_prefix("class ") {
+                let mut parts = v.splitn(2, ' ');
+                let id: usize = parts
+                    .next()
+                    .and_then(|p| p.parse().ok())
+                    .ok_or(AnnotationError::Malformed(line_no))?;
+                let name = parts.next().unwrap_or("").trim().to_string();
+                if id != classes.len() {
+                    return Err(AnnotationError::Malformed(line_no));
+                }
+                classes.push(EventClass {
+                    name,
+                    paper_id: format!("C{id}"),
+                    occurrences: 0,
+                    duration_mean: 1.0,
+                    duration_std: 0.0,
+                    lead_mean: 1.0,
+                    lead_std: 0.0,
+                    feature_noise: 0.0,
+                });
+            }
+            // Other comments ignored.
+            continue;
+        }
+
+        let mut parts = line.split_whitespace();
+        let class: usize = parts
+            .next()
+            .and_then(|p| p.parse().ok())
+            .ok_or(AnnotationError::Malformed(line_no))?;
+        let start: u64 = parts
+            .next()
+            .and_then(|p| p.parse().ok())
+            .ok_or(AnnotationError::Malformed(line_no))?;
+        let end: u64 = parts
+            .next()
+            .and_then(|p| p.parse().ok())
+            .ok_or(AnnotationError::Malformed(line_no))?;
+        if parts.next().is_some() || start > end {
+            return Err(AnnotationError::Malformed(line_no));
+        }
+        if class >= classes.len() {
+            return Err(AnnotationError::UnknownClass(line_no));
+        }
+        let len = stream_len.ok_or(AnnotationError::MissingStreamLen)?;
+        if end >= len {
+            return Err(AnnotationError::OutOfBounds(line_no));
+        }
+        instances.push(EventInstance {
+            class,
+            interval: OccurrenceInterval::new(start, end),
+        });
+    }
+
+    let len = stream_len.ok_or(AnnotationError::MissingStreamLen)?;
+    instances.sort_by_key(|i| (i.class, i.interval.start));
+    // Fill in observed occurrence counts.
+    for (id, class) in classes.iter_mut().enumerate() {
+        class.occurrences = instances.iter().filter(|i| i.class == id).count() as u32;
+    }
+    Ok(VideoStream {
+        len,
+        classes,
+        instances,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic;
+
+    #[test]
+    fn round_trip_preserves_ground_truth() {
+        let stream = VideoStream::generate(&synthetic::thumos().scaled(0.05), 3);
+        let text = to_annotation_text(&stream);
+        let parsed = from_annotation_text(&text).unwrap();
+        assert_eq!(parsed.len, stream.len);
+        assert_eq!(parsed.instances, stream.instances);
+        assert_eq!(parsed.classes.len(), stream.classes.len());
+        for (a, b) in parsed.classes.iter().zip(&stream.classes) {
+            assert_eq!(a.name, b.name);
+        }
+    }
+
+    #[test]
+    fn parses_hand_written_document() {
+        let text = "\
+# eventhit-annotations v1
+# stream_len 1000
+# class 0 Truck arrival
+# class 1 Gate opening
+
+0 100 150
+1 140 160
+0 700 720
+";
+        let s = from_annotation_text(text).unwrap();
+        assert_eq!(s.len, 1000);
+        assert_eq!(s.classes[1].name, "Gate opening");
+        assert_eq!(s.count_of(0), 2);
+        assert_eq!(s.count_of(1), 1);
+        assert_eq!(s.classes[0].occurrences, 2);
+        // Sorted by (class, start).
+        assert!(s.instances[0].interval.start < s.instances[1].interval.start);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(matches!(
+            from_annotation_text("hello"),
+            Err(AnnotationError::BadHeader)
+        ));
+        assert!(matches!(
+            from_annotation_text(""),
+            Err(AnnotationError::BadHeader)
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let text = "# eventhit-annotations v1\n# stream_len 100\n# class 0 x\n0 nonsense 5\n";
+        assert!(matches!(
+            from_annotation_text(text),
+            Err(AnnotationError::Malformed(4))
+        ));
+        let text = "# eventhit-annotations v1\n# stream_len 100\n# class 0 x\n0 9 5\n";
+        assert!(matches!(
+            from_annotation_text(text),
+            Err(AnnotationError::Malformed(4))
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_class_and_out_of_bounds() {
+        let text = "# eventhit-annotations v1\n# stream_len 100\n# class 0 x\n3 1 5\n";
+        assert!(matches!(
+            from_annotation_text(text),
+            Err(AnnotationError::UnknownClass(4))
+        ));
+        let text = "# eventhit-annotations v1\n# stream_len 100\n# class 0 x\n0 50 150\n";
+        assert!(matches!(
+            from_annotation_text(text),
+            Err(AnnotationError::OutOfBounds(4))
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_stream_len() {
+        let text = "# eventhit-annotations v1\n# class 0 x\n0 1 5\n";
+        assert!(matches!(
+            from_annotation_text(text),
+            Err(AnnotationError::MissingStreamLen)
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_order_class_ids() {
+        let text = "# eventhit-annotations v1\n# stream_len 100\n# class 1 x\n";
+        assert!(matches!(
+            from_annotation_text(text),
+            Err(AnnotationError::Malformed(3))
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = AnnotationError::Malformed(7);
+        assert!(e.to_string().contains("line 7"));
+    }
+}

@@ -1,0 +1,247 @@
+//! Dataset assembly: temporal train / calibration / test splits of triplet
+//! records, as in §II (training data is sampled from the beginning of the
+//! stream) and §IV/§V (calibration sets sampled the same way).
+
+use eventhit_nn::matrix::Matrix;
+
+use crate::records::{extract_record, Record};
+use crate::stream::VideoStream;
+
+/// Fractions of the stream (by frame range) assigned to each split, plus
+/// the anchor sampling stride.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitSpec {
+    /// Fraction of frames for the training range (from the stream start).
+    pub train_frac: f64,
+    /// Fraction for the calibration range (immediately after training).
+    pub calib_frac: f64,
+    /// Anchor stride in frames (one record every `stride` frames).
+    pub stride: u64,
+}
+
+impl Default for SplitSpec {
+    fn default() -> Self {
+        SplitSpec {
+            train_frac: 0.5,
+            calib_frac: 0.25,
+            stride: 50,
+        }
+    }
+}
+
+impl SplitSpec {
+    /// Validates the fractions.
+    pub fn validate(&self) {
+        assert!(
+            self.train_frac > 0.0 && self.calib_frac >= 0.0,
+            "invalid split fractions"
+        );
+        assert!(
+            self.train_frac + self.calib_frac < 1.0,
+            "no frames left for the test split"
+        );
+        assert!(self.stride > 0, "stride must be positive");
+    }
+}
+
+/// Records partitioned into train / calibration / test splits.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Training records (`D_train`).
+    pub train: Vec<Record>,
+    /// Calibration records (`D_c-calib` / `D_r-calib`).
+    pub calib: Vec<Record>,
+    /// Held-out test records (`P_test`).
+    pub test: Vec<Record>,
+    /// Collection-window size `M`.
+    pub m: usize,
+    /// Horizon length `H`.
+    pub h: usize,
+    /// Feature dimensionality `D`.
+    pub d: usize,
+}
+
+impl Dataset {
+    /// Builds a dataset from a stream and its precomputed feature matrix.
+    ///
+    /// Anchors run from `m - 1` to `len - h - 1` with the given stride and
+    /// are assigned to splits by their frame position (temporal split, no
+    /// leakage: a record's horizon never crosses into the next split's
+    /// training-relevant region because splits are contiguous ranges).
+    pub fn build(
+        stream: &VideoStream,
+        features: &Matrix,
+        m: usize,
+        h: usize,
+        spec: &SplitSpec,
+    ) -> Dataset {
+        spec.validate();
+        assert_eq!(
+            features.rows() as u64,
+            stream.len,
+            "feature matrix length mismatch"
+        );
+        assert!(
+            stream.len > (m + h) as u64,
+            "stream too short for window {m} + horizon {h}"
+        );
+
+        let train_end = (stream.len as f64 * spec.train_frac) as u64;
+        let calib_end = (stream.len as f64 * (spec.train_frac + spec.calib_frac)) as u64;
+
+        let mut train = Vec::new();
+        let mut calib = Vec::new();
+        let mut test = Vec::new();
+
+        let first = m as u64 - 1;
+        let last = stream.len - h as u64 - 1;
+        let mut anchor = first;
+        while anchor <= last {
+            let record = extract_record(stream, features, anchor, m, h);
+            if anchor < train_end {
+                train.push(record);
+            } else if anchor < calib_end {
+                calib.push(record);
+            } else {
+                test.push(record);
+            }
+            anchor += spec.stride;
+        }
+
+        Dataset {
+            train,
+            calib,
+            test,
+            m,
+            h,
+            d: features.cols(),
+        }
+    }
+
+    /// Number of records across all splits.
+    pub fn len(&self) -> usize {
+        self.train.len() + self.calib.len() + self.test.len()
+    }
+
+    /// True when no records were extracted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fraction of records in `split` whose horizon contains event `k`.
+    pub fn positive_rate(records: &[Record], k: usize) -> f64 {
+        if records.is_empty() {
+            return 0.0;
+        }
+        let pos = records.iter().filter(|r| r.labels[k].present).count();
+        pos as f64 / records.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{extract, FeatureConfig};
+    use crate::synthetic;
+
+    fn tiny_setup() -> (VideoStream, Matrix) {
+        let profile = synthetic::thumos().scaled(0.05);
+        let stream = VideoStream::generate(&profile, 1);
+        let features = extract(&stream, &FeatureConfig::default(), 2);
+        (stream, features)
+    }
+
+    #[test]
+    fn build_produces_all_splits() {
+        let (stream, features) = tiny_setup();
+        let ds = Dataset::build(&stream, &features, 10, 200, &SplitSpec::default());
+        assert!(!ds.train.is_empty());
+        assert!(!ds.calib.is_empty());
+        assert!(!ds.test.is_empty());
+        assert_eq!(ds.d, features.cols());
+    }
+
+    #[test]
+    fn splits_are_temporally_ordered() {
+        let (stream, features) = tiny_setup();
+        let ds = Dataset::build(&stream, &features, 10, 200, &SplitSpec::default());
+        let max_train = ds.train.iter().map(|r| r.anchor).max().unwrap();
+        let min_calib = ds.calib.iter().map(|r| r.anchor).min().unwrap();
+        let max_calib = ds.calib.iter().map(|r| r.anchor).max().unwrap();
+        let min_test = ds.test.iter().map(|r| r.anchor).min().unwrap();
+        assert!(max_train < min_calib);
+        assert!(max_calib < min_test);
+    }
+
+    #[test]
+    fn anchors_follow_stride() {
+        let (stream, features) = tiny_setup();
+        let spec = SplitSpec {
+            stride: 100,
+            ..Default::default()
+        };
+        let ds = Dataset::build(&stream, &features, 10, 200, &spec);
+        let mut anchors: Vec<u64> = ds
+            .train
+            .iter()
+            .chain(&ds.calib)
+            .chain(&ds.test)
+            .map(|r| r.anchor)
+            .collect();
+        anchors.sort_unstable();
+        for w in anchors.windows(2) {
+            assert_eq!(w[1] - w[0], 100);
+        }
+        assert_eq!(anchors[0], 9); // m - 1
+    }
+
+    #[test]
+    fn covariate_shape_matches_m_and_d() {
+        let (stream, features) = tiny_setup();
+        let ds = Dataset::build(&stream, &features, 10, 200, &SplitSpec::default());
+        for r in ds.train.iter().take(5) {
+            assert_eq!(r.covariates.shape(), (10, features.cols()));
+            assert_eq!(r.labels.len(), stream.classes.len());
+        }
+    }
+
+    #[test]
+    fn positive_rate_is_plausible() {
+        // Use a larger scale so every class has instances in every split.
+        let profile = synthetic::thumos().scaled(0.25);
+        let stream = VideoStream::generate(&profile, 1);
+        let features = extract(&stream, &FeatureConfig::default(), 2);
+        let ds = Dataset::build(&stream, &features, 10, 200, &SplitSpec::default());
+        for k in 0..stream.classes.len() {
+            let all: Vec<Record> = ds
+                .train
+                .iter()
+                .chain(&ds.calib)
+                .chain(&ds.test)
+                .cloned()
+                .collect();
+            let rate = Dataset::positive_rate(&all, k);
+            assert!(
+                (0.01..0.8).contains(&rate),
+                "class {k} positive rate {rate} out of expected range"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no frames left")]
+    fn rejects_degenerate_split() {
+        let (stream, features) = tiny_setup();
+        let spec = SplitSpec {
+            train_frac: 0.8,
+            calib_frac: 0.2,
+            stride: 50,
+        };
+        let _ = Dataset::build(&stream, &features, 10, 200, &spec);
+    }
+
+    #[test]
+    fn positive_rate_empty_records() {
+        assert_eq!(Dataset::positive_rate(&[], 0), 0.0);
+    }
+}

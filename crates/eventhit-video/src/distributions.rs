@@ -1,0 +1,209 @@
+//! Sampling primitives for the synthetic stream generator.
+//!
+//! Implemented on top of `rand`'s uniform source so the workspace does not
+//! need `rand_distr`: Box–Muller normals, truncated normals (rejection with
+//! clamping fallback), exponential inter-arrival gaps, and Knuth Poisson.
+
+use rand::Rng;
+
+/// One standard-normal sample (Box–Muller).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Normal sample with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(mean: f64, std: f64, rng: &mut R) -> f64 {
+    assert!(std >= 0.0, "standard deviation must be non-negative");
+    mean + std * standard_normal(rng)
+}
+
+/// Normal sample truncated to `[lo, hi]`.
+///
+/// Uses rejection sampling with a bounded number of attempts, then clamps;
+/// for the generator's use (truncating a few std devs around the mean) the
+/// clamp path is essentially never taken.
+pub fn truncated_normal<R: Rng + ?Sized>(
+    mean: f64,
+    std: f64,
+    lo: f64,
+    hi: f64,
+    rng: &mut R,
+) -> f64 {
+    assert!(lo <= hi, "invalid truncation bounds");
+    for _ in 0..64 {
+        let x = normal(mean, std, rng);
+        if (lo..=hi).contains(&x) {
+            return x;
+        }
+    }
+    normal(mean, std, rng).clamp(lo, hi)
+}
+
+/// Exponential sample with the given rate (events per frame).
+pub fn exponential<R: Rng + ?Sized>(rate: f64, rng: &mut R) -> f64 {
+    assert!(rate > 0.0, "rate must be positive");
+    let u: f64 = 1.0 - rng.random::<f64>();
+    -u.ln() / rate
+}
+
+/// Log-normal sample parameterized by the *target* mean and standard
+/// deviation of the resulting distribution (moment matching).
+///
+/// Durations of real-world activities are positive and right-skewed; a
+/// log-normal matches Table I's (mean, std) pairs even when the coefficient
+/// of variation exceeds 1 (e.g. E11: mean 97.2, std 107.5), where a
+/// truncated normal would badly distort the mean.
+pub fn lognormal_mean_std<R: Rng + ?Sized>(mean: f64, std: f64, rng: &mut R) -> f64 {
+    assert!(mean > 0.0, "mean must be positive");
+    assert!(std >= 0.0, "std must be non-negative");
+    if std == 0.0 {
+        return mean;
+    }
+    let cv2 = (std / mean).powi(2);
+    let sigma2 = (1.0 + cv2).ln();
+    let mu = mean.ln() - sigma2 / 2.0;
+    (mu + sigma2.sqrt() * standard_normal(rng)).exp()
+}
+
+/// Poisson sample.
+///
+/// Knuth's multiplication method for small `lambda`; for large `lambda`
+/// falls back to a rounded normal approximation (valid for the generator's
+/// use of background object counts).
+pub fn poisson<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> u64 {
+    assert!(lambda >= 0.0, "lambda must be non-negative");
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda > 30.0 {
+        let x = normal(lambda, lambda.sqrt(), rng);
+        return x.round().max(0.0) as u64;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.random::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Geometric sample: number of failures before the first success with
+/// success probability `p` (support `0, 1, 2, ...`).
+pub fn geometric<R: Rng + ?Sized>(p: f64, rng: &mut R) -> u64 {
+    assert!(p > 0.0 && p <= 1.0, "p must be in (0, 1]");
+    if p == 1.0 {
+        return 0;
+    }
+    let u: f64 = 1.0 - rng.random::<f64>();
+    (u.ln() / (1.0 - p).ln()).floor() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng(0);
+        let n = 40_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(5.0, 2.0, &mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean={mean}");
+        assert!((var - 4.0).abs() < 0.15, "var={var}");
+    }
+
+    #[test]
+    fn truncated_normal_respects_bounds() {
+        let mut r = rng(1);
+        for _ in 0..5_000 {
+            let x = truncated_normal(10.0, 20.0, 0.0, 15.0, &mut r);
+            assert!((0.0..=15.0).contains(&x), "x={x}");
+        }
+    }
+
+    #[test]
+    fn truncated_normal_keeps_mean_when_bounds_are_wide() {
+        let mut r = rng(2);
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|_| truncated_normal(3.0, 0.5, -100.0, 100.0, &mut r))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean={mean}");
+    }
+
+    #[test]
+    fn exponential_mean_is_inverse_rate() {
+        let mut r = rng(3);
+        let n = 40_000;
+        let mean: f64 = (0..n).map(|_| exponential(0.02, &mut r)).sum::<f64>() / n as f64;
+        assert!((mean - 50.0).abs() < 2.0, "mean={mean}");
+    }
+
+    #[test]
+    fn poisson_small_lambda_moments() {
+        let mut r = rng(4);
+        let n = 40_000;
+        let xs: Vec<u64> = (0..n).map(|_| poisson(3.5, &mut r)).collect();
+        let mean = xs.iter().sum::<u64>() as f64 / n as f64;
+        let var = xs.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.5).abs() < 0.1, "mean={mean}");
+        assert!((var - 3.5).abs() < 0.2, "var={var}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_uses_normal_approx() {
+        let mut r = rng(5);
+        let n = 20_000;
+        let mean = (0..n).map(|_| poisson(100.0, &mut r)).sum::<u64>() as f64 / n as f64;
+        assert!((mean - 100.0).abs() < 1.0, "mean={mean}");
+    }
+
+    #[test]
+    fn poisson_zero_lambda() {
+        let mut r = rng(6);
+        assert_eq!(poisson(0.0, &mut r), 0);
+    }
+
+    #[test]
+    fn geometric_mean() {
+        let mut r = rng(7);
+        let n = 40_000;
+        let p = 0.25;
+        let mean = (0..n).map(|_| geometric(p, &mut r)).sum::<u64>() as f64 / n as f64;
+        // E[failures before success] = (1-p)/p = 3.
+        assert!((mean - 3.0).abs() < 0.1, "mean={mean}");
+    }
+
+    #[test]
+    fn geometric_p_one_is_zero() {
+        let mut r = rng(8);
+        assert_eq!(geometric(1.0, &mut r), 0);
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let a: Vec<u64> = {
+            let mut r = rng(9);
+            (0..10).map(|_| poisson(4.0, &mut r)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = rng(9);
+            (0..10).map(|_| poisson(4.0, &mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

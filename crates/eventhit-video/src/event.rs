@@ -1,0 +1,172 @@
+//! Event types, instances, and occurrence intervals.
+
+/// Difficulty group from the paper's §VI.D analysis.
+///
+/// Group 1: short average duration and small standard deviation — easier to
+/// predict. Group 2: long average duration or large standard deviation —
+/// harder interval estimation and higher spillage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventGroup {
+    /// Short, regular events (E1–E4, E7–E10).
+    Group1,
+    /// Long or highly variable events (E5, E6, E11, E12).
+    Group2,
+}
+
+/// An inclusive frame interval `[start, end]` in which an event instance
+/// occurs (the paper's *occurrence interval*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OccurrenceInterval {
+    /// First frame of the occurrence (0-based stream index).
+    pub start: u64,
+    /// Last frame of the occurrence (inclusive).
+    pub end: u64,
+}
+
+impl OccurrenceInterval {
+    /// Creates an interval, panicking if `start > end`.
+    pub fn new(start: u64, end: u64) -> Self {
+        assert!(start <= end, "interval start {start} > end {end}");
+        OccurrenceInterval { start, end }
+    }
+
+    /// Number of frames covered (inclusive).
+    pub fn len(&self) -> u64 {
+        self.end - self.start + 1
+    }
+
+    /// Intervals are never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// True if `frame` lies within the interval.
+    pub fn contains(&self, frame: u64) -> bool {
+        (self.start..=self.end).contains(&frame)
+    }
+
+    /// True if this interval intersects `[lo, hi]`.
+    pub fn intersects(&self, lo: u64, hi: u64) -> bool {
+        self.start <= hi && self.end >= lo
+    }
+
+    /// Number of frames shared with `[lo, hi]`.
+    pub fn overlap(&self, lo: u64, hi: u64) -> u64 {
+        if !self.intersects(lo, hi) {
+            return 0;
+        }
+        self.end.min(hi) - self.start.max(lo) + 1
+    }
+}
+
+/// One concrete occurrence of an event class in the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventInstance {
+    /// Index of the event class within the stream's class list.
+    pub class: usize,
+    /// Where in the stream the instance occurs.
+    pub interval: OccurrenceInterval,
+}
+
+/// Static description of an event class (one of the paper's E1–E12, or a
+/// user-defined class), including the statistics that drive the synthetic
+/// generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventClass {
+    /// Human-readable name, e.g. `"Person Opening a Vehicle"`.
+    pub name: String,
+    /// Paper identifier such as `"E1"` (informational).
+    pub paper_id: String,
+    /// Target number of occurrences in the reference stream (Table I).
+    pub occurrences: u32,
+    /// Mean occurrence duration in frames (Table I).
+    pub duration_mean: f64,
+    /// Standard deviation of the duration in frames (Table I).
+    pub duration_std: f64,
+    /// Mean lead time (frames) by which precursor features anticipate the
+    /// event start — a generator parameter, not from the paper.
+    pub lead_mean: f64,
+    /// Standard deviation of the lead time.
+    pub lead_std: f64,
+    /// Base noise level of this class's feature channels, in [0, 1).
+    pub feature_noise: f64,
+}
+
+impl EventClass {
+    /// The paper's difficulty grouping (§VI.D): Group 2 iff the duration is
+    /// long (mean > 150 frames) or highly variable (std > 100 frames).
+    pub fn group(&self) -> EventGroup {
+        if self.duration_mean > 150.0 || self.duration_std > 100.0 {
+            EventGroup::Group2
+        } else {
+            EventGroup::Group1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn class(mean: f64, std: f64) -> EventClass {
+        EventClass {
+            name: "test".into(),
+            paper_id: "Ex".into(),
+            occurrences: 10,
+            duration_mean: mean,
+            duration_std: std,
+            lead_mean: 40.0,
+            lead_std: 10.0,
+            feature_noise: 0.05,
+        }
+    }
+
+    #[test]
+    fn interval_len_and_contains() {
+        let oi = OccurrenceInterval::new(10, 19);
+        assert_eq!(oi.len(), 10);
+        assert!(oi.contains(10));
+        assert!(oi.contains(19));
+        assert!(!oi.contains(20));
+        assert!(!oi.contains(9));
+    }
+
+    #[test]
+    fn single_frame_interval() {
+        let oi = OccurrenceInterval::new(5, 5);
+        assert_eq!(oi.len(), 1);
+        assert!(oi.contains(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "interval start")]
+    fn rejects_inverted_interval() {
+        let _ = OccurrenceInterval::new(3, 2);
+    }
+
+    #[test]
+    fn intersects_and_overlap() {
+        let oi = OccurrenceInterval::new(10, 20);
+        assert!(oi.intersects(20, 30));
+        assert!(oi.intersects(0, 10));
+        assert!(!oi.intersects(21, 30));
+        assert!(!oi.intersects(0, 9));
+        assert_eq!(oi.overlap(15, 25), 6); // 15..=20
+        assert_eq!(oi.overlap(0, 100), 11);
+        assert_eq!(oi.overlap(21, 30), 0);
+    }
+
+    #[test]
+    fn grouping_follows_paper_rules() {
+        // E1-like: short and regular.
+        assert_eq!(class(65.0, 15.4).group(), EventGroup::Group1);
+        // E5-like: huge std.
+        assert_eq!(class(193.7, 158.8).group(), EventGroup::Group2);
+        // E6-like: long mean.
+        assert_eq!(class(571.2, 176.4).group(), EventGroup::Group2);
+        // E11-like: modest mean, large std.
+        assert_eq!(class(97.2, 107.5).group(), EventGroup::Group2);
+        // E10-like: borderline but Group 1.
+        assert_eq!(class(114.0, 48.8).group(), EventGroup::Group1);
+    }
+}

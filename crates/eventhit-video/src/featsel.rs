@@ -1,0 +1,190 @@
+//! Feature selection by correlation analysis (§III: "We select features
+//! through standard correlation analysis methods", ref 25).
+//!
+//! Scores each feature channel by the absolute Pearson correlation between
+//! a window summary of the channel (its mean over the collection window)
+//! and the per-event existence label, maximized over events. Channels can
+//! then be ranked and records projected onto the selected subset.
+
+use eventhit_nn::matrix::Matrix;
+
+use crate::records::Record;
+
+/// Pearson correlation coefficient of two equal-length samples.
+/// Returns 0 when either sample is constant.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "sample length mismatch");
+    let n = xs.len() as f64;
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Per-channel relevance scores: `score[c] = max_k |corr(mean window value
+/// of channel c, 1[E_k present])|` over the provided records.
+pub fn channel_relevance(records: &[Record]) -> Vec<f64> {
+    assert!(!records.is_empty(), "no records");
+    let d = records[0].covariates.cols();
+    let k_events = records[0].labels.len();
+
+    // Window-mean per channel per record.
+    let mut summaries: Vec<Vec<f64>> = vec![Vec::with_capacity(records.len()); d];
+    for rec in records {
+        let m = rec.covariates.rows();
+        for (c, summary) in summaries.iter_mut().enumerate() {
+            let mean: f32 = (0..m).map(|r| rec.covariates[(r, c)]).sum::<f32>() / m as f32;
+            summary.push(mean as f64);
+        }
+    }
+
+    (0..d)
+        .map(|c| {
+            (0..k_events)
+                .map(|k| {
+                    let labels: Vec<f64> = records
+                        .iter()
+                        .map(|r| if r.labels[k].present { 1.0 } else { 0.0 })
+                        .collect();
+                    pearson(&summaries[c], &labels).abs()
+                })
+                .fold(0.0, f64::max)
+        })
+        .collect()
+}
+
+/// Indices of the `k` most relevant channels, most relevant first.
+pub fn select_top_k(records: &[Record], k: usize) -> Vec<usize> {
+    let scores = channel_relevance(records);
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+    idx.truncate(k);
+    idx
+}
+
+/// Projects records onto a channel subset (columns reordered to match
+/// `channels`).
+pub fn project(records: &[Record], channels: &[usize]) -> Vec<Record> {
+    records
+        .iter()
+        .map(|rec| {
+            let m = rec.covariates.rows();
+            let mut cov = Matrix::zeros(m, channels.len());
+            for r in 0..m {
+                for (j, &c) in channels.iter().enumerate() {
+                    cov[(r, j)] = rec.covariates[(r, c)];
+                }
+            }
+            Record {
+                anchor: rec.anchor,
+                covariates: cov,
+                labels: rec.labels.clone(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Dataset, SplitSpec};
+    use crate::features::{self, extract, FeatureConfig};
+    use crate::records::EventLabel;
+    use crate::stream::VideoStream;
+    use crate::synthetic;
+
+    #[test]
+    fn pearson_known_values() {
+        assert!((pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-12);
+        assert!((pearson(&[1.0, 2.0, 3.0], &[6.0, 4.0, 2.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0); // constant
+        assert_eq!(pearson(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn pearson_uncorrelated_near_zero() {
+        // Alternating x against linear y.
+        let xs: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let ys: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert!(pearson(&xs, &ys).abs() < 0.1);
+    }
+
+    fn task_records() -> Vec<Record> {
+        let profile = synthetic::thumos().scaled(0.1).select_classes(&[0]);
+        let stream = VideoStream::generate(&profile, 3);
+        let f = extract(&stream, &FeatureConfig::default(), 4);
+        let ds = Dataset::build(&stream, &f, 10, 200, &SplitSpec::default());
+        ds.train
+    }
+
+    #[test]
+    fn approach_channel_outranks_nuisance_channels() {
+        let records = task_records();
+        let scores = channel_relevance(&records);
+        let approach = features::approach_channel(0);
+        // The precursor channel must beat the scene-phase sinusoid and the
+        // background-count channel.
+        assert!(
+            scores[approach] > scores[2] && scores[approach] > scores[0],
+            "scores: {scores:?}"
+        );
+    }
+
+    #[test]
+    fn top_k_selects_informative_first() {
+        let records = task_records();
+        let top = select_top_k(&records, 2);
+        let approach = features::approach_channel(0);
+        assert!(
+            top.contains(&approach),
+            "top-2 {top:?} should include approach channel"
+        );
+    }
+
+    #[test]
+    fn project_reduces_dimensions_and_keeps_labels() {
+        let records = task_records();
+        let channels = vec![3usize, 0];
+        let projected = project(&records, &channels);
+        assert_eq!(projected.len(), records.len());
+        for (p, r) in projected.iter().zip(&records) {
+            assert_eq!(p.covariates.shape(), (r.covariates.rows(), 2));
+            assert_eq!(p.labels, r.labels);
+            // Column order follows the channel list.
+            assert_eq!(p.covariates[(0, 0)], r.covariates[(0, 3)]);
+            assert_eq!(p.covariates[(0, 1)], r.covariates[(0, 0)]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no records")]
+    fn relevance_rejects_empty() {
+        let _ = channel_relevance(&[]);
+    }
+
+    #[test]
+    fn relevance_handles_all_negative_records() {
+        let rec = Record {
+            anchor: 0,
+            covariates: Matrix::filled(3, 2, 0.5),
+            labels: vec![EventLabel::absent()],
+        };
+        let scores = channel_relevance(&[rec.clone(), rec]);
+        assert!(scores.iter().all(|&s| s == 0.0));
+    }
+}

@@ -1,0 +1,439 @@
+//! Simulated per-frame feature extraction.
+//!
+//! The paper extracts covariates from lightweight detectors (YOLOv3 /
+//! Faster R-CNN) over real video. We substitute a generative model of those
+//! detector outputs (DESIGN.md §3.2) that preserves the structure the
+//! predictor must exploit:
+//!
+//! * **approach channel** per event class — a continuous precursor that ramps
+//!   up during a stochastic lead window before each occurrence (e.g. a truck
+//!   nearing a gate), saturates during the event, and decays afterwards.
+//!   Corrupted by Gaussian noise and by *false precursors* that ramp up
+//!   without a following event, so existence prediction has irreducible
+//!   error — the reason conformal calibration is needed.
+//! * **active channel** per event class — a binary "the event's target
+//!   objects are detected in this frame" output with per-frame miss /
+//!   false-alarm noise. Crucially, objects are present far more often than
+//!   the event occurs (a parked car is not a "person opening a vehicle"):
+//!   decoy *presence periods* fire the channel without any event. This is
+//!   the channel the VQS (BlazeIt-style) baseline thresholds, and the decoys
+//!   are why object-count predicates cannot match a true event predictor
+//!   (§VII: "video querying frameworks lack the ability to make
+//!   predictions").
+//! * three shared nuisance channels — background object count, global motion
+//!   energy, and a slow scene-phase sinusoid.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use eventhit_nn::matrix::Matrix;
+
+use crate::distributions::{lognormal_mean_std, poisson, standard_normal, truncated_normal};
+use crate::stream::VideoStream;
+
+/// Number of shared (class-independent) channels.
+pub const SHARED_CHANNELS: usize = 3;
+
+/// Total feature dimensionality for a stream with `num_classes` classes.
+pub fn feature_dim(num_classes: usize) -> usize {
+    SHARED_CHANNELS + 2 * num_classes
+}
+
+/// Column of class `k`'s continuous precursor channel.
+pub fn approach_channel(k: usize) -> usize {
+    SHARED_CHANNELS + 2 * k
+}
+
+/// Column of class `k`'s binary activity channel.
+pub fn active_channel(k: usize) -> usize {
+    SHARED_CHANNELS + 2 * k + 1
+}
+
+/// Knobs of the simulated detector / feature generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureConfig {
+    /// Expected number of false precursors per true occurrence.
+    pub false_precursor_rate: f64,
+    /// Frames over which the approach channel decays after an event ends.
+    pub decay_frames: f64,
+    /// Per-frame probability the detector misses an active event frame.
+    pub miss_rate: f64,
+    /// Per-frame probability of a false alarm on an inactive frame.
+    pub false_alarm_rate: f64,
+    /// Expected number of decoy object-presence periods per true
+    /// occurrence (objects in the scene without the event happening).
+    pub presence_decoy_rate: f64,
+    /// Decoy period durations relative to the class's event durations.
+    pub decoy_duration_scale: f64,
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        FeatureConfig {
+            false_precursor_rate: 0.5,
+            decay_frames: 30.0,
+            miss_rate: 0.15,
+            false_alarm_rate: 0.01,
+            presence_decoy_rate: 2.0,
+            decoy_duration_scale: 1.5,
+        }
+    }
+}
+
+/// Generates the `N x D` frame-feature matrix for a stream.
+///
+/// Deterministic for a given `(stream, cfg, seed)` triple.
+pub fn extract(stream: &VideoStream, cfg: &FeatureConfig, seed: u64) -> Matrix {
+    let n = stream.len as usize;
+    let k = stream.classes.len();
+    let d = feature_dim(k);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut features = Matrix::zeros(n, d);
+
+    fill_background(&mut features, n, &mut rng);
+    fill_scene_phase(&mut features, n);
+
+    // Per-class channels; motion energy accumulates the clean activity.
+    let mut motion = vec![0.0f32; n];
+    for (class_id, class) in stream.classes.iter().enumerate() {
+        let mut approach = vec![0.0f32; n];
+        let mut active = vec![0.0f32; n];
+
+        // Decoy presence periods: target objects visible with no event.
+        let n_decoys =
+            (cfg.presence_decoy_rate * stream.count_of(class_id) as f64).round() as usize;
+        for _ in 0..n_decoys {
+            let dur = lognormal_mean_std(
+                class.duration_mean * cfg.decoy_duration_scale,
+                class.duration_std * cfg.decoy_duration_scale,
+                &mut rng,
+            )
+            .clamp(5.0, class.duration_mean * 6.0)
+            .round() as u64;
+            let pos = rng.random_range(0..n as u64);
+            let end = (pos + dur).min(n as u64);
+            for t in pos..end {
+                active[t as usize] = 1.0;
+            }
+        }
+
+        for inst in stream.instances_of(class_id) {
+            let lead = truncated_normal(
+                class.lead_mean,
+                class.lead_std,
+                20.0,
+                class.lead_mean + 3.0 * class.lead_std,
+                &mut rng,
+            );
+            paint_ramp(
+                &mut approach,
+                inst.interval.start,
+                inst.interval.end,
+                lead,
+                1.0,
+                cfg.decay_frames,
+            );
+            for t in inst.interval.start..=inst.interval.end {
+                active[t as usize] = 1.0;
+                motion[t as usize] += 1.0;
+            }
+        }
+
+        // False precursors: ramps that never become an event.
+        let n_false =
+            (cfg.false_precursor_rate * stream.count_of(class_id) as f64).round() as usize;
+        for _ in 0..n_false {
+            let pos = rng.random_range(0..n as u64);
+            let lead = truncated_normal(
+                class.lead_mean,
+                class.lead_std,
+                20.0,
+                class.lead_mean + 3.0 * class.lead_std,
+                &mut rng,
+            );
+            let peak = rng.random_range(0.3..0.8) as f32;
+            paint_ramp(&mut approach, pos, pos, lead, peak, lead / 2.0);
+        }
+
+        // Detector noise.
+        let noise = class.feature_noise as f32;
+        let a_col = approach_channel(class_id);
+        let act_col = active_channel(class_id);
+        for t in 0..n {
+            let noisy = (approach[t] + noise * standard_normal(&mut rng) as f32).clamp(0.0, 1.2);
+            features[(t, a_col)] = noisy;
+
+            let is_active = active[t] >= 0.5;
+            let observed = if is_active {
+                if rng.random::<f64>() < cfg.miss_rate {
+                    0.0
+                } else {
+                    1.0
+                }
+            } else if rng.random::<f64>() < cfg.false_alarm_rate {
+                1.0
+            } else {
+                0.0
+            };
+            features[(t, act_col)] = observed;
+        }
+    }
+
+    // Motion energy channel: background + mean class activity + noise.
+    let k_f = k.max(1) as f32;
+    for t in 0..n {
+        let bg = features[(t, 0)];
+        let v = 0.2 * bg + motion[t] / k_f + 0.05 * standard_normal(&mut rng) as f32;
+        features[(t, 1)] = v.clamp(0.0, 2.0);
+    }
+
+    features
+}
+
+/// Paints a precursor ramp peaking at `peak`: linear rise over `lead`
+/// frames before `start`, flat at `peak` during `[start, end]`, then a
+/// linear decay over `decay` frames. Uses `max` composition so overlapping
+/// ramps don't cancel.
+fn paint_ramp(channel: &mut [f32], start: u64, end: u64, lead: f64, peak: f32, decay: f64) {
+    let n = channel.len() as u64;
+    let lead = lead.max(1.0);
+    let ramp_start = start.saturating_sub(lead as u64);
+    for t in ramp_start..start.min(n) {
+        let frac = (t - ramp_start + 1) as f32 / lead as f32;
+        let v = peak * frac;
+        if channel[t as usize] < v {
+            channel[t as usize] = v;
+        }
+    }
+    for t in start..=end.min(n.saturating_sub(1)) {
+        if channel[t as usize] < peak {
+            channel[t as usize] = peak;
+        }
+    }
+    let decay = decay.max(1.0);
+    let decay_end = (end + 1 + decay as u64).min(n);
+    for t in (end + 1).min(n)..decay_end {
+        let frac = (t - end) as f32 / decay as f32;
+        let v = peak * (1.0 - frac);
+        if channel[t as usize] < v {
+            channel[t as usize] = v;
+        }
+    }
+}
+
+fn fill_background(features: &mut Matrix, n: usize, rng: &mut StdRng) {
+    // Slowly varying Poisson background object count, resampled every
+    // 25 frames and linearly interpolated, normalized to roughly [0, 1].
+    let step = 25usize;
+    let mut prev = poisson(5.0, rng) as f32 / 10.0;
+    let mut t = 0usize;
+    while t < n {
+        let next = poisson(5.0, rng) as f32 / 10.0;
+        let span = step.min(n - t);
+        for i in 0..span {
+            let frac = i as f32 / step as f32;
+            let v = prev + (next - prev) * frac + 0.03 * standard_normal(rng) as f32;
+            features[(t + i, 0)] = v.max(0.0);
+        }
+        prev = next;
+        t += span;
+    }
+}
+
+fn fill_scene_phase(features: &mut Matrix, n: usize) {
+    for t in 0..n {
+        features[(t, 2)] = 0.5 + 0.5 * (2.0 * std::f32::consts::PI * t as f32 / 10_000.0).sin();
+    }
+}
+
+/// Counts frames in `[lo, hi]` (inclusive, clamped to the stream) whose
+/// activity channel for `class` fired — the quantity the VQS baseline
+/// thresholds.
+pub fn active_count(features: &Matrix, class: usize, lo: u64, hi: u64) -> u32 {
+    let col = active_channel(class);
+    let lo = lo as usize;
+    let hi = (hi as usize).min(features.rows().saturating_sub(1));
+    if lo > hi {
+        return 0;
+    }
+    (lo..=hi).filter(|&t| features[(t, col)] >= 0.5).count() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic;
+
+    fn small_stream(seed: u64) -> VideoStream {
+        VideoStream::generate(&synthetic::thumos().scaled(0.05), seed)
+    }
+
+    #[test]
+    fn dimensions_match_class_count() {
+        assert_eq!(feature_dim(0), 3);
+        assert_eq!(feature_dim(3), 9);
+        assert_eq!(approach_channel(0), 3);
+        assert_eq!(active_channel(0), 4);
+        assert_eq!(approach_channel(2), 7);
+    }
+
+    #[test]
+    fn extract_shape_and_determinism() {
+        let s = small_stream(1);
+        let cfg = FeatureConfig::default();
+        let a = extract(&s, &cfg, 42);
+        let b = extract(&s, &cfg, 42);
+        assert_eq!(a.shape(), (s.len as usize, feature_dim(s.classes.len())));
+        assert_eq!(a, b);
+        let c = extract(&s, &cfg, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn approach_rises_before_events() {
+        let s = small_stream(2);
+        let cfg = FeatureConfig {
+            false_precursor_rate: 0.0,
+            ..Default::default()
+        };
+        let f = extract(&s, &cfg, 7);
+        let col = approach_channel(0);
+        // Average approach value just before event starts should clearly
+        // exceed the global average (precursor signal present).
+        let mut pre_vals = Vec::new();
+        for inst in s.instances_of(0) {
+            let st = inst.interval.start;
+            if st > 30 {
+                for t in st - 20..st {
+                    pre_vals.push(f[(t as usize, col)]);
+                }
+            }
+        }
+        let pre_mean = pre_vals.iter().sum::<f32>() / pre_vals.len().max(1) as f32;
+        let global_mean = (0..f.rows()).map(|t| f[(t, col)]).sum::<f32>() / f.rows() as f32;
+        assert!(
+            pre_mean > global_mean + 0.2,
+            "pre={pre_mean} global={global_mean}"
+        );
+    }
+
+    #[test]
+    fn active_channel_tracks_events_with_noise() {
+        let s = small_stream(3);
+        let cfg = FeatureConfig::default();
+        // Decoys fire the channel outside events too; in-event hit rate is
+        // what this test checks.
+        let f = extract(&s, &cfg, 9);
+        let col = active_channel(0);
+        let mut hits = 0u32;
+        let mut total = 0u32;
+        for inst in s.instances_of(0) {
+            for t in inst.interval.start..=inst.interval.end {
+                total += 1;
+                if f[(t as usize, col)] >= 0.5 {
+                    hits += 1;
+                }
+            }
+        }
+        let hit_rate = hits as f64 / total.max(1) as f64;
+        // Should be ~1 - miss_rate = 0.85.
+        assert!((hit_rate - 0.85).abs() < 0.06, "hit_rate={hit_rate}");
+    }
+
+    #[test]
+    fn false_alarm_rate_outside_events() {
+        let s = small_stream(4);
+        // Disable decoys so "outside events" means the channel's base rate.
+        let cfg = FeatureConfig {
+            presence_decoy_rate: 0.0,
+            ..Default::default()
+        };
+        let f = extract(&s, &cfg, 11);
+        let col = active_channel(1);
+        let mut alarms = 0u32;
+        let mut total = 0u32;
+        let covered: Vec<(u64, u64)> = s
+            .instances_of(1)
+            .map(|i| (i.interval.start, i.interval.end))
+            .collect();
+        for t in 0..s.len {
+            if covered.iter().any(|&(a, b)| (a..=b).contains(&t)) {
+                continue;
+            }
+            total += 1;
+            if f[(t as usize, col)] >= 0.5 {
+                alarms += 1;
+            }
+        }
+        let rate = alarms as f64 / total.max(1) as f64;
+        assert!((rate - 0.01).abs() < 0.01, "false alarm rate={rate}");
+    }
+
+    #[test]
+    fn active_count_counts_window() {
+        let s = small_stream(5);
+        let cfg = FeatureConfig {
+            miss_rate: 0.0,
+            false_alarm_rate: 0.0,
+            presence_decoy_rate: 0.0,
+            ..Default::default()
+        };
+        let f = extract(&s, &cfg, 13);
+        let inst = s.instances_of(0).next().expect("at least one instance");
+        let cnt = active_count(&f, 0, inst.interval.start, inst.interval.end);
+        assert_eq!(cnt as u64, inst.interval.len());
+        // Out-of-range query clamps instead of panicking.
+        let _ = active_count(&f, 0, s.len + 10, s.len + 20);
+    }
+
+    #[test]
+    fn decoys_fire_channel_outside_events() {
+        let s = small_stream(6);
+        let with = extract(&s, &FeatureConfig::default(), 15);
+        let without = extract(
+            &s,
+            &FeatureConfig {
+                presence_decoy_rate: 0.0,
+                ..Default::default()
+            },
+            15,
+        );
+        let col = active_channel(0);
+        let count = |f: &Matrix| (0..f.rows()).filter(|&t| f[(t, col)] >= 0.5).count();
+        assert!(
+            count(&with) > count(&without) * 2,
+            "decoys should multiply channel firings: {} vs {}",
+            count(&with),
+            count(&without)
+        );
+    }
+
+    #[test]
+    fn paint_ramp_shapes() {
+        let mut ch = vec![0.0f32; 100];
+        paint_ramp(&mut ch, 40, 49, 20.0, 1.0, 10.0);
+        assert_eq!(ch[45], 1.0); // inside event
+        assert!(ch[39] > 0.9); // end of lead ramp
+        assert!(ch[25] < 0.35 && ch[25] > 0.0); // early ramp
+        assert!(ch[54] > 0.0 && ch[54] < 1.0); // decay
+        assert_eq!(ch[70], 0.0); // after decay
+        assert_eq!(ch[10], 0.0); // before ramp
+    }
+
+    #[test]
+    fn paint_ramp_max_composition() {
+        let mut ch = vec![0.0f32; 50];
+        paint_ramp(&mut ch, 20, 25, 10.0, 0.5, 5.0);
+        paint_ramp(&mut ch, 22, 28, 10.0, 1.0, 5.0);
+        assert_eq!(ch[23], 1.0);
+        assert!(ch[20] >= 0.5);
+    }
+
+    #[test]
+    fn paint_ramp_clamps_to_stream_end() {
+        let mut ch = vec![0.0f32; 30];
+        // Event interval extends past the buffer; must not panic.
+        paint_ramp(&mut ch, 25, 40, 10.0, 1.0, 10.0);
+        assert_eq!(ch[29], 1.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Per-channel feature standardization (z-scoring).
+//!
+//! Fitted on the training split only — applying train statistics to
+//! calibration/test data is the leak-free convention. Useful when user
+//! detectors emit channels on wildly different scales (counts vs
+//! distances); the synthetic generator's channels are already ~unit scale,
+//! so the default pipeline does not need it.
+
+use eventhit_nn::matrix::Matrix;
+
+use crate::records::Record;
+
+/// Fitted per-channel mean and standard deviation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Standardizer {
+    mean: Vec<f32>,
+    std: Vec<f32>,
+}
+
+impl Standardizer {
+    /// Fits channel statistics from all frames of the given records.
+    ///
+    /// # Panics
+    /// Panics on an empty record set.
+    pub fn fit(records: &[Record]) -> Self {
+        assert!(!records.is_empty(), "no records to fit on");
+        let d = records[0].covariates.cols();
+        let mut sum = vec![0.0f64; d];
+        let mut sum_sq = vec![0.0f64; d];
+        let mut n = 0u64;
+        for rec in records {
+            for r in 0..rec.covariates.rows() {
+                n += 1;
+                for c in 0..d {
+                    let v = rec.covariates[(r, c)] as f64;
+                    sum[c] += v;
+                    sum_sq[c] += v * v;
+                }
+            }
+        }
+        let n = n as f64;
+        let mean: Vec<f32> = sum.iter().map(|&s| (s / n) as f32).collect();
+        let std: Vec<f32> = sum_sq
+            .iter()
+            .zip(&mean)
+            .map(|(&sq, &m)| {
+                let var = (sq / n - (m as f64) * (m as f64)).max(0.0);
+                // Constant channels get unit scale (identity transform).
+                let s = var.sqrt() as f32;
+                if s < 1e-6 {
+                    1.0
+                } else {
+                    s
+                }
+            })
+            .collect();
+        Standardizer { mean, std }
+    }
+
+    /// Channel count.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Transforms one covariate matrix in place.
+    pub fn transform_matrix(&self, covariates: &mut Matrix) {
+        assert_eq!(covariates.cols(), self.dim(), "channel count mismatch");
+        for r in 0..covariates.rows() {
+            for c in 0..self.dim() {
+                covariates[(r, c)] = (covariates[(r, c)] - self.mean[c]) / self.std[c];
+            }
+        }
+    }
+
+    /// Returns standardized copies of the records.
+    pub fn transform(&self, records: &[Record]) -> Vec<Record> {
+        records
+            .iter()
+            .map(|rec| {
+                let mut cov = rec.covariates.clone();
+                self.transform_matrix(&mut cov);
+                Record {
+                    anchor: rec.anchor,
+                    covariates: cov,
+                    labels: rec.labels.clone(),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eventhit_video::records::EventLabel;
+
+    use crate as eventhit_video;
+
+    fn record(values: Vec<f32>, d: usize) -> Record {
+        let rows = values.len() / d;
+        Record {
+            anchor: 0,
+            covariates: Matrix::from_vec(rows, d, values),
+            labels: vec![EventLabel::absent()],
+        }
+    }
+
+    #[test]
+    fn standardizes_to_zero_mean_unit_std() {
+        let records = vec![record(vec![1.0, 10.0, 3.0, 30.0, 5.0, 50.0], 2)];
+        let s = Standardizer::fit(&records);
+        let out = s.transform(&records);
+        let cov = &out[0].covariates;
+        for c in 0..2 {
+            let vals: Vec<f32> = (0..3).map(|r| cov[(r, c)]).collect();
+            let mean: f32 = vals.iter().sum::<f32>() / 3.0;
+            let var: f32 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 3.0;
+            assert!(mean.abs() < 1e-5, "channel {c} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-4, "channel {c} var {var}");
+        }
+    }
+
+    #[test]
+    fn constant_channels_are_identity_shifted() {
+        let records = vec![record(vec![5.0, 5.0, 5.0, 5.0], 1)];
+        let s = Standardizer::fit(&records);
+        let out = s.transform(&records);
+        // Constant channel: subtract mean, divide by 1 → all zeros.
+        assert!(out[0].covariates.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn train_statistics_apply_to_new_records() {
+        let train = vec![record(vec![0.0, 2.0, 4.0, 6.0], 1)];
+        let s = Standardizer::fit(&train);
+        let test = vec![record(vec![3.0], 1)];
+        let out = s.transform(&test);
+        // Train mean 3, std sqrt(5): (3-3)/~2.236 = 0.
+        assert!(out[0].covariates[(0, 0)].abs() < 1e-5);
+        // Labels and anchors preserved.
+        assert_eq!(out[0].labels, test[0].labels);
+    }
+
+    #[test]
+    #[should_panic(expected = "no records")]
+    fn rejects_empty_fit() {
+        let _ = Standardizer::fit(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel count mismatch")]
+    fn rejects_dim_mismatch() {
+        let s = Standardizer::fit(&[record(vec![1.0, 2.0], 1)]);
+        let mut wrong = Matrix::zeros(1, 3);
+        s.transform_matrix(&mut wrong);
+    }
+}

@@ -1,0 +1,282 @@
+//! Triplet records `(X_n, L_n, T_n)` — the training/calibration/test unit
+//! of the paper (§II).
+//!
+//! At an anchor frame `T_n`, the covariates are the feature vectors of the
+//! collection window (`M` consecutive frames ending at `T_n`) and the labels
+//! describe, for each event class, whether an instance occurs in the time
+//! horizon `(T_n, T_n + H]` and at which (1-based) frame offsets. Events
+//! still running at the end of the horizon are *censored*: their end offset
+//! is clamped to `H` and flagged.
+
+use eventhit_nn::matrix::Matrix;
+
+use crate::stream::VideoStream;
+
+/// Per-event ground-truth label of one record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventLabel {
+    /// True iff an instance of the event intersects the horizon
+    /// (`E_k ∈ L_n` in the paper).
+    pub present: bool,
+    /// Start offset in `[1, H]`; meaningful only when `present`.
+    /// Instances already running at the anchor are clamped to 1.
+    pub start: u32,
+    /// End offset in `[1, H]`; meaningful only when `present`.
+    pub end: u32,
+    /// True iff the instance runs past the horizon end (`δ_k = 1`).
+    pub censored: bool,
+}
+
+impl EventLabel {
+    /// An absent-event label.
+    pub fn absent() -> Self {
+        EventLabel {
+            present: false,
+            start: 0,
+            end: 0,
+            censored: false,
+        }
+    }
+
+    /// Number of horizon frames the event occupies (0 when absent).
+    pub fn duration(&self) -> u32 {
+        if self.present {
+            self.end - self.start + 1
+        } else {
+            0
+        }
+    }
+}
+
+/// One record: covariates plus one label per event class.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Anchor frame `T_n` (0-based stream index).
+    pub anchor: u64,
+    /// Covariates `X_n`, an `M x D` matrix (rows are frames, oldest first).
+    pub covariates: Matrix,
+    /// One label per event class, in stream class order.
+    pub labels: Vec<EventLabel>,
+}
+
+/// Computes the ground-truth label of `class` for the horizon
+/// `(anchor, anchor + h]`.
+///
+/// When several instances intersect the horizon, the earliest-starting one
+/// is used, per the paper's single-instance simplification (§II).
+pub fn horizon_label(stream: &VideoStream, class: usize, anchor: u64, h: usize) -> EventLabel {
+    let lo = anchor + 1;
+    let hi = anchor + h as u64;
+    match stream.first_intersecting(class, lo, hi) {
+        None => EventLabel::absent(),
+        Some(inst) => {
+            let start = inst.interval.start.max(lo) - anchor;
+            let censored = inst.interval.end > hi;
+            let end = inst.interval.end.min(hi) - anchor;
+            EventLabel {
+                present: true,
+                start: start as u32,
+                end: end as u32,
+                censored,
+            }
+        }
+    }
+}
+
+/// Extracts the record anchored at `anchor` from a precomputed feature
+/// matrix (`features: N x D`).
+///
+/// # Panics
+/// Panics if the collection window `[anchor - m + 1, anchor]` or the
+/// horizon `(anchor, anchor + h]` falls outside the stream.
+pub fn extract_record(
+    stream: &VideoStream,
+    features: &Matrix,
+    anchor: u64,
+    m: usize,
+    h: usize,
+) -> Record {
+    assert!(
+        anchor + 1 >= m as u64,
+        "collection window underflows stream start"
+    );
+    assert!(
+        anchor + h as u64 <= stream.len,
+        "horizon overflows stream end (anchor {anchor}, h {h}, len {})",
+        stream.len
+    );
+    let first = (anchor + 1 - m as u64) as usize;
+    let rows: Vec<usize> = (first..=anchor as usize).collect();
+    let covariates = features.select_rows(&rows);
+    let labels = (0..stream.classes.len())
+        .map(|k| horizon_label(stream, k, anchor, h))
+        .collect();
+    Record {
+        anchor,
+        covariates,
+        labels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventClass, EventInstance, OccurrenceInterval};
+
+    fn stream_with(instances: Vec<EventInstance>, len: u64, num_classes: usize) -> VideoStream {
+        let classes = (0..num_classes)
+            .map(|i| EventClass {
+                name: format!("c{i}"),
+                paper_id: format!("E{i}"),
+                occurrences: 1,
+                duration_mean: 10.0,
+                duration_std: 1.0,
+                lead_mean: 20.0,
+                lead_std: 5.0,
+                feature_noise: 0.0,
+            })
+            .collect();
+        VideoStream {
+            len,
+            classes,
+            instances,
+        }
+    }
+
+    #[test]
+    fn label_absent_when_no_instance() {
+        let s = stream_with(vec![], 1000, 1);
+        let l = horizon_label(&s, 0, 100, 50);
+        assert!(!l.present);
+        assert_eq!(l.duration(), 0);
+    }
+
+    #[test]
+    fn label_offsets_are_one_based() {
+        // Event at frames [110, 119]; anchor 100, horizon 50.
+        let s = stream_with(
+            vec![EventInstance {
+                class: 0,
+                interval: OccurrenceInterval::new(110, 119),
+            }],
+            1000,
+            1,
+        );
+        let l = horizon_label(&s, 0, 100, 50);
+        assert!(l.present);
+        assert_eq!(l.start, 10); // frame 110 = anchor + 10
+        assert_eq!(l.end, 19);
+        assert!(!l.censored);
+        assert_eq!(l.duration(), 10);
+    }
+
+    #[test]
+    fn label_censored_when_running_past_horizon() {
+        let s = stream_with(
+            vec![EventInstance {
+                class: 0,
+                interval: OccurrenceInterval::new(130, 200),
+            }],
+            1000,
+            1,
+        );
+        let l = horizon_label(&s, 0, 100, 50);
+        assert!(l.present);
+        assert_eq!(l.start, 30);
+        assert_eq!(l.end, 50); // clamped to H
+        assert!(l.censored);
+    }
+
+    #[test]
+    fn label_clamps_ongoing_event_to_start_one() {
+        // Event started before the anchor and is still running.
+        let s = stream_with(
+            vec![EventInstance {
+                class: 0,
+                interval: OccurrenceInterval::new(90, 120),
+            }],
+            1000,
+            1,
+        );
+        let l = horizon_label(&s, 0, 100, 50);
+        assert!(l.present);
+        assert_eq!(l.start, 1);
+        assert_eq!(l.end, 20);
+        assert!(!l.censored);
+    }
+
+    #[test]
+    fn label_event_outside_horizon_is_absent() {
+        let s = stream_with(
+            vec![EventInstance {
+                class: 0,
+                interval: OccurrenceInterval::new(200, 220),
+            }],
+            1000,
+            1,
+        );
+        let l = horizon_label(&s, 0, 100, 50);
+        assert!(!l.present);
+        // Event exactly at horizon end is included.
+        let l2 = horizon_label(&s, 0, 150, 50);
+        assert!(l2.present);
+        assert_eq!(l2.start, 50);
+    }
+
+    #[test]
+    fn earliest_instance_wins() {
+        let s = stream_with(
+            vec![
+                EventInstance {
+                    class: 0,
+                    interval: OccurrenceInterval::new(105, 110),
+                },
+                EventInstance {
+                    class: 0,
+                    interval: OccurrenceInterval::new(130, 140),
+                },
+            ],
+            1000,
+            1,
+        );
+        let l = horizon_label(&s, 0, 100, 100);
+        assert_eq!(l.start, 5);
+        assert_eq!(l.end, 10);
+    }
+
+    #[test]
+    fn extract_record_slices_window_and_labels() {
+        let s = stream_with(
+            vec![EventInstance {
+                class: 1,
+                interval: OccurrenceInterval::new(12, 15),
+            }],
+            100,
+            2,
+        );
+        // Feature matrix: value = frame index in channel 0.
+        let mut f = Matrix::zeros(100, 3);
+        for t in 0..100 {
+            f[(t, 0)] = t as f32;
+        }
+        let r = extract_record(&s, &f, 9, 5, 20);
+        assert_eq!(r.anchor, 9);
+        assert_eq!(r.covariates.shape(), (5, 3));
+        // Window frames 5..=9, oldest first.
+        assert_eq!(r.covariates[(0, 0)], 5.0);
+        assert_eq!(r.covariates[(4, 0)], 9.0);
+        assert_eq!(r.labels.len(), 2);
+        assert!(!r.labels[0].present);
+        assert!(r.labels[1].present);
+        assert_eq!(r.labels[1].start, 3);
+        assert_eq!(r.labels[1].end, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon overflows")]
+    fn extract_record_rejects_horizon_overflow() {
+        let s = stream_with(vec![], 100, 1);
+        let f = Matrix::zeros(100, 3);
+        let _ = extract_record(&s, &f, 90, 5, 20);
+    }
+}

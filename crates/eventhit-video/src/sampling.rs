@@ -1,0 +1,281 @@
+//! Frame sampling and difference detection (§VI.A: "Approaches such as
+//! frame sampling (ref 37) or difference detector (ref 38) can speed up video
+//! processing and can be readily applied in our approach").
+//!
+//! Both reduce how many frames the *feature extractor* must process:
+//!
+//! * [`StaggeredSampler`] — Greig-style staggered sampling: process every
+//!   `k`-th frame, rotating the phase each cycle so that over `k` cycles
+//!   every frame position is covered; skipped frames reuse the most recent
+//!   processed frame's features (events span many frames, so a small
+//!   staleness is harmless).
+//! * [`DifferenceDetector`] — NoScope-style: process a frame only when it
+//!   differs from the last *processed* frame by more than a threshold
+//!   (mean absolute feature difference as a stand-in for pixel deltas);
+//!   otherwise reuse the cached features.
+//!
+//! Both report how many extractor invocations they saved, which plugs into
+//! the cost model's feature-extraction stage.
+
+use eventhit_nn::matrix::Matrix;
+
+/// Statistics of a sampling pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplingStats {
+    /// Frames seen.
+    pub frames: usize,
+    /// Frames actually processed by the extractor.
+    pub processed: usize,
+}
+
+impl SamplingStats {
+    /// Fraction of extractor work saved.
+    pub fn savings(&self) -> f64 {
+        if self.frames == 0 {
+            return 0.0;
+        }
+        1.0 - self.processed as f64 / self.frames as f64
+    }
+}
+
+/// Staggered frame sampler with period `k`.
+#[derive(Debug, Clone)]
+pub struct StaggeredSampler {
+    period: usize,
+    /// Current rotation phase in `[0, period)`.
+    phase: usize,
+    /// Frame counter within the current cycle.
+    counter: usize,
+}
+
+impl StaggeredSampler {
+    /// Creates a sampler that processes one in `period` frames.
+    pub fn new(period: usize) -> Self {
+        assert!(period >= 1, "period must be at least 1");
+        StaggeredSampler {
+            period,
+            phase: 0,
+            counter: 0,
+        }
+    }
+
+    /// Returns true if the next frame should be processed, advancing the
+    /// internal schedule.
+    pub fn should_process(&mut self) -> bool {
+        let hit = self.counter == self.phase;
+        self.counter += 1;
+        if self.counter == self.period {
+            self.counter = 0;
+            self.phase = (self.phase + 1) % self.period;
+        }
+        hit
+    }
+
+    /// Applies the schedule to a full feature matrix: skipped frames are
+    /// filled with the latest processed frame's features (frames before the
+    /// first processed one keep their original features). Returns the
+    /// down-sampled matrix and stats.
+    pub fn apply(&mut self, features: &Matrix) -> (Matrix, SamplingStats) {
+        let mut out = features.clone();
+        let mut processed = 0usize;
+        let mut last: Option<usize> = None;
+        for t in 0..features.rows() {
+            if self.should_process() {
+                processed += 1;
+                last = Some(t);
+            } else if let Some(src) = last {
+                let row = features.row(src).to_vec();
+                out.set_row(t, &row);
+            }
+        }
+        (
+            out,
+            SamplingStats {
+                frames: features.rows(),
+                processed,
+            },
+        )
+    }
+}
+
+/// NoScope-style difference detector with threshold `tau` on the mean
+/// absolute per-channel difference.
+#[derive(Debug, Clone)]
+pub struct DifferenceDetector {
+    tau: f32,
+    last_processed: Option<Vec<f32>>,
+}
+
+impl DifferenceDetector {
+    /// Creates a detector; `tau = 0` processes every frame.
+    pub fn new(tau: f32) -> Self {
+        assert!(tau >= 0.0, "threshold must be non-negative");
+        DifferenceDetector {
+            tau,
+            last_processed: None,
+        }
+    }
+
+    /// Decides whether `frame` must be processed; updates the reference
+    /// frame when it is.
+    pub fn should_process(&mut self, frame: &[f32]) -> bool {
+        let process = match &self.last_processed {
+            None => true,
+            Some(prev) => {
+                debug_assert_eq!(prev.len(), frame.len());
+                let diff: f32 = prev
+                    .iter()
+                    .zip(frame)
+                    .map(|(a, b)| (a - b).abs())
+                    .sum::<f32>()
+                    / frame.len().max(1) as f32;
+                diff > self.tau
+            }
+        };
+        if process {
+            self.last_processed = Some(frame.to_vec());
+        }
+        process
+    }
+
+    /// Applies the detector to a full feature matrix: unprocessed frames
+    /// reuse the reference frame's features. Returns the filtered matrix
+    /// and stats.
+    pub fn apply(&mut self, features: &Matrix) -> (Matrix, SamplingStats) {
+        let mut out = features.clone();
+        let mut processed = 0usize;
+        for t in 0..features.rows() {
+            let row = features.row(t).to_vec();
+            if self.should_process(&row) {
+                processed += 1;
+            } else if let Some(prev) = &self.last_processed {
+                out.set_row(t, prev);
+            }
+        }
+        (
+            out,
+            SamplingStats {
+                frames: features.rows(),
+                processed,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_savings() {
+        let s = SamplingStats {
+            frames: 100,
+            processed: 25,
+        };
+        assert!((s.savings() - 0.75).abs() < 1e-12);
+        assert_eq!(
+            SamplingStats {
+                frames: 0,
+                processed: 0
+            }
+            .savings(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn staggered_processes_one_in_k() {
+        let mut s = StaggeredSampler::new(4);
+        let hits: Vec<bool> = (0..16).map(|_| s.should_process()).collect();
+        assert_eq!(hits.iter().filter(|&&h| h).count(), 4);
+        // Phase rotates: cycle 0 hits index 0, cycle 1 hits index 1, etc.
+        assert!(hits[0] && hits[5] && hits[10] && hits[15]);
+    }
+
+    #[test]
+    fn staggered_covers_all_positions_over_k_cycles() {
+        let k = 5;
+        let mut s = StaggeredSampler::new(k);
+        let mut covered = vec![false; k];
+        for _cycle in 0..k {
+            for c in covered.iter_mut() {
+                if s.should_process() {
+                    *c = true;
+                }
+            }
+        }
+        assert!(covered.iter().all(|&c| c), "{covered:?}");
+    }
+
+    #[test]
+    fn period_one_processes_everything() {
+        let mut s = StaggeredSampler::new(1);
+        assert!((0..10).all(|_| s.should_process()));
+    }
+
+    #[test]
+    fn staggered_apply_fills_with_last_processed() {
+        let mut m = Matrix::zeros(6, 1);
+        for t in 0..6 {
+            m[(t, 0)] = t as f32;
+        }
+        let mut s = StaggeredSampler::new(3);
+        let (out, stats) = s.apply(&m);
+        assert_eq!(stats.processed, 2); // frames 0 and 4 (phase rotation)
+        assert_eq!(out[(0, 0)], 0.0);
+        assert_eq!(out[(1, 0)], 0.0); // held from frame 0
+        assert_eq!(out[(2, 0)], 0.0);
+        assert_eq!(out[(3, 0)], 0.0);
+        assert_eq!(out[(4, 0)], 4.0); // processed
+        assert_eq!(out[(5, 0)], 4.0); // held
+    }
+
+    #[test]
+    fn difference_detector_skips_static_frames() {
+        let mut d = DifferenceDetector::new(0.1);
+        assert!(d.should_process(&[1.0, 1.0])); // first frame always
+        assert!(!d.should_process(&[1.01, 1.02])); // nearly identical
+        assert!(d.should_process(&[2.0, 2.0])); // big change
+        assert!(!d.should_process(&[2.0, 2.05])); // compares to NEW reference
+    }
+
+    #[test]
+    fn difference_detector_zero_threshold_processes_changes() {
+        let mut d = DifferenceDetector::new(0.0);
+        assert!(d.should_process(&[1.0]));
+        assert!(!d.should_process(&[1.0])); // identical => diff 0, not > 0
+        assert!(d.should_process(&[1.0001]));
+    }
+
+    #[test]
+    fn difference_apply_on_blocky_signal() {
+        // 20 frames: constant 0 then constant 1 — only two process events.
+        let mut m = Matrix::zeros(20, 2);
+        for t in 10..20 {
+            m[(t, 0)] = 1.0;
+            m[(t, 1)] = 1.0;
+        }
+        let mut d = DifferenceDetector::new(0.1);
+        let (out, stats) = d.apply(&m);
+        assert_eq!(stats.processed, 2);
+        assert!(stats.savings() > 0.85);
+        assert_eq!(out, m, "piecewise-constant input is reproduced exactly");
+    }
+
+    #[test]
+    fn sampling_preserves_learnability_of_slow_signals() {
+        // A slow ramp sampled at period 4 still tracks within a small error.
+        let n = 200;
+        let mut m = Matrix::zeros(n, 1);
+        for t in 0..n {
+            m[(t, 0)] = t as f32 / n as f32;
+        }
+        let mut s = StaggeredSampler::new(4);
+        let (out, stats) = s.apply(&m);
+        assert!((stats.savings() - 0.75).abs() < 0.01);
+        let max_err = (0..n)
+            .map(|t| (out[(t, 0)] - m[(t, 0)]).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_err <= 4.0 / n as f32 + 1e-6, "max_err={max_err}");
+    }
+}

@@ -1,0 +1,198 @@
+//! Stream and split statistics: the quantities experiment reports lead
+//! with (per-class occupancy, positive-anchor rates, horizon composition).
+
+use crate::records::Record;
+use crate::stream::VideoStream;
+
+/// Per-class stream statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassStats {
+    /// Paper id of the class (e.g. `"E5"`).
+    pub paper_id: String,
+    /// Planted instance count.
+    pub instances: usize,
+    /// Fraction of stream frames covered by instances.
+    pub occupancy: f64,
+    /// Empirical duration mean.
+    pub duration_mean: f64,
+    /// Empirical duration standard deviation.
+    pub duration_std: f64,
+    /// Empirical mean gap between consecutive instances (end → next
+    /// start); `None` with fewer than two instances.
+    pub mean_gap: Option<f64>,
+}
+
+/// Computes per-class statistics of a stream.
+pub fn class_stats(stream: &VideoStream) -> Vec<ClassStats> {
+    (0..stream.classes.len())
+        .map(|k| {
+            let (duration_mean, duration_std) = stream.duration_stats(k);
+            let instances: Vec<_> = stream.instances_of(k).collect();
+            let gaps: Vec<f64> = instances
+                .windows(2)
+                .map(|w| (w[1].interval.start - w[0].interval.end) as f64)
+                .collect();
+            let mean_gap = if gaps.is_empty() {
+                None
+            } else {
+                Some(gaps.iter().sum::<f64>() / gaps.len() as f64)
+            };
+            ClassStats {
+                paper_id: stream.classes[k].paper_id.clone(),
+                instances: instances.len(),
+                occupancy: stream.occupancy_of(k),
+                duration_mean,
+                duration_std,
+                mean_gap,
+            }
+        })
+        .collect()
+}
+
+/// Per-event composition of a record split.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitStats {
+    /// Records in the split.
+    pub records: usize,
+    /// Records whose horizon contains the event.
+    pub positives: usize,
+    /// Positive fraction.
+    pub positive_rate: f64,
+    /// Among positives, the fraction censored at the horizon end.
+    pub censored_rate: f64,
+    /// Mean true-interval length among positives (frames).
+    pub mean_interval: f64,
+}
+
+/// Computes split statistics for one event index.
+pub fn split_stats(records: &[Record], event: usize) -> SplitStats {
+    let positives: Vec<_> = records.iter().filter(|r| r.labels[event].present).collect();
+    let n_pos = positives.len();
+    let censored = positives
+        .iter()
+        .filter(|r| r.labels[event].censored)
+        .count();
+    let total_len: u64 = positives
+        .iter()
+        .map(|r| r.labels[event].duration() as u64)
+        .sum();
+    SplitStats {
+        records: records.len(),
+        positives: n_pos,
+        positive_rate: if records.is_empty() {
+            0.0
+        } else {
+            n_pos as f64 / records.len() as f64
+        },
+        censored_rate: if n_pos == 0 {
+            0.0
+        } else {
+            censored as f64 / n_pos as f64
+        },
+        mean_interval: if n_pos == 0 {
+            0.0
+        } else {
+            total_len as f64 / n_pos as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventClass, EventInstance, OccurrenceInterval};
+    use crate::records::EventLabel;
+    use eventhit_nn::matrix::Matrix;
+
+    fn stream() -> VideoStream {
+        VideoStream {
+            len: 1000,
+            classes: vec![EventClass {
+                name: "c".into(),
+                paper_id: "E1".into(),
+                occurrences: 3,
+                duration_mean: 10.0,
+                duration_std: 0.0,
+                lead_mean: 10.0,
+                lead_std: 1.0,
+                feature_noise: 0.0,
+            }],
+            instances: vec![
+                EventInstance {
+                    class: 0,
+                    interval: OccurrenceInterval::new(100, 109),
+                },
+                EventInstance {
+                    class: 0,
+                    interval: OccurrenceInterval::new(200, 219),
+                },
+                EventInstance {
+                    class: 0,
+                    interval: OccurrenceInterval::new(500, 509),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn class_stats_hand_computed() {
+        let s = class_stats(&stream());
+        assert_eq!(s.len(), 1);
+        let c = &s[0];
+        assert_eq!(c.instances, 3);
+        assert!((c.occupancy - 40.0 / 1000.0).abs() < 1e-12);
+        assert!((c.duration_mean - 40.0 / 3.0).abs() < 1e-9);
+        // Gaps: 200-109=91, 500-219=281 → mean 186.
+        assert!((c.mean_gap.unwrap() - 186.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn class_stats_single_instance_has_no_gap() {
+        let mut s = stream();
+        s.instances.truncate(1);
+        let stats = class_stats(&s);
+        assert_eq!(stats[0].mean_gap, None);
+    }
+
+    fn record(label: EventLabel) -> Record {
+        Record {
+            anchor: 0,
+            covariates: Matrix::zeros(2, 2),
+            labels: vec![label],
+        }
+    }
+
+    #[test]
+    fn split_stats_hand_computed() {
+        let records = vec![
+            record(EventLabel {
+                present: true,
+                start: 1,
+                end: 10,
+                censored: false,
+            }),
+            record(EventLabel {
+                present: true,
+                start: 90,
+                end: 100,
+                censored: true,
+            }),
+            record(EventLabel::absent()),
+            record(EventLabel::absent()),
+        ];
+        let s = split_stats(&records, 0);
+        assert_eq!(s.records, 4);
+        assert_eq!(s.positives, 2);
+        assert!((s.positive_rate - 0.5).abs() < 1e-12);
+        assert!((s.censored_rate - 0.5).abs() < 1e-12);
+        assert!((s.mean_interval - 10.5).abs() < 1e-12); // (10 + 11) / 2
+    }
+
+    #[test]
+    fn split_stats_empty_split() {
+        let s = split_stats(&[], 0);
+        assert_eq!(s.records, 0);
+        assert_eq!(s.positive_rate, 0.0);
+        assert_eq!(s.mean_interval, 0.0);
+    }
+}

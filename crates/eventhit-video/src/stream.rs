@@ -1,0 +1,206 @@
+//! Video stream model and the synthetic event planter.
+//!
+//! A [`VideoStream`] is a frame count plus the ground-truth event instances
+//! planted in it. Instances of each class arrive as a Poisson process
+//! (exponential gaps) with truncated-normal durations, matching the paper's
+//! motivating assumption (§I) and Table I statistics.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::distributions::{exponential, lognormal_mean_std};
+use crate::event::{EventClass, EventInstance, OccurrenceInterval};
+use crate::synthetic::DatasetProfile;
+
+/// Minimum duration of any planted instance, in frames.
+pub const MIN_DURATION: f64 = 5.0;
+/// Minimum gap between consecutive instances of the same class.
+pub const MIN_GAP: u64 = 10;
+
+/// A video stream with ground-truth event annotations.
+#[derive(Debug, Clone)]
+pub struct VideoStream {
+    /// Number of frames in the stream.
+    pub len: u64,
+    /// The event classes present (index = class id used by instances).
+    pub classes: Vec<EventClass>,
+    /// All planted instances, sorted by `(class, start)`.
+    pub instances: Vec<EventInstance>,
+}
+
+impl VideoStream {
+    /// Generates a stream according to `profile`, deterministically for a
+    /// given `seed`.
+    pub fn generate(profile: &DatasetProfile, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let len = profile.stream_len;
+        let mut instances = Vec::new();
+
+        for (class_id, class) in profile.classes.iter().enumerate() {
+            // Expected cycle length = duration + gap; choose the gap rate so
+            // the expected count matches the profile's occurrence target.
+            let occ = class.occurrences.max(1) as f64;
+            let mean_gap = (len as f64 / occ - class.duration_mean).max(MIN_GAP as f64);
+            let rate = 1.0 / mean_gap;
+
+            let mut cursor = exponential(rate, &mut rng);
+            loop {
+                let dur = lognormal_mean_std(class.duration_mean, class.duration_std, &mut rng)
+                    .clamp(MIN_DURATION, class.duration_mean + 6.0 * class.duration_std)
+                    .round() as u64;
+                let start = cursor.round() as u64;
+                let end = start + dur.saturating_sub(1);
+                if end >= len {
+                    break;
+                }
+                instances.push(EventInstance {
+                    class: class_id,
+                    interval: OccurrenceInterval::new(start, end),
+                });
+                cursor = (end + MIN_GAP) as f64 + exponential(rate, &mut rng);
+            }
+        }
+
+        instances.sort_by_key(|i| (i.class, i.interval.start));
+        VideoStream {
+            len,
+            classes: profile.classes.clone(),
+            instances,
+        }
+    }
+
+    /// Iterates over instances of one class, in start order.
+    pub fn instances_of(&self, class: usize) -> impl Iterator<Item = &EventInstance> {
+        self.instances.iter().filter(move |i| i.class == class)
+    }
+
+    /// Number of instances of one class.
+    pub fn count_of(&self, class: usize) -> usize {
+        self.instances_of(class).count()
+    }
+
+    /// First instance of `class` whose interval intersects `[lo, hi]`
+    /// (earliest start), if any.
+    pub fn first_intersecting(&self, class: usize, lo: u64, hi: u64) -> Option<&EventInstance> {
+        self.instances_of(class)
+            .find(|i| i.interval.intersects(lo, hi))
+    }
+
+    /// All instances of `class` intersecting `[lo, hi]`.
+    pub fn all_intersecting(&self, class: usize, lo: u64, hi: u64) -> Vec<&EventInstance> {
+        self.instances_of(class)
+            .filter(|i| i.interval.intersects(lo, hi))
+            .collect()
+    }
+
+    /// Fraction of frames covered by at least one instance of `class`.
+    pub fn occupancy_of(&self, class: usize) -> f64 {
+        let covered: u64 = self.instances_of(class).map(|i| i.interval.len()).sum();
+        covered as f64 / self.len as f64
+    }
+
+    /// Empirical duration mean/std of a class's planted instances.
+    pub fn duration_stats(&self, class: usize) -> (f64, f64) {
+        let durs: Vec<f64> = self
+            .instances_of(class)
+            .map(|i| i.interval.len() as f64)
+            .collect();
+        if durs.is_empty() {
+            return (0.0, 0.0);
+        }
+        let mean = durs.iter().sum::<f64>() / durs.len() as f64;
+        let var = durs.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / durs.len() as f64;
+        (mean, var.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let profile = synthetic::virat().scaled(0.05);
+        let a = VideoStream::generate(&profile, 7);
+        let b = VideoStream::generate(&profile, 7);
+        assert_eq!(a.instances, b.instances);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let profile = synthetic::virat().scaled(0.05);
+        let a = VideoStream::generate(&profile, 1);
+        let b = VideoStream::generate(&profile, 2);
+        assert_ne!(a.instances, b.instances);
+    }
+
+    #[test]
+    fn instances_respect_bounds_and_ordering() {
+        let profile = synthetic::virat().scaled(0.1);
+        let s = VideoStream::generate(&profile, 3);
+        for i in &s.instances {
+            assert!(i.interval.end < s.len);
+            assert!(i.class < s.classes.len());
+        }
+        // Sorted by (class, start) and non-overlapping within class.
+        for w in s.instances.windows(2) {
+            if w[0].class == w[1].class {
+                assert!(w[0].interval.end + MIN_GAP <= w[1].interval.start);
+            }
+        }
+    }
+
+    #[test]
+    fn occurrence_counts_near_target() {
+        let profile = synthetic::virat();
+        let s = VideoStream::generate(&profile, 11);
+        for (k, class) in profile.classes.iter().enumerate() {
+            let n = s.count_of(k) as f64;
+            let target = class.occurrences as f64;
+            assert!(
+                (n - target).abs() < target * 0.5 + 10.0,
+                "{}: planted {n}, target {target}",
+                class.paper_id
+            );
+        }
+    }
+
+    #[test]
+    fn duration_stats_near_profile() {
+        let profile = synthetic::breakfast();
+        let s = VideoStream::generate(&profile, 13);
+        for (k, class) in profile.classes.iter().enumerate() {
+            let (mean, _std) = s.duration_stats(k);
+            assert!(
+                (mean - class.duration_mean).abs() < class.duration_mean * 0.35,
+                "{}: mean {mean}, target {}",
+                class.paper_id,
+                class.duration_mean
+            );
+        }
+    }
+
+    #[test]
+    fn first_intersecting_finds_earliest() {
+        let profile = synthetic::thumos().scaled(0.2);
+        let s = VideoStream::generate(&profile, 5);
+        let any = s.instances_of(0).nth(1).copied();
+        if let Some(inst) = any {
+            let found = s
+                .first_intersecting(0, inst.interval.start, inst.interval.end)
+                .expect("instance intersects itself");
+            assert!(found.interval.start <= inst.interval.start);
+        }
+    }
+
+    #[test]
+    fn occupancy_is_sane() {
+        let profile = synthetic::virat().scaled(0.2);
+        let s = VideoStream::generate(&profile, 17);
+        for k in 0..s.classes.len() {
+            let occ = s.occupancy_of(k);
+            assert!((0.0..0.9).contains(&occ), "class {k} occupancy {occ}");
+        }
+    }
+}

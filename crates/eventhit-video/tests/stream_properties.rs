@@ -1,0 +1,97 @@
+//! Property-based tests of the stream generator and record labelling.
+
+use eventhit_video::distributions::lognormal_mean_std;
+use eventhit_video::event::{EventClass, EventInstance, OccurrenceInterval};
+use eventhit_video::records::horizon_label;
+use eventhit_video::stream::{VideoStream, MIN_GAP};
+use eventhit_video::synthetic;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn test_stream(instances: Vec<(u64, u64)>, len: u64) -> VideoStream {
+    VideoStream {
+        len,
+        classes: vec![EventClass {
+            name: "c".into(),
+            paper_id: "E1".into(),
+            occurrences: 1,
+            duration_mean: 10.0,
+            duration_std: 1.0,
+            lead_mean: 10.0,
+            lead_std: 1.0,
+            feature_noise: 0.0,
+        }],
+        instances: instances
+            .into_iter()
+            .map(|(s, e)| EventInstance {
+                class: 0,
+                interval: OccurrenceInterval::new(s, e),
+            })
+            .collect(),
+    }
+}
+
+proptest! {
+    /// Generated streams respect bounds, within-class ordering and gaps,
+    /// for arbitrary seeds and scales.
+    #[test]
+    fn generated_streams_are_well_formed(seed in 0u64..500, scale in 0.02f64..0.3) {
+        let profile = synthetic::thumos().scaled(scale);
+        let s = VideoStream::generate(&profile, seed);
+        for inst in &s.instances {
+            prop_assert!(inst.interval.end < s.len);
+            prop_assert!(inst.class < s.classes.len());
+        }
+        for w in s.instances.windows(2) {
+            if w[0].class == w[1].class {
+                prop_assert!(w[0].interval.end + MIN_GAP <= w[1].interval.start);
+            }
+        }
+    }
+
+    /// Labels always produce offsets in [1, H] with start <= end, and the
+    /// censoring flag is set exactly when the instance runs past the
+    /// horizon.
+    #[test]
+    fn horizon_labels_are_consistent(
+        inst_start in 0u64..900,
+        dur in 1u64..300,
+        anchor in 0u64..900,
+        h in 10usize..200,
+    ) {
+        let inst_end = inst_start + dur - 1;
+        let stream = test_stream(vec![(inst_start, inst_end.min(9_999))], 10_000);
+        prop_assume!(anchor + h as u64 <= stream.len);
+        let label = horizon_label(&stream, 0, anchor, h);
+        if label.present {
+            prop_assert!(label.start >= 1 && label.start <= label.end);
+            prop_assert!(label.end <= h as u32);
+            let intersects = inst_start <= anchor + h as u64 && inst_end > anchor;
+            prop_assert!(intersects);
+            prop_assert_eq!(label.censored, inst_end > anchor + h as u64);
+        } else {
+            let intersects = inst_start <= anchor + h as u64 && inst_end > anchor;
+            prop_assert!(!intersects);
+        }
+    }
+
+    /// The log-normal moment-matching sampler produces positive values
+    /// whose sample mean tracks the target.
+    #[test]
+    fn lognormal_matches_target_mean(mean in 10.0f64..500.0, cv in 0.1f64..1.5) {
+        let std = mean * cv;
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| {
+            let x = lognormal_mean_std(mean, std, &mut rng);
+            assert!(x > 0.0);
+            x
+        }).sum();
+        let sample_mean = sum / n as f64;
+        prop_assert!(
+            (sample_mean - mean).abs() < mean * 0.15,
+            "sample mean {sample_mean} vs target {mean}"
+        );
+    }
+}

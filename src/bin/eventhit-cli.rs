@@ -1,0 +1,215 @@
+//! `eventhit-cli` — train, persist, evaluate, and marshal from the shell.
+//!
+//! ```text
+//! eventhit-cli tasks
+//! eventhit-cli train    --task TA10 --scale 0.3 --seed 7 --out model.evht
+//! eventhit-cli evaluate --task TA10 --scale 0.3 --seed 7 --model model.evht \
+//!                       [--c 0.95] [--alpha 0.9]
+//! eventhit-cli marshal  --task TA10 --scale 0.3 --seed 7 --model model.evht \
+//!                       [--c 0.95] [--alpha 0.9]
+//! ```
+//!
+//! The synthetic stream is a pure function of `(task, scale, seed)`, so
+//! `evaluate`/`marshal` regenerate exactly the stream the model was trained
+//! against and calibrate on its calibration split.
+
+use std::process::exit;
+
+use eventhit::core::ci::CiConfig;
+use eventhit::core::experiment::{ExperimentConfig, TaskRun};
+use eventhit::core::infer::score_records;
+use eventhit::core::marshal::Marshaller;
+use eventhit::core::model_io;
+use eventhit::core::pipeline::{ConformalState, Strategy};
+use eventhit::core::tasks::{all_tasks, task};
+
+#[derive(Debug, Clone)]
+struct Args {
+    task: String,
+    scale: f64,
+    seed: u64,
+    model: Option<String>,
+    out: Option<String>,
+    c: f64,
+    alpha: f64,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            task: "TA10".into(),
+            scale: 0.3,
+            seed: 7,
+            model: None,
+            out: None,
+            c: 0.95,
+            alpha: 0.9,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: eventhit-cli <tasks|train|evaluate|marshal> \
+         [--task TAi] [--scale F] [--seed N] [--model PATH] [--out PATH] \
+         [--c F] [--alpha F]"
+    );
+    exit(2)
+}
+
+fn parse(mut it: impl Iterator<Item = String>) -> Args {
+    let mut args = Args::default();
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--task" => args.task = value(),
+            "--scale" => args.scale = value().parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--model" => args.model = Some(value()),
+            "--out" => args.out = Some(value()),
+            "--c" => args.c = value().parse().unwrap_or_else(|_| usage()),
+            "--alpha" => args.alpha = value().parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn config(args: &Args) -> ExperimentConfig {
+    ExperimentConfig {
+        scale: args.scale,
+        seed: args.seed,
+        ..Default::default()
+    }
+}
+
+fn cmd_tasks() {
+    println!("task\tdataset\tevents\tM\tH");
+    for t in all_tasks() {
+        let p = t.profile();
+        println!(
+            "{}\t{:?}\t{}\t{}\t{}",
+            t.id,
+            t.dataset,
+            t.events.join(","),
+            p.collection_window,
+            p.horizon
+        );
+    }
+}
+
+fn cmd_train(args: &Args) {
+    let t = task(&args.task).unwrap_or_else(|| {
+        eprintln!("unknown task {}", args.task);
+        exit(2)
+    });
+    eprintln!(
+        "training {} at scale {} (seed {}) ...",
+        t.id, args.scale, args.seed
+    );
+    let mut run = TaskRun::execute(&t, &config(args));
+    eprintln!(
+        "  {} train records, final loss {:.4}, {} parameters",
+        run.train_records.len(),
+        run.train_report.final_loss,
+        run.model.param_count()
+    );
+    let out = args
+        .out
+        .clone()
+        .unwrap_or_else(|| format!("{}.evht", t.id.to_lowercase()));
+    model_io::save_to_path(&mut run.model, &out).unwrap_or_else(|e| {
+        eprintln!("failed to write {out}: {e}");
+        exit(1)
+    });
+    println!("model written to {out}");
+}
+
+/// Rebuilds the deterministic task context and calibrates the loaded model.
+fn load_context(args: &Args) -> (TaskRun, Strategy) {
+    let t = task(&args.task).unwrap_or_else(|| {
+        eprintln!("unknown task {}", args.task);
+        exit(2)
+    });
+    let model_path = args.model.clone().unwrap_or_else(|| usage());
+    eprintln!(
+        "regenerating {} stream (scale {}, seed {}) ...",
+        t.id, args.scale, args.seed
+    );
+    let mut run = TaskRun::execute(&t, &config(args));
+    // Replace the freshly trained model with the persisted one and
+    // recalibrate against the calibration split.
+    let mut model = model_io::load_from_path(&model_path).unwrap_or_else(|e| {
+        eprintln!("failed to read {model_path}: {e}");
+        exit(1)
+    });
+    let calib = score_records(&mut model, &run.calib_records, 128);
+    let test = score_records(&mut model, &run.test_records, 128);
+    run.state = ConformalState::fit(&calib, t.num_events(), 0.5, run.horizon);
+    run.calib = calib;
+    run.test = test;
+    run.model = model;
+    (
+        run,
+        Strategy::Ehcr {
+            c: args.c,
+            alpha: args.alpha,
+        },
+    )
+}
+
+fn cmd_evaluate(args: &Args) {
+    let (run, strategy) = load_context(args);
+    let o = run.evaluate(&strategy);
+    let cost = run.cost(&o, &CiConfig::default());
+    println!("strategy: {strategy:?}");
+    println!("REC      {:.4}", o.rec);
+    println!("SPL      {:.4}", o.spl);
+    println!("REC_c    {:.4}", o.rec_c);
+    println!("REC_r    {:.4}", o.rec_r);
+    println!("frames   {}", o.frames_relayed);
+    println!("expense  ${:.2}", cost.expense);
+    println!("fps      {:.1}", cost.fps());
+}
+
+fn cmd_marshal(args: &Args) {
+    let (run, strategy) = load_context(args);
+    let stream = run.stream.clone();
+    let features = run.features.clone();
+    let mut m = Marshaller::new(
+        run.model,
+        run.state,
+        strategy,
+        run.window,
+        run.horizon,
+        CiConfig::default(),
+    );
+    let from = (stream.len * 3) / 4;
+    let result = m.run(&stream, &features, from, stream.len);
+    println!("horizons         {}", result.horizons);
+    println!("segments relayed {}", result.segments.len());
+    println!("frames relayed   {}", result.cost.frames_relayed);
+    println!("frame recall     {:.3}", result.frame_recall());
+    println!("instance recall  {:.3}", result.instance_recall());
+    println!("expense          ${:.2}", result.cost.expense);
+    let (fe, pr, ci) = result.cost.stage_fractions();
+    println!(
+        "time split       {:.1}% features / {:.1}% predictor / {:.1}% CI",
+        fe * 100.0,
+        pr * 100.0,
+        ci * 100.0
+    );
+}
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let Some(cmd) = argv.next() else { usage() };
+    match cmd.as_str() {
+        "tasks" => cmd_tasks(),
+        "train" => cmd_train(&parse(argv)),
+        "evaluate" => cmd_evaluate(&parse(argv)),
+        "marshal" => cmd_marshal(&parse(argv)),
+        "--help" | "-h" | "help" => usage(),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,124 @@
+//! Integration of the baseline algorithms against the EventHit pipeline:
+//! the dominance relations the paper reports must hold on our synthetic
+//! tasks too.
+
+use eventhit::baselines::appvae::AppVae;
+use eventhit::baselines::cox_baseline::{self, CoxBaseline};
+use eventhit::baselines::vqs;
+use eventhit::core::experiment::{grids, ExperimentConfig, TaskRun};
+use eventhit::core::tasks::task;
+
+fn run(id: &str, seed: u64) -> TaskRun {
+    let cfg = ExperimentConfig {
+        scale: 0.25,
+        ..ExperimentConfig::quick(seed)
+    };
+    TaskRun::execute(&task(id).unwrap(), &cfg)
+}
+
+/// Smallest SPL among operating points achieving at least `target` recall,
+/// or `None`.
+fn spl_at_recall(points: &[(f64, f64)], target: f64) -> Option<f64> {
+    points
+        .iter()
+        .filter(|(rec, _)| *rec >= target)
+        .map(|(_, spl)| *spl)
+        .min_by(f64::total_cmp)
+}
+
+#[test]
+fn ehcr_dominates_vqs_at_moderate_recall() {
+    let run = run("TA10", 50);
+    let ehcr_points: Vec<(f64, f64)> = grids::ehcr()
+        .iter()
+        .map(|s| {
+            let o = run.evaluate(s);
+            (o.rec, o.spl)
+        })
+        .collect();
+    let vqs_points: Vec<(f64, f64)> = vqs::default_taus(run.horizon)
+        .iter()
+        .map(|&t| {
+            let o = vqs::evaluate_at(&run, t);
+            (o.rec, o.spl)
+        })
+        .collect();
+
+    let target = 0.8;
+    let (Some(ehcr_spl), Some(vqs_spl)) = (
+        spl_at_recall(&ehcr_points, target),
+        spl_at_recall(&vqs_points, target),
+    ) else {
+        panic!("both methods should reach recall {target} at some operating point");
+    };
+    assert!(
+        ehcr_spl <= vqs_spl + 0.05,
+        "EHCR should need no more spillage than VQS: {ehcr_spl} vs {vqs_spl}"
+    );
+}
+
+#[test]
+fn cox_curve_is_monotone_in_threshold() {
+    let run = run("TA10", 51);
+    let cox = CoxBaseline::from_run(&run);
+    let mut prev_rec = f64::INFINITY;
+    for tau in cox_baseline::default_taus() {
+        let o = cox.evaluate_at(&run, tau);
+        assert!(
+            o.rec <= prev_rec + 1e-9,
+            "COX recall should fall as tau rises (tau={tau})"
+        );
+        prev_rec = o.rec;
+    }
+}
+
+#[test]
+fn vqs_cannot_beat_detector_information() {
+    // VQS relays whole horizons; even at its most permissive setting its
+    // spillage must reflect the decoy presence rate (never near zero at
+    // full recall), because object counts cannot distinguish decoys from
+    // events.
+    let run = run("TA10", 52);
+    let permissive = vqs::evaluate_at(&run, 1);
+    if permissive.rec >= 0.99 {
+        assert!(
+            permissive.spl > 0.3,
+            "near-exhaustive VQS should pay heavy spillage, got {}",
+            permissive.spl
+        );
+    }
+}
+
+#[test]
+fn appvae_produces_single_valid_operating_point() {
+    let run = run("TA13", 53);
+    for window in [200, 1500] {
+        let model = AppVae::fit(&run, window);
+        let o = model.evaluate_run(&run);
+        assert!(
+            (0.0..=1.0).contains(&o.rec),
+            "window {window}: rec {}",
+            o.rec
+        );
+        assert!(
+            o.spl >= 0.0 && o.spl <= 1.0 + 1e-9,
+            "window {window}: spl {}",
+            o.spl
+        );
+    }
+}
+
+#[test]
+fn oracle_beats_every_algorithm_on_cost() {
+    let run = run("TA11", 54);
+    let opt = run.oracle_outcome();
+    for s in grids::ehcr() {
+        let o = run.evaluate(&s);
+        if o.rec >= 0.999 {
+            assert!(
+                o.frames_relayed >= opt.frames_relayed,
+                "nothing relays fewer frames than the oracle at full recall"
+            );
+        }
+    }
+}

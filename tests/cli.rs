@@ -1,0 +1,60 @@
+//! Smoke tests of the `eventhit-cli` binary.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_eventhit-cli"))
+}
+
+#[test]
+fn tasks_lists_table2() {
+    let out = cli().arg("tasks").output().expect("run cli");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("TA1\t"));
+    assert!(stdout.contains("TA16\t"));
+}
+
+#[test]
+fn unknown_command_exits_nonzero() {
+    let out = cli().arg("frobnicate").output().expect("run cli");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn train_then_evaluate_round_trip() {
+    let dir = std::env::temp_dir();
+    let model = dir.join("eventhit_cli_test.evht");
+    let model_s = model.to_str().unwrap().to_string();
+
+    let out = cli()
+        .args([
+            "train", "--task", "TA10", "--scale", "0.08", "--seed", "3", "--out", &model_s,
+        ])
+        .output()
+        .expect("run train");
+    assert!(
+        out.status.success(),
+        "train failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(model.exists());
+
+    let out = cli()
+        .args([
+            "evaluate", "--task", "TA10", "--scale", "0.08", "--seed", "3", "--model", &model_s,
+            "--c", "0.9", "--alpha", "0.5",
+        ])
+        .output()
+        .expect("run evaluate");
+    assert!(
+        out.status.success(),
+        "evaluate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("REC "), "{stdout}");
+    assert!(stdout.contains("expense"), "{stdout}");
+
+    let _ = std::fs::remove_file(model);
+}

@@ -1,0 +1,147 @@
+//! End-to-end integration: the full generate → train → calibrate →
+//! evaluate pipeline, asserting the qualitative shapes the paper reports
+//! (§VI.D).
+
+use eventhit::core::experiment::{ExperimentConfig, TaskRun};
+use eventhit::core::pipeline::Strategy;
+use eventhit::core::tasks::{all_tasks, task};
+
+fn quick_run(id: &str, seed: u64) -> TaskRun {
+    let cfg = ExperimentConfig {
+        scale: 0.15,
+        ..ExperimentConfig::quick(seed)
+    };
+    TaskRun::execute(&task(id).unwrap(), &cfg)
+}
+
+#[test]
+fn opt_and_bf_are_the_extremes() {
+    let run = quick_run("TA10", 1);
+    let opt = run.oracle_outcome();
+    let bf = run.brute_force_outcome();
+    assert_eq!((opt.rec, opt.spl), (1.0, 0.0));
+    assert_eq!((bf.rec, bf.spl), (1.0, 1.0));
+    // Every strategy lies between the extremes.
+    for s in [
+        Strategy::Eho { tau1: 0.5 },
+        Strategy::Ehc { c: 0.9 },
+        Strategy::Ehr {
+            tau1: 0.5,
+            alpha: 0.9,
+        },
+        Strategy::Ehcr { c: 0.9, alpha: 0.9 },
+    ] {
+        let o = run.evaluate(&s);
+        assert!((0.0..=1.0).contains(&o.rec), "{s:?}");
+        assert!((0.0..=1.0 + 1e-9).contains(&o.spl), "{s:?}");
+        assert!(o.frames_relayed <= bf.frames_relayed, "{s:?}");
+    }
+}
+
+#[test]
+fn model_learns_signal_above_chance() {
+    let run = quick_run("TA10", 2);
+    let eho = run.evaluate(&Strategy::Eho { tau1: 0.5 });
+    // A trained model on the quick config should beat "predict nothing"
+    // (rec 0) and stay far below full spillage.
+    assert!(eho.rec > 0.2, "rec={}", eho.rec);
+    assert!(eho.spl < 0.5, "spl={}", eho.spl);
+}
+
+#[test]
+fn recall_is_monotone_in_confidence_level() {
+    let run = quick_run("TA10", 3);
+    let mut prev = -1.0;
+    for c in [0.5, 0.7, 0.9, 0.95, 0.99] {
+        let o = run.evaluate(&Strategy::Ehc { c });
+        assert!(
+            o.rec_c >= prev - 1e-9,
+            "REC_c must not decrease in c (c={c}, {} < {prev})",
+            o.rec_c
+        );
+        prev = o.rec_c;
+    }
+}
+
+#[test]
+fn interval_recall_is_monotone_in_alpha() {
+    let run = quick_run("TA10", 4);
+    let mut prev = -1.0;
+    for alpha in [0.1, 0.3, 0.5, 0.7, 0.9] {
+        let o = run.evaluate(&Strategy::Ehr { tau1: 0.5, alpha });
+        assert!(
+            o.rec_r >= prev - 1e-9,
+            "REC_r must not decrease in alpha (alpha={alpha})"
+        );
+        prev = o.rec_r;
+    }
+}
+
+#[test]
+fn ehcr_reaches_highest_recall_of_all_variants() {
+    let run = quick_run("TA11", 5);
+    let eho = run.evaluate(&Strategy::Eho { tau1: 0.5 });
+    let ehc = run.evaluate(&Strategy::Ehc { c: 0.99 });
+    let ehr = run.evaluate(&Strategy::Ehr {
+        tau1: 0.5,
+        alpha: 0.95,
+    });
+    let ehcr = run.evaluate(&Strategy::Ehcr {
+        c: 0.99,
+        alpha: 0.95,
+    });
+    assert!(
+        ehcr.rec + 1e-9 >= eho.rec,
+        "EHCR {} vs EHO {}",
+        ehcr.rec,
+        eho.rec
+    );
+    assert!(
+        ehcr.rec + 1e-9 >= ehc.rec,
+        "EHCR {} vs EHC {}",
+        ehcr.rec,
+        ehc.rec
+    );
+    assert!(
+        ehcr.rec + 1e-9 >= ehr.rec,
+        "EHCR {} vs EHR {}",
+        ehcr.rec,
+        ehr.rec
+    );
+}
+
+#[test]
+fn multi_event_task_shares_one_shared_network() {
+    let cfg = ExperimentConfig {
+        scale: 0.15,
+        ..ExperimentConfig::quick(6)
+    };
+    let run = TaskRun::execute(&task("TA15").unwrap(), &cfg);
+    assert_eq!(run.state.num_events(), 2);
+    let o = run.evaluate(&Strategy::Ehcr { c: 0.9, alpha: 0.5 });
+    assert!(
+        o.positives > 0,
+        "multi-event test split should contain events"
+    );
+    // Predictions exist for both events on every record.
+    let preds = run.predictions(&Strategy::Eho { tau1: 0.5 });
+    assert!(preds.iter().all(|p| p.len() == 2));
+}
+
+#[test]
+fn every_table2_task_is_executable() {
+    // Smoke check: all 16 tasks build a consistent pipeline at tiny scale.
+    for t in all_tasks() {
+        let cfg = ExperimentConfig {
+            scale: 0.05,
+            train: eventhit::core::train::TrainConfig {
+                epochs: 1,
+                ..Default::default()
+            },
+            ..ExperimentConfig::quick(7)
+        };
+        let run = TaskRun::execute(&t, &cfg);
+        assert_eq!(run.state.num_events(), t.num_events(), "{}", t.id);
+        let _ = run.evaluate(&Strategy::Eho { tau1: 0.5 });
+    }
+}
