@@ -2,14 +2,15 @@
 //! p-value queries, and interval adjustment. These run once per record at
 //! deployment time, so their cost bounds the marshaller's overhead.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eventhit_rng::bench::{BenchmarkId, Criterion};
+use eventhit_rng::{bench_group, bench_main};
 use std::hint::black_box;
 
 use eventhit_conformal::classify::ConformalClassifier;
 use eventhit_conformal::nonconformity::Nonconformity;
 use eventhit_conformal::regress::{ConformalRegressor, IntervalCalibration};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use eventhit_rng::rngs::StdRng;
+use eventhit_rng::{Rng, SeedableRng};
 
 fn scores(n: usize, seed: u64) -> Vec<f64> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -61,10 +62,10 @@ fn bench_interval_adjust(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
+bench_group!(
     benches,
     bench_classifier,
     bench_regressor,
     bench_interval_adjust
 );
-criterion_main!(benches);
+bench_main!(benches);

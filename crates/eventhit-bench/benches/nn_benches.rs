@@ -3,7 +3,8 @@
 //! inference time (§VI.H: EventHit inference is ~0.1% of pipeline time; we
 //! measure the real number here).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eventhit_rng::bench::{BenchmarkId, Criterion};
+use eventhit_rng::{bench_group, bench_main};
 use std::hint::black_box;
 
 use eventhit_nn::activation::Activation;
@@ -11,8 +12,8 @@ use eventhit_nn::dense::Dense;
 use eventhit_nn::init::Init;
 use eventhit_nn::lstm::Lstm;
 use eventhit_nn::matrix::Matrix;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use eventhit_rng::rngs::StdRng;
+use eventhit_rng::SeedableRng;
 
 fn bench_matmul(c: &mut Criterion) {
     let mut group = c.benchmark_group("matmul");
@@ -89,11 +90,11 @@ fn bench_dense_head(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
+bench_group!(
     benches,
     bench_matmul,
     bench_lstm,
     bench_gru,
     bench_dense_head
 );
-criterion_main!(benches);
+bench_main!(benches);

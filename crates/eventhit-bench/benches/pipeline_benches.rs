@@ -2,7 +2,8 @@
 //! quantity behind the paper's FPS accounting, §VI.H), conformal state
 //! fitting, and strategy evaluation sweeps.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use eventhit_rng::bench::Criterion;
+use eventhit_rng::{bench_group, bench_main};
 use std::hint::black_box;
 
 use eventhit_core::experiment::{ExperimentConfig, TaskRun};
@@ -28,7 +29,7 @@ fn bench_inference(c: &mut Criterion) {
     let records = run.test_records.clone();
     let mut group = c.benchmark_group("eventhit_inference");
     group.sample_size(20);
-    group.throughput(criterion::Throughput::Elements(records.len() as u64));
+    group.throughput(eventhit_rng::bench::Throughput::Elements(records.len() as u64));
     group.bench_function("score_records_batch128", |b| {
         b.iter(|| black_box(score_records(&mut run.model, &records, 128)))
     });
@@ -58,10 +59,10 @@ fn bench_strategy_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
+bench_group!(
     benches,
     bench_inference,
     bench_conformal_state,
     bench_strategy_sweep
 );
-criterion_main!(benches);
+bench_main!(benches);

@@ -2,13 +2,14 @@
 //! baseline's training cost) and survival-curve queries (its per-record
 //! inference cost).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eventhit_rng::bench::{BenchmarkId, Criterion};
+use eventhit_rng::{bench_group, bench_main};
 use std::hint::black_box;
 
 use eventhit_survival::cox::{CoxConfig, CoxModel, Subject};
 use eventhit_survival::km::KaplanMeier;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use eventhit_rng::rngs::StdRng;
+use eventhit_rng::{Rng, SeedableRng};
 
 fn subjects(n: usize, d: usize, seed: u64) -> Vec<Subject> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -60,10 +61,10 @@ fn bench_kaplan_meier(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
+bench_group!(
     benches,
     bench_cox_fit,
     bench_survival_curve,
     bench_kaplan_meier
 );
-criterion_main!(benches);
+bench_main!(benches);

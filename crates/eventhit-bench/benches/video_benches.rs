@@ -2,7 +2,8 @@
 //! feature extraction throughput (frames/second of the generator — not the
 //! modeled detector), and record slicing.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use eventhit_rng::bench::Criterion;
+use eventhit_rng::{bench_group, bench_main};
 use std::hint::black_box;
 
 use eventhit_video::dataset::{Dataset, SplitSpec};
@@ -53,10 +54,10 @@ fn bench_record_extraction(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
+bench_group!(
     benches,
     bench_stream_generation,
     bench_feature_extraction,
     bench_record_extraction
 );
-criterion_main!(benches);
+bench_main!(benches);

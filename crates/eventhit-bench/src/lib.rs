@@ -1,8 +1,9 @@
 //! # eventhit-bench
 //!
 //! The experiment harness: one binary per table/figure of the paper's
-//! evaluation section (see DESIGN.md §4 for the index), plus Criterion
-//! micro-benchmarks. This library holds the shared plumbing: CLI parsing,
+//! evaluation section (see DESIGN.md §4 for the index), plus
+//! micro-benchmarks built on `eventhit_rng::bench`. This library holds
+//! the shared plumbing: CLI parsing,
 //! TSV output, multi-trial averaging, and operating-point search.
 
 use eventhit_core::experiment::{grids, ExperimentConfig, TaskRun};
@@ -140,15 +141,14 @@ pub fn run_trials(task: &Task, args: &CommonArgs) -> Vec<TaskRun> {
         return vec![TaskRun::execute(task, &args.config(0))];
     }
     let mut runs: Vec<Option<TaskRun>> = (0..args.trials).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (trial, slot) in runs.iter_mut().enumerate() {
             let cfg = args.config(trial);
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 *slot = Some(TaskRun::execute(task, &cfg));
             });
         }
-    })
-    .expect("trial thread panicked");
+    });
     runs.into_iter()
         .map(|r| r.expect("trial completed"))
         .collect()

@@ -77,9 +77,10 @@ impl ConformalClassifier {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use eventhit_rng::testkit::vec as vec_of;
+    use eventhit_rng::{prop_assert, property};
+    use eventhit_rng::rngs::StdRng;
+    use eventhit_rng::{Rng, SeedableRng};
 
     #[test]
     fn p_value_hand_computed() {
@@ -173,11 +174,11 @@ mod tests {
         }
     }
 
-    proptest! {
+    property! {
         /// p-values always lie in [1/(n+1), 1].
         #[test]
         fn p_value_range(
-            calib in proptest::collection::vec(0.0..1.0f64, 0..100),
+            calib in vec_of(0.0..1.0f64, 0..100),
             b in 0.0..1.0f64,
         ) {
             let cc = ConformalClassifier::fit(&calib, Nonconformity::OneMinusScore);
@@ -190,7 +191,7 @@ mod tests {
         /// Monotonicity of prediction sets in c (Eq. 10), property-based.
         #[test]
         fn prediction_monotone_in_confidence(
-            calib in proptest::collection::vec(0.0..1.0f64, 1..50),
+            calib in vec_of(0.0..1.0f64, 1..50),
             b in 0.0..1.0f64,
             c1 in 0.0..1.0f64,
             c2 in 0.0..1.0f64,

@@ -83,8 +83,8 @@ pub fn start_offset_category(start: u32, horizon: u32, buckets: usize) -> usize 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use eventhit_rng::rngs::StdRng;
+    use eventhit_rng::{Rng, SeedableRng};
 
     #[test]
     fn category_function_buckets_evenly() {

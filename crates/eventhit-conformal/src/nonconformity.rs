@@ -35,7 +35,8 @@ impl Nonconformity {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use eventhit_rng::testkit::vec as vec_of;
+    use eventhit_rng::{prop_assert, prop_assert_eq, prop_assume, property};
 
     #[test]
     fn one_minus_score_values() {
@@ -49,7 +50,7 @@ mod tests {
         assert!(Nonconformity::NegLogScore.score(0.0).is_finite());
     }
 
-    proptest! {
+    property! {
         /// All measures are strictly decreasing in the score: a higher
         /// positive-class score always means lower non-conformity.
         #[test]
@@ -62,7 +63,7 @@ mod tests {
 
         /// Monotone measures preserve orderings, hence identical p-values.
         #[test]
-        fn measures_agree_on_ordering(scores in proptest::collection::vec(0.001..0.999f64, 2..50)) {
+        fn measures_agree_on_ordering(scores in vec_of(0.001..0.999f64, 2..50)) {
             let order = |m: Nonconformity| {
                 let mut idx: Vec<usize> = (0..scores.len()).collect();
                 idx.sort_by(|&i, &j| m.score(scores[i]).partial_cmp(&m.score(scores[j])).unwrap());

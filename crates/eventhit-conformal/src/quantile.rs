@@ -31,7 +31,8 @@ pub fn sort_residuals(mut residuals: Vec<f64>) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use eventhit_rng::testkit::vec as vec_of;
+    use eventhit_rng::{prop_assert, property};
 
     #[test]
     fn quantile_known_values() {
@@ -68,12 +69,12 @@ mod tests {
         assert_eq!(sorted[0], 1.0);
     }
 
-    proptest! {
+    property! {
         /// The quantile is always an element of the sample and is monotone
         /// in alpha.
         #[test]
         fn quantile_monotone_in_alpha(
-            mut xs in proptest::collection::vec(-1e6..1e6f64, 1..200),
+            mut xs in vec_of(-1e6..1e6f64, 1..200),
             a1 in 0.01..1.0f64,
             a2 in 0.01..1.0f64,
         ) {
@@ -88,7 +89,7 @@ mod tests {
         /// At least ⌈α·n⌉ sample points are ≤ the α-quantile.
         #[test]
         fn quantile_covers_alpha_fraction(
-            mut xs in proptest::collection::vec(-1e3..1e3f64, 1..100),
+            mut xs in vec_of(-1e3..1e3f64, 1..100),
             alpha in 0.01..1.0f64,
         ) {
             xs.sort_by(|a, b| a.partial_cmp(b).unwrap());

@@ -105,9 +105,10 @@ impl IntervalCalibration {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use eventhit_rng::testkit::vec as vec_of;
+    use eventhit_rng::{prop_assert, property};
+    use eventhit_rng::rngs::StdRng;
+    use eventhit_rng::{Rng, SeedableRng};
 
     #[test]
     fn band_widens_with_alpha() {
@@ -183,11 +184,11 @@ mod tests {
         let _ = cal.adjust(9, 5, 50, 0.9);
     }
 
-    proptest! {
+    property! {
         /// Theorem 5.1 monotonicity: bands are nested in alpha.
         #[test]
         fn bands_nested_in_alpha(
-            residuals in proptest::collection::vec(0.0..100.0f64, 1..100),
+            residuals in vec_of(0.0..100.0f64, 1..100),
             mu in -50.0..50.0f64,
             a1 in 0.01..1.0f64,
             a2 in 0.01..1.0f64,
@@ -203,8 +204,8 @@ mod tests {
         /// [1, h].
         #[test]
         fn adjusted_interval_contains_original(
-            rs in proptest::collection::vec(0.0..50.0f64, 1..50),
-            re in proptest::collection::vec(0.0..50.0f64, 1..50),
+            rs in vec_of(0.0..50.0f64, 1..50),
+            re in vec_of(0.0..50.0f64, 1..50),
             s in 1u32..100,
             len in 0u32..50,
             alpha in 0.01..1.0f64,

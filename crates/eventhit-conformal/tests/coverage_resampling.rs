@@ -1,0 +1,129 @@
+//! Empirical validation of the marginal coverage guarantees (Theorems 4.1
+//! and 5.1) over many calibration/test resamples.
+//!
+//! Split conformal prediction promises *marginal* coverage: averaged over
+//! the random calibration/test split, C-CLASSIFY misses a truly occurring
+//! event with probability at most `1 − c`, and the C-REGRESS band covers
+//! the true value with probability at least `α`. A single split can be
+//! lucky or unlucky, so these tests aggregate over ≥ 200 independent
+//! resamples drawn from the in-repo RNG (one sub-stream per resample, so
+//! the whole test is deterministic for its fixed master seed).
+
+use eventhit_conformal::{ConformalClassifier, ConformalRegressor, IntervalCalibration, Nonconformity};
+use eventhit_rng::normal::standard_normal;
+use eventhit_rng::rngs::StdRng;
+use eventhit_rng::Rng;
+
+const RESAMPLES: usize = 250;
+const CALIB: usize = 150;
+const TEST: usize = 40;
+
+/// Draws a plausible detector score for a truly-occurring event: skewed
+/// towards 1 but with mass everywhere in (0, 1), i.i.d. across draws —
+/// the exchangeability assumption of Theorem 4.1.
+fn positive_score(rng: &mut StdRng) -> f64 {
+    let u: f64 = rng.random();
+    u.sqrt() // density 2u on (0,1): most mass near 1, none negative
+}
+
+#[test]
+fn classify_miss_rate_is_bounded_by_one_minus_c() {
+    for c in [0.8, 0.9] {
+        let mut misses = 0usize;
+        let mut total = 0usize;
+        for rep in 0..RESAMPLES {
+            let mut rng = StdRng::stream(0xC1A5, rep as u64);
+            let calib: Vec<f64> = (0..CALIB).map(|_| positive_score(&mut rng)).collect();
+            let clf = ConformalClassifier::fit(&calib, Nonconformity::OneMinusScore);
+            for _ in 0..TEST {
+                let b = positive_score(&mut rng);
+                if !clf.predict(b, c) {
+                    misses += 1;
+                }
+                total += 1;
+            }
+        }
+        let miss_rate = misses as f64 / total as f64;
+        // Theorem 4.1: P(miss) ≤ 1 − c. Allow Monte-Carlo slack of ~4
+        // standard errors at 10 000 aggregated test points.
+        let se = ((1.0 - c) * c / total as f64).sqrt();
+        assert!(
+            miss_rate <= (1.0 - c) + 4.0 * se,
+            "c={c}: miss rate {miss_rate} exceeds {}",
+            1.0 - c
+        );
+        // The guarantee should also not be vacuous: at these calibration
+        // sizes the classifier must actually reject some scores.
+        assert!(miss_rate > 0.0, "c={c}: suspiciously perfect predictor");
+    }
+}
+
+#[test]
+fn regressor_band_coverage_is_at_least_alpha() {
+    for alpha in [0.8, 0.9] {
+        let mut covered = 0usize;
+        let mut total = 0usize;
+        for rep in 0..RESAMPLES {
+            let mut rng = StdRng::stream(0x9E65, rep as u64);
+            // Heteroscedastic-ish noise model: y = mu + eps, eps ~ N(0, 2).
+            let noise = |rng: &mut StdRng| 2.0 * standard_normal(rng);
+            let calib: Vec<f64> = (0..CALIB).map(|_| noise(&mut rng).abs()).collect();
+            let reg = ConformalRegressor::fit(calib);
+            for _ in 0..TEST {
+                let mu: f64 = rng.random_range(0.0..100.0);
+                let y = mu + noise(&mut rng);
+                let (lo, hi) = reg.band(mu, alpha);
+                if (lo..=hi).contains(&y) {
+                    covered += 1;
+                }
+                total += 1;
+            }
+        }
+        let coverage = covered as f64 / total as f64;
+        let se = (alpha * (1.0 - alpha) / total as f64).sqrt();
+        assert!(
+            coverage >= alpha - 4.0 * se,
+            "alpha={alpha}: coverage {coverage} below target"
+        );
+    }
+}
+
+#[test]
+fn interval_adjustment_covers_start_and_end() {
+    // The asymmetric interval adjustment of Algorithm 2: after widening by
+    // the calibrated quantiles, the true start should rarely precede the
+    // adjusted start and the true end rarely exceed the adjusted end.
+    let alpha = 0.9;
+    let h = 250u32;
+    let mut start_ok = 0usize;
+    let mut end_ok = 0usize;
+    let mut total = 0usize;
+    for rep in 0..RESAMPLES {
+        let mut rng = StdRng::stream(0x1A7E, rep as u64);
+        // Prediction errors in frames: N(0, 5) for both endpoints.
+        let err = |rng: &mut StdRng| 5.0 * standard_normal(rng);
+        let s_res: Vec<f64> = (0..CALIB).map(|_| err(&mut rng).abs()).collect();
+        let e_res: Vec<f64> = (0..CALIB).map(|_| err(&mut rng).abs()).collect();
+        let cal = IntervalCalibration::fit(s_res, e_res);
+        for _ in 0..TEST {
+            let true_start = rng.random_range(30u32..120);
+            let true_end = true_start + rng.random_range(10u32..80);
+            let pred_start = (true_start as f64 + err(&mut rng)).round().clamp(1.0, h as f64) as u32;
+            let pred_end = (true_end as f64 + err(&mut rng)).round().clamp(pred_start as f64, h as f64) as u32;
+            let (adj_s, adj_e) = cal.adjust(pred_start.max(1), pred_end, h, alpha);
+            if adj_s <= true_start {
+                start_ok += 1;
+            }
+            if adj_e >= true_end {
+                end_ok += 1;
+            }
+            total += 1;
+        }
+    }
+    let se = (alpha * (1.0 - alpha) / total as f64).sqrt();
+    let floor = alpha - 4.0 * se;
+    let s_cov = start_ok as f64 / total as f64;
+    let e_cov = end_ok as f64 / total as f64;
+    assert!(s_cov >= floor, "start coverage {s_cov} below {floor}");
+    assert!(e_cov >= floor, "end coverage {e_cov} below {floor}");
+}

@@ -160,8 +160,8 @@ mod tests {
     use super::*;
     use crate::infer::EventScores;
     use eventhit_video::records::EventLabel;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use eventhit_rng::rngs::StdRng;
+    use eventhit_rng::{Rng, SeedableRng};
 
     #[test]
     fn stationary_uniform_p_values_rarely_alarm() {

@@ -8,8 +8,8 @@
 //! `b_k` scores the event's occurrence anywhere in the horizon and
 //! `θ_{k,v}` scores its occurrence at horizon offset `v`.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use eventhit_rng::rngs::StdRng;
+use eventhit_rng::SeedableRng;
 
 use eventhit_nn::activation::Activation;
 use eventhit_nn::dense::Dense;

@@ -11,9 +11,9 @@
 //!   terms normalized by the interval length and the out-of-interval terms
 //!   by the remaining horizon length (the paper's exact normalization).
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use eventhit_rng::rngs::StdRng;
+use eventhit_rng::seq::SliceRandom;
+use eventhit_rng::SeedableRng;
 
 use eventhit_nn::loss::{bce_scalar, bce_scalar_grad};
 use eventhit_nn::matrix::Matrix;
@@ -223,7 +223,7 @@ mod tests {
     use super::*;
     use crate::model::EventHitConfig;
     use eventhit_video::records::EventLabel;
-    use rand::Rng;
+    use eventhit_rng::Rng;
 
     fn labelled_record(m: usize, d: usize, fill: f32, label: EventLabel) -> Record {
         Record {

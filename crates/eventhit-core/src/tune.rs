@@ -7,8 +7,8 @@
 //! the plain EHO decision on a held-out validation split (never the test
 //! split).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use eventhit_rng::rngs::StdRng;
+use eventhit_rng::{Rng, SeedableRng};
 
 use eventhit_video::records::Record;
 

@@ -3,35 +3,45 @@
 use eventhit_core::infer::{EventScores, IntervalPrediction, ScoredRecord};
 use eventhit_core::metrics::{eta, evaluate, spillage_term, union_frames};
 use eventhit_core::multi::merge_overlapping;
+use eventhit_rng::rngs::StdRng;
+use eventhit_rng::testkit::{from_fn, vec as vec_of, Strategy};
+use eventhit_rng::{prop_assert, prop_assert_eq, prop_assume, property, Rng};
 use eventhit_video::records::EventLabel;
-use proptest::prelude::*;
 
 const H: u32 = 100;
 
-prop_compose! {
-    fn interval()(s in 1u32..=H)(s in Just(s), len in 0u32..(H - s + 1)) -> (u32, u32) {
-        (s, s + len)
-    }
+fn sample_interval(rng: &mut StdRng) -> (u32, u32) {
+    let s = rng.random_range(1u32..=H);
+    let len = rng.random_range(0u32..(H - s + 1));
+    (s, s + len)
 }
 
-prop_compose! {
-    fn label()(present in proptest::bool::ANY, iv in interval()) -> EventLabel {
+fn interval() -> impl Strategy<Value = (u32, u32)> {
+    from_fn(sample_interval)
+}
+
+fn label() -> impl Strategy<Value = EventLabel> {
+    from_fn(|rng| {
+        let present: bool = rng.random();
+        let iv = sample_interval(rng);
         if present {
             EventLabel { present: true, start: iv.0, end: iv.1, censored: false }
         } else {
             EventLabel::absent()
         }
-    }
+    })
 }
 
-prop_compose! {
-    fn prediction()(present in proptest::bool::ANY, iv in interval()) -> IntervalPrediction {
+fn prediction() -> impl Strategy<Value = IntervalPrediction> {
+    from_fn(|rng| {
+        let present: bool = rng.random();
+        let iv = sample_interval(rng);
         if present {
             IntervalPrediction { present: true, start: iv.0, end: iv.1 }
         } else {
             IntervalPrediction::absent()
         }
-    }
+    })
 }
 
 fn scored(labels: Vec<EventLabel>) -> ScoredRecord {
@@ -49,7 +59,7 @@ fn scored(labels: Vec<EventLabel>) -> ScoredRecord {
     }
 }
 
-proptest! {
+property! {
     #[test]
     fn eta_is_a_fraction(p in prediction(), l in label()) {
         if let Some(e) = eta(&p, &l) {
@@ -80,7 +90,7 @@ proptest! {
     }
 
     #[test]
-    fn union_frames_bounded_by_sum(preds in proptest::collection::vec(prediction(), 0..6)) {
+    fn union_frames_bounded_by_sum(preds in vec_of(prediction(), 0..6)) {
         let union = union_frames(&preds);
         let sum: u64 = preds.iter().map(IntervalPrediction::frames).sum();
         let max_single = preds.iter().map(IntervalPrediction::frames).max().unwrap_or(0);
@@ -91,7 +101,7 @@ proptest! {
 
     #[test]
     fn evaluate_outputs_are_fractions(
-        rows in proptest::collection::vec((label(), prediction()), 1..20),
+        rows in vec_of((label(), prediction()), 1..20),
     ) {
         let records: Vec<ScoredRecord> = rows.iter().map(|(l, _)| scored(vec![*l])).collect();
         let preds: Vec<Vec<IntervalPrediction>> = rows.iter().map(|(_, p)| vec![*p]).collect();
@@ -104,7 +114,7 @@ proptest! {
     }
 
     #[test]
-    fn oracle_predictions_score_perfectly(labels in proptest::collection::vec(label(), 1..20)) {
+    fn oracle_predictions_score_perfectly(labels in vec_of(label(), 1..20)) {
         let records: Vec<ScoredRecord> = labels.iter().map(|l| scored(vec![*l])).collect();
         let preds: Vec<Vec<IntervalPrediction>> = labels
             .iter()
@@ -125,7 +135,7 @@ proptest! {
     }
 
     #[test]
-    fn merged_intervals_are_canonical(ivs in proptest::collection::vec(interval(), 0..10)) {
+    fn merged_intervals_are_canonical(ivs in vec_of(interval(), 0..10)) {
         let merged = merge_overlapping(ivs.clone());
         // Sorted, non-overlapping, non-adjacent.
         for w in merged.windows(2) {

@@ -1,6 +1,6 @@
 //! Fully connected (dense) layer with manual backprop.
 
-use rand::Rng;
+use eventhit_rng::Rng;
 
 use crate::activation::Activation;
 use crate::init::Init;
@@ -162,8 +162,8 @@ impl Dense {
 mod tests {
     use super::*;
     use crate::gradcheck::check_gradients;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use eventhit_rng::rngs::StdRng;
+    use eventhit_rng::SeedableRng;
 
     #[test]
     fn forward_known_values() {

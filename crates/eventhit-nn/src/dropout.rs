@@ -4,7 +4,7 @@
 //! are scaled by `1 / (1 - p)`, so the expected activation is unchanged and
 //! no rescaling is needed at inference time.
 
-use rand::Rng;
+use eventhit_rng::Rng;
 
 use crate::matrix::Matrix;
 
@@ -81,8 +81,8 @@ impl Dropout {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use eventhit_rng::rngs::StdRng;
+    use eventhit_rng::SeedableRng;
 
     #[test]
     fn inference_mode_is_identity() {

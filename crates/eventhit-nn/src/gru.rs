@@ -13,7 +13,7 @@
 //!
 //! Fused weights are laid out `[r | z | n]` along the rows.
 
-use rand::Rng;
+use eventhit_rng::Rng;
 
 use crate::activation::{sigmoid, tanh};
 use crate::init::Init;
@@ -241,8 +241,8 @@ impl Gru {
 mod tests {
     use super::*;
     use crate::gradcheck::check_gradients;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use eventhit_rng::rngs::StdRng;
+    use eventhit_rng::SeedableRng;
 
     fn seq(t: usize, batch: usize, dim: usize, seed: u64) -> Vec<Matrix> {
         let mut rng = StdRng::seed_from_u64(seed);

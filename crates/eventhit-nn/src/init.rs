@@ -3,7 +3,7 @@
 //! Gaussian samples are produced with the Box–Muller transform so the crate
 //! only depends on `rand`'s uniform source.
 
-use rand::Rng;
+use eventhit_rng::Rng;
 
 use crate::matrix::Matrix;
 
@@ -62,8 +62,8 @@ impl Init {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use eventhit_rng::rngs::StdRng;
+    use eventhit_rng::SeedableRng;
 
     #[test]
     fn standard_normal_moments() {

@@ -16,8 +16,8 @@
 //! use eventhit_nn::dense::Dense;
 //! use eventhit_nn::init::Init;
 //! use eventhit_nn::matrix::Matrix;
-//! use rand::rngs::StdRng;
-//! use rand::SeedableRng;
+//! use eventhit_rng::rngs::StdRng;
+//! use eventhit_rng::SeedableRng;
 //!
 //! let mut rng = StdRng::seed_from_u64(0);
 //! let mut layer = Dense::new(4, 2, Activation::Sigmoid, Init::XavierUniform, &mut rng);

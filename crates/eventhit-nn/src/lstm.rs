@@ -6,7 +6,7 @@
 //! initialized to 1.0, the standard trick that lets gradients flow through
 //! long sequences early in training.
 
-use rand::Rng;
+use eventhit_rng::Rng;
 
 use crate::activation::{sigmoid, tanh};
 use crate::init::Init;
@@ -257,8 +257,8 @@ impl Lstm {
 mod tests {
     use super::*;
     use crate::gradcheck::check_gradients;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use eventhit_rng::rngs::StdRng;
+    use eventhit_rng::SeedableRng;
 
     fn seq(t: usize, batch: usize, dim: usize, seed: u64) -> Vec<Matrix> {
         let mut rng = StdRng::seed_from_u64(seed);

@@ -8,7 +8,7 @@
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
-use rand::Rng;
+use eventhit_rng::Rng;
 
 /// A dense row-major matrix of `f32` values.
 #[derive(Clone, PartialEq)]
@@ -422,8 +422,8 @@ impl fmt::Debug for Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use eventhit_rng::rngs::StdRng;
+    use eventhit_rng::SeedableRng;
 
     fn sample(rows: usize, cols: usize, seed: u64) -> Matrix {
         let mut rng = StdRng::seed_from_u64(seed);

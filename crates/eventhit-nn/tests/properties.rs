@@ -1,7 +1,8 @@
 //! Property-based tests of the matrix algebra underlying every layer.
 
 use eventhit_nn::matrix::Matrix;
-use proptest::prelude::*;
+use eventhit_rng::testkit::{from_fn, Strategy};
+use eventhit_rng::{prop_assert, prop_assert_eq, property, Rng};
 
 const TOL: f32 = 1e-3;
 
@@ -13,15 +14,16 @@ fn close(a: &Matrix, b: &Matrix) -> bool {
             .all(|(x, y)| (x - y).abs() <= TOL * (1.0 + x.abs().max(y.abs())))
 }
 
-prop_compose! {
-    fn matrix(rows: usize, cols: usize)
-        (data in proptest::collection::vec(-10.0f32..10.0, rows * cols))
-        -> Matrix {
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    from_fn(move |rng| {
+        let data = (0..rows * cols)
+            .map(|_| rng.random_range(-10.0f32..10.0))
+            .collect();
         Matrix::from_vec(rows, cols, data)
-    }
+    })
 }
 
-proptest! {
+property! {
     #[test]
     fn matmul_distributes_over_addition(
         a in matrix(4, 3),

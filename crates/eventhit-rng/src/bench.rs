@@ -1,0 +1,262 @@
+//! Wall-clock micro-benchmarks — the in-repo `criterion` replacement.
+//!
+//! The API mirrors the subset of criterion the workspace's bench files use
+//! (`Criterion`, `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `Bencher::iter`, `Throughput`), so the five bench targets kept their
+//! shape when they were ported. The statistics are deliberately simple:
+//! calibrate the per-iteration cost, then take a fixed number of timed
+//! samples and report min / mean.
+//!
+//! Tuning via environment:
+//! * `EVENTHIT_BENCH_MS` — target measurement time per benchmark in
+//!   milliseconds (default 300).
+//! * `EVENTHIT_BENCH_SAMPLES` — number of timed samples (default 10).
+//!
+//! Declare targets with [`bench_group!`] + [`bench_main!`] and
+//! `harness = false` in the manifest, as with criterion.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver (mirrors `criterion::Criterion`).
+pub struct Criterion {
+    target: Duration,
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = env_u64("EVENTHIT_BENCH_MS", 300);
+        let samples = env_u64("EVENTHIT_BENCH_SAMPLES", 10) as usize;
+        Criterion {
+            target: Duration::from_millis(ms.max(1)),
+            samples: samples.max(1),
+        }
+    }
+}
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
+        run_benchmark(name, self.target, self.samples, None, f);
+    }
+}
+
+/// A named collection of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for criterion compatibility; the sample count is governed
+    /// by `EVENTHIT_BENCH_SAMPLES` instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Reports per-second rates alongside per-iteration times.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(
+            &label,
+            self.criterion.target,
+            self.criterion.samples,
+            self.throughput,
+            f,
+        );
+    }
+
+    /// Runs one parameterized benchmark (the input is passed through).
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (criterion compatibility; no-op).
+    pub fn finish(self) {}
+}
+
+/// A `name/parameter` benchmark label.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds the label `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Units for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Items processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under measurement.
+pub struct Bencher {
+    target: Duration,
+    samples: usize,
+    /// Mean per-iteration time of each sample, filled by `iter`.
+    measurements: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Measures `f`: calibrates a batch size so one sample takes roughly
+    /// `target / samples`, then records `samples` timed batches.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Calibration: double the batch until it runs long enough to time.
+        let calibration_floor =
+            (self.target / (self.samples as u32 * 10)).max(Duration::from_micros(50));
+        let mut batch = 1u64;
+        let per_iter_nanos = loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= calibration_floor || batch >= 1 << 40 {
+                break (elapsed.as_nanos() / batch as u128).max(1);
+            }
+            batch *= 2;
+        };
+
+        let sample_budget = (self.target / self.samples as u32).as_nanos();
+        let iters = (sample_budget / per_iter_nanos).max(1) as u64;
+
+        self.iters_per_sample = iters;
+        self.measurements.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let per_iter = start.elapsed().as_nanos() / iters as u128;
+            self.measurements
+                .push(Duration::from_nanos(per_iter.min(u64::MAX as u128) as u64));
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    target: Duration,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        target,
+        samples,
+        measurements: Vec::new(),
+        iters_per_sample: 0,
+    };
+    f(&mut bencher);
+
+    if bencher.measurements.is_empty() {
+        println!("{label:<48} (no measurement: Bencher::iter never called)");
+        return;
+    }
+    let min = bencher.measurements.iter().min().copied().unwrap_or_default();
+    let mean = bencher
+        .measurements
+        .iter()
+        .sum::<Duration>()
+        / bencher.measurements.len() as u32;
+
+    let rate = throughput.map(|t| {
+        let per_sec = |count: u64| count as f64 / mean.as_secs_f64().max(1e-12);
+        match t {
+            Throughput::Elements(n) => format!(" ({:.3e} elem/s)", per_sec(n)),
+            Throughput::Bytes(n) => format!(" ({:.3e} B/s)", per_sec(n)),
+        }
+    });
+    println!(
+        "{label:<48} time: [min {} / mean {}]{} ({} samples x {} iters)",
+        fmt_duration(min),
+        fmt_duration(mean),
+        rate.unwrap_or_default(),
+        bencher.measurements.len(),
+        bencher.iters_per_sample,
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group function from a list of `fn(&mut Criterion)`
+/// benchmarks (the `criterion_group!` replacement).
+#[macro_export]
+macro_rules! bench_group {
+    ($group:ident, $($bench:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::bench::Criterion::default();
+            $( $bench(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `fn main()` running the listed groups (the `criterion_main!`
+/// replacement). Requires `harness = false` on the bench target.
+#[macro_export]
+macro_rules! bench_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

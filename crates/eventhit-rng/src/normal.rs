@@ -1,0 +1,24 @@
+//! Gaussian sampling via Box–Muller, on top of the uniform source.
+
+use crate::traits::{Rng, RngCore};
+
+/// One standard-normal (`N(0, 1)`) sample.
+pub fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // 1 - U keeps the argument of ln strictly positive (U is in [0, 1)).
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A normal sample with the given mean and standard deviation.
+pub fn normal<R: RngCore + ?Sized>(mean: f64, std: f64, rng: &mut R) -> f64 {
+    assert!(std >= 0.0, "standard deviation must be non-negative");
+    mean + std * standard_normal(rng)
+}
+
+/// One standard-normal sample in `f32` (single-precision Box–Muller).
+pub fn standard_normal_f32<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+    let u1: f32 = 1.0 - rng.random::<f32>();
+    let u2: f32 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}

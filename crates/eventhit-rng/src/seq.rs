@@ -1,0 +1,36 @@
+//! Slice utilities (mirrors the used subset of `rand::seq`).
+
+use crate::traits::{Rng, RngCore};
+
+/// Random slice operations, implemented for `[T]` (and therefore available
+/// on `Vec<T>` via deref).
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Uniform in-place shuffle (Fisher–Yates). Every permutation is
+    /// equally likely because the index draws are bias-free.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// A uniformly chosen element, or `None` for an empty slice.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.random_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.random_range(0..self.len())])
+        }
+    }
+}

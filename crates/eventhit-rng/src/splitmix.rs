@@ -1,0 +1,43 @@
+//! SplitMix64 — the seed expander.
+//!
+//! A 64-bit state, 64-bit output generator (Steele, Lea & Flood 2014) whose
+//! single-pass avalanche makes it the standard choice for expanding a small
+//! seed into the state of a larger generator. `rand` seeds `StdRng` the same
+//! way, which keeps `seed_from_u64` semantics familiar.
+
+use crate::traits::RngCore;
+
+/// The SplitMix64 generator. Mainly used to expand `u64` seeds into
+/// Xoshiro256++ state; usable as a (weak) generator in its own right.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator with the given starting state.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Advances the state and returns the next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl RngCore for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        SplitMix64::next_u64(self)
+    }
+}
+
+/// One SplitMix64 step as a pure 64-bit mixing function. Used for
+/// domain-separated stream derivation.
+pub fn mix64(x: u64) -> u64 {
+    SplitMix64::new(x).next_u64()
+}

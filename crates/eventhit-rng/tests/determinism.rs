@@ -1,0 +1,191 @@
+//! Determinism and golden-value tests for the RNG substrate.
+//!
+//! The workspace's reproducibility story rests on this crate: the same
+//! seed must produce bit-identical draws on every platform and every run.
+//! These tests pin the generator to the *published* xoshiro256++ test
+//! vector and to golden values captured at the time the crate was
+//! written, so any accidental change to the state transition, the seeding
+//! discipline, or the float conversion fails loudly.
+
+use eventhit_rng::rngs::{StdRng, Xoshiro256PlusPlus};
+use eventhit_rng::seq::SliceRandom;
+use eventhit_rng::{Rng, RngCore, SeedableRng};
+
+/// The canonical xoshiro256++ test vector: the first ten outputs of the
+/// generator initialised with state `[1, 2, 3, 4]`, as published with the
+/// reference C implementation (and mirrored by `rand_xoshiro`).
+#[test]
+fn matches_published_xoshiro256pp_vector() {
+    let mut seed = [0u8; 32];
+    seed[0] = 1;
+    seed[8] = 2;
+    seed[16] = 3;
+    seed[24] = 4;
+    let mut rng = Xoshiro256PlusPlus::from_seed(seed);
+    let expected: [u64; 10] = [
+        41943041,
+        58720359,
+        3588806011781223,
+        3591011842654386,
+        9228616714210784205,
+        9973669472204895162,
+        14011001112246962877,
+        12406186145184390807,
+        15849039046786891736,
+        10450023813501588000,
+    ];
+    for (i, want) in expected.iter().enumerate() {
+        assert_eq!(rng.next_u64(), *want, "output {i} diverged");
+    }
+}
+
+/// `seed_from_u64` expands the seed through SplitMix64; these golden
+/// values pin that expansion so the seeding discipline cannot silently
+/// change (which would alter every experiment in the workspace).
+#[test]
+fn seed_from_u64_golden_values() {
+    let mut rng = StdRng::seed_from_u64(0);
+    assert_eq!(
+        [rng.next_u64(), rng.next_u64(), rng.next_u64(), rng.next_u64()],
+        [
+            5987356902031041503,
+            7051070477665621255,
+            6633766593972829180,
+            211316841551650330,
+        ]
+    );
+    let mut rng = StdRng::seed_from_u64(42);
+    assert_eq!(
+        [rng.next_u64(), rng.next_u64(), rng.next_u64(), rng.next_u64()],
+        [
+            15021278609987233951,
+            5881210131331364753,
+            18149643915985481100,
+            12933668939759105464,
+        ]
+    );
+}
+
+/// Float conversion is part of the reproducibility contract: pin the bit
+/// patterns of the first `f64` draws.
+#[test]
+fn f64_draws_are_bit_stable() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let bits: Vec<u64> = (0..4).map(|_| rng.random::<f64>().to_bits()).collect();
+    assert_eq!(
+        bits,
+        [
+            4588139100750830880,
+            4595369147474192204,
+            4604638570713848459,
+            4601367547849786880,
+        ]
+    );
+}
+
+/// Fisher–Yates shuffle golden permutation.
+#[test]
+fn shuffle_golden_permutation() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut xs: Vec<u32> = (0..10).collect();
+    xs.shuffle(&mut rng);
+    assert_eq!(xs, [5, 3, 1, 0, 9, 6, 4, 7, 2, 8]);
+}
+
+/// Same seed ⇒ bit-identical long sequences; different seeds diverge.
+#[test]
+fn same_seed_same_sequence() {
+    let mut a = StdRng::seed_from_u64(123);
+    let mut b = StdRng::seed_from_u64(123);
+    for _ in 0..1000 {
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+    let mut c = StdRng::seed_from_u64(124);
+    let first: Vec<u64> = (0..8).map(|_| StdRng::seed_from_u64(123).next_u64()).collect();
+    let other: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+    assert_ne!(first, other);
+}
+
+/// Stream-splitting: `stream(seed, i)` is deterministic and distinct
+/// across `i` — this is what makes parallel trial workers reproducible.
+#[test]
+fn streams_are_deterministic_and_distinct() {
+    let mut s0 = StdRng::stream(9, 0);
+    let a: Vec<u64> = (0..3).map(|_| s0.next_u64()).collect();
+    assert_eq!(
+        a,
+        [
+            18042647766004470083,
+            9976776682348904028,
+            16194548466566330340,
+        ]
+    );
+    let mut s1 = StdRng::stream(9, 1);
+    let b: Vec<u64> = (0..3).map(|_| s1.next_u64()).collect();
+    assert_eq!(
+        b,
+        [
+            8975975956173078749,
+            1316666585990535663,
+            3490460270103327524,
+        ]
+    );
+    // Re-derivation is stable.
+    let mut again = StdRng::stream(9, 0);
+    assert_eq!(again.next_u64(), 18042647766004470083);
+}
+
+/// `split()` derives a child stream deterministically and leaves the
+/// parent on a different trajectory than the child.
+#[test]
+fn split_is_deterministic_and_decorrelated() {
+    let mut p1 = StdRng::seed_from_u64(5);
+    let mut c1 = p1.split();
+    let mut p2 = StdRng::seed_from_u64(5);
+    let mut c2 = p2.split();
+    for _ in 0..100 {
+        assert_eq!(c1.next_u64(), c2.next_u64());
+        assert_eq!(p1.next_u64(), p2.next_u64());
+    }
+    // Child and parent continuations do not collide over a window.
+    let mut p = StdRng::seed_from_u64(5);
+    let mut c = p.split();
+    let parent: Vec<u64> = (0..64).map(|_| p.next_u64()).collect();
+    let child: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+    assert!(parent.iter().all(|x| !child.contains(x)));
+}
+
+/// `jump()` advances by 2^128 draws: the jumped generator's outputs are
+/// disjoint from the original's first draws.
+#[test]
+fn jump_produces_disjoint_subsequence() {
+    let mut base = StdRng::seed_from_u64(11);
+    let head: Vec<u64> = (0..256).map(|_| base.next_u64()).collect();
+    let mut jumped = StdRng::seed_from_u64(11);
+    jumped.jump();
+    let tail: Vec<u64> = (0..256).map(|_| jumped.next_u64()).collect();
+    assert!(head.iter().all(|x| !tail.contains(x)));
+    let mut far = StdRng::seed_from_u64(11);
+    far.long_jump();
+    let far_tail: Vec<u64> = (0..256).map(|_| far.next_u64()).collect();
+    assert!(head.iter().all(|x| !far_tail.contains(x)));
+    assert!(tail.iter().all(|x| !far_tail.contains(x)));
+}
+
+/// Ranges and Gaussians are reproducible end to end.
+#[test]
+fn derived_draws_are_reproducible() {
+    let draw = |seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ints: Vec<i64> = (0..32).map(|_| rng.random_range(-100i64..100)).collect();
+        let floats: Vec<u64> = (0..32)
+            .map(|_| rng.random_range(0.0f64..3.5).to_bits())
+            .collect();
+        let normals: Vec<u64> = (0..32)
+            .map(|_| eventhit_rng::normal::standard_normal(&mut rng).to_bits())
+            .collect();
+        (ints, floats, normals)
+    };
+    assert_eq!(draw(77), draw(77));
+    assert_ne!(draw(77), draw(78));
+}

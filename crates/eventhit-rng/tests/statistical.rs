@@ -1,0 +1,206 @@
+//! Statistical sanity checks for the RNG substrate.
+//!
+//! Every test uses a fixed seed, so these are deterministic regression
+//! tests, not flaky Monte-Carlo assertions: the tolerances are chosen
+//! with generous margin (roughly 5–10 standard errors at the sample
+//! sizes used), so they only fail if the generator or a conversion is
+//! actually broken.
+
+use eventhit_rng::normal::standard_normal;
+use eventhit_rng::rngs::StdRng;
+use eventhit_rng::seq::SliceRandom;
+use eventhit_rng::{Rng, SeedableRng};
+
+const N: usize = 100_000;
+
+fn mean_var(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    (mean, var)
+}
+
+/// χ² statistic over `k` equiprobable buckets with `counts` observations.
+fn chi_square(counts: &[u64], total: u64) -> f64 {
+    let expected = total as f64 / counts.len() as f64;
+    counts
+        .iter()
+        .map(|&o| {
+            let d = o as f64 - expected;
+            d * d / expected
+        })
+        .sum()
+}
+
+#[test]
+fn uniform_f64_moments() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let xs: Vec<f64> = (0..N).map(|_| rng.random::<f64>()).collect();
+    assert!(xs.iter().all(|x| (0.0..1.0).contains(x)));
+    let (mean, var) = mean_var(&xs);
+    // Uniform(0,1): mean 1/2 (SE ≈ 0.0009), variance 1/12.
+    assert!((mean - 0.5).abs() < 0.005, "mean={mean}");
+    assert!((var - 1.0 / 12.0).abs() < 0.002, "var={var}");
+}
+
+#[test]
+fn uniform_f32_stays_in_unit_interval() {
+    let mut rng = StdRng::seed_from_u64(2);
+    for _ in 0..N {
+        let x: f32 = rng.random();
+        assert!((0.0..1.0).contains(&x), "x={x}");
+    }
+}
+
+#[test]
+fn random_range_int_is_uniform() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut counts = [0u64; 10];
+    for _ in 0..N {
+        counts[rng.random_range(0usize..10)] += 1;
+    }
+    // df = 9; χ² > 27.9 has p < 0.001 under uniformity.
+    let chi2 = chi_square(&counts, N as u64);
+    assert!(chi2 < 27.9, "chi2={chi2} counts={counts:?}");
+}
+
+#[test]
+fn random_range_small_span_is_unbiased() {
+    // Span 3 exercises the Lemire rejection path hardest (largest bias
+    // without rejection would still be tiny, but the bucket test catches
+    // gross errors in the threshold arithmetic).
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut counts = [0u64; 3];
+    for _ in 0..N {
+        counts[rng.random_range(0usize..3)] += 1;
+    }
+    let chi2 = chi_square(&counts, N as u64);
+    // df = 2; χ² > 13.8 has p < 0.001.
+    assert!(chi2 < 13.8, "chi2={chi2} counts={counts:?}");
+}
+
+#[test]
+fn random_range_float_moments_and_bounds() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let (lo, hi) = (-2.5f64, 7.5f64);
+    let xs: Vec<f64> = (0..N).map(|_| rng.random_range(lo..hi)).collect();
+    assert!(xs.iter().all(|x| (lo..hi).contains(x)));
+    let (mean, var) = mean_var(&xs);
+    let span = hi - lo;
+    assert!((mean - (lo + hi) / 2.0).abs() < 0.05, "mean={mean}");
+    assert!((var - span * span / 12.0).abs() < 0.2, "var={var}");
+}
+
+#[test]
+fn signed_range_covers_both_sides() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let (mut neg, mut pos) = (0u64, 0u64);
+    for _ in 0..N {
+        let v: i64 = rng.random_range(-50i64..=50);
+        assert!((-50..=50).contains(&v));
+        if v < 0 {
+            neg += 1;
+        } else if v > 0 {
+            pos += 1;
+        }
+    }
+    let ratio = neg as f64 / pos as f64;
+    assert!((0.9..1.1).contains(&ratio), "neg={neg} pos={pos}");
+}
+
+#[test]
+fn box_muller_normal_moments() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let xs: Vec<f64> = (0..N).map(|_| standard_normal(&mut rng)).collect();
+    let (mean, var) = mean_var(&xs);
+    // N(0,1): SE(mean) ≈ 0.003, SE(var) ≈ 0.0045.
+    assert!(mean.abs() < 0.02, "mean={mean}");
+    assert!((var - 1.0).abs() < 0.03, "var={var}");
+    // Central mass: P(|X| < 1) = 0.6827.
+    let inside = xs.iter().filter(|x| x.abs() < 1.0).count() as f64 / N as f64;
+    assert!((inside - 0.6827).abs() < 0.01, "inside={inside}");
+    // Tails exist but are thin: P(|X| > 3) ≈ 0.0027.
+    let tail = xs.iter().filter(|x| x.abs() > 3.0).count() as f64 / N as f64;
+    assert!(tail > 0.0005 && tail < 0.008, "tail={tail}");
+}
+
+#[test]
+fn box_muller_quantile_buckets() {
+    // Bucket draws by the standard normal quartiles; each bucket should
+    // hold ~25% of the mass.
+    let mut rng = StdRng::seed_from_u64(8);
+    let q = [-0.6745, 0.0, 0.6745]; // 25/50/75 % points of N(0,1)
+    let mut counts = [0u64; 4];
+    for _ in 0..N {
+        let x = standard_normal(&mut rng);
+        let bucket = q.iter().position(|&b| x < b).unwrap_or(3);
+        counts[bucket] += 1;
+    }
+    let chi2 = chi_square(&counts, N as u64);
+    // df = 3; χ² > 16.3 has p < 0.001.
+    assert!(chi2 < 16.3, "chi2={chi2} counts={counts:?}");
+}
+
+#[test]
+fn shuffle_permutations_are_uniform() {
+    // All 4! = 24 permutations of a 4-element slice should be equally
+    // likely under Fisher–Yates.
+    let trials = 120_000u64;
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut counts = std::collections::HashMap::new();
+    for _ in 0..trials {
+        let mut xs = [0u8, 1, 2, 3];
+        xs.shuffle(&mut rng);
+        *counts.entry(xs).or_insert(0u64) += 1;
+    }
+    assert_eq!(counts.len(), 24, "not all permutations reached");
+    let observed: Vec<u64> = counts.values().copied().collect();
+    let chi2 = chi_square(&observed, trials);
+    // df = 23; χ² > 49.7 has p < 0.001.
+    assert!(chi2 < 49.7, "chi2={chi2}");
+}
+
+#[test]
+fn shuffle_positions_are_uniform() {
+    // A fixed element should land in every slot equally often.
+    let trials = 50_000u64;
+    let mut rng = StdRng::seed_from_u64(10);
+    let mut counts = [0u64; 10];
+    for _ in 0..trials {
+        let mut xs: Vec<u8> = (0..10).collect();
+        xs.shuffle(&mut rng);
+        let pos = xs.iter().position(|&x| x == 0).unwrap();
+        counts[pos] += 1;
+    }
+    let chi2 = chi_square(&counts, trials);
+    assert!(chi2 < 27.9, "chi2={chi2} counts={counts:?}");
+}
+
+#[test]
+fn random_bool_frequency() {
+    let mut rng = StdRng::seed_from_u64(11);
+    for p in [0.1, 0.3, 0.5, 0.9] {
+        let hits = (0..N).filter(|_| rng.random_bool(p)).count() as f64 / N as f64;
+        assert!((hits - p).abs() < 0.01, "p={p} hits={hits}");
+    }
+}
+
+#[test]
+fn bit_balance_of_raw_output() {
+    // Each of the 64 output bits should be set about half the time.
+    use eventhit_rng::RngCore;
+    let mut rng = StdRng::seed_from_u64(12);
+    let mut ones = [0u64; 64];
+    let draws = 20_000u64;
+    for _ in 0..draws {
+        let x = rng.next_u64();
+        for (b, slot) in ones.iter_mut().enumerate() {
+            *slot += (x >> b) & 1;
+        }
+    }
+    for (b, &c) in ones.iter().enumerate() {
+        let frac = c as f64 / draws as f64;
+        // SE ≈ 0.0035; allow ±5 SE.
+        assert!((frac - 0.5).abs() < 0.02, "bit {b}: frac={frac}");
+    }
+}

@@ -269,8 +269,8 @@ fn breslow_baseline(sorted_desc: &[&Subject], beta: &[f64]) -> Vec<(f64, f64)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use eventhit_rng::rngs::StdRng;
+    use eventhit_rng::{Rng, SeedableRng};
 
     fn subject(x: Vec<f64>, time: f64, observed: bool) -> Subject {
         Subject { x, time, observed }

@@ -166,8 +166,8 @@ fn gamma(x: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use eventhit_rng::rngs::StdRng;
+    use eventhit_rng::{Rng, SeedableRng};
 
     fn weibull_sample(shape: f64, scale: f64, rng: &mut StdRng) -> f64 {
         // Inverse transform: t = λ (-ln U)^{1/k}.

@@ -4,7 +4,7 @@
 //! need `rand_distr`: Box–Muller normals, truncated normals (rejection with
 //! clamping fallback), exponential inter-arrival gaps, and Knuth Poisson.
 
-use rand::Rng;
+use eventhit_rng::Rng;
 
 /// One standard-normal sample (Box–Muller).
 pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
@@ -107,8 +107,8 @@ pub fn geometric<R: Rng + ?Sized>(p: f64, rng: &mut R) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use eventhit_rng::rngs::StdRng;
+    use eventhit_rng::SeedableRng;
 
     fn rng(seed: u64) -> StdRng {
         StdRng::seed_from_u64(seed)

@@ -23,8 +23,8 @@
 //! * three shared nuisance channels — background object count, global motion
 //!   energy, and a slow scene-phase sinusoid.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use eventhit_rng::rngs::StdRng;
+use eventhit_rng::{Rng, SeedableRng};
 
 use eventhit_nn::matrix::Matrix;
 

@@ -5,8 +5,8 @@
 //! (exponential gaps) with truncated-normal durations, matching the paper's
 //! motivating assumption (§I) and Table I statistics.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use eventhit_rng::rngs::StdRng;
+use eventhit_rng::SeedableRng;
 
 use crate::distributions::{exponential, lognormal_mean_std};
 use crate::event::{EventClass, EventInstance, OccurrenceInterval};

@@ -5,9 +5,8 @@ use eventhit_video::event::{EventClass, EventInstance, OccurrenceInterval};
 use eventhit_video::records::horizon_label;
 use eventhit_video::stream::{VideoStream, MIN_GAP};
 use eventhit_video::synthetic;
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use eventhit_rng::rngs::StdRng;
+use eventhit_rng::{prop_assert, prop_assert_eq, prop_assume, property, SeedableRng};
 
 fn test_stream(instances: Vec<(u64, u64)>, len: u64) -> VideoStream {
     VideoStream {
@@ -32,7 +31,7 @@ fn test_stream(instances: Vec<(u64, u64)>, len: u64) -> VideoStream {
     }
 }
 
-proptest! {
+property! {
     /// Generated streams respect bounds, within-class ordering and gaps,
     /// for arbitrary seeds and scales.
     #[test]

@@ -20,7 +20,12 @@ fn opt_and_bf_are_the_extremes() {
     let opt = run.oracle_outcome();
     let bf = run.brute_force_outcome();
     assert_eq!((opt.rec, opt.spl), (1.0, 0.0));
-    assert_eq!((bf.rec, bf.spl), (1.0, 1.0));
+    // BF relays everything, so REC is exactly 1. Its spillage is 1 except
+    // for records whose horizon is saturated by a true event — those have
+    // zero spillable frames and contribute 0 by definition — so allow a
+    // small deficit (the generated stream may contain a few such records).
+    assert_eq!(bf.rec, 1.0);
+    assert!(bf.spl > 0.98 && bf.spl <= 1.0, "bf.spl={}", bf.spl);
     // Every strategy lies between the extremes.
     for s in [
         Strategy::Eho { tau1: 0.5 },
