@@ -11,6 +11,8 @@
 
 use eventhit_video::detector::StageModel;
 
+use crate::resilient::{ResilientCiClient, SubmissionOutcome};
+
 /// A relay request: `frames` frames submitted when stream frame
 /// `arrival_frame` has been captured.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,12 +60,13 @@ pub struct QueueReport {
 }
 
 /// Simulates the FIFO queue over submissions (must be sorted by
-/// `arrival_frame`). Returns `None` for an empty submission list.
+/// `arrival_frame`). Returns `None` for an empty submission list or a
+/// non-positive capture rate (a dead camera offers no load — nothing to
+/// simulate, not a panic).
 pub fn simulate(submissions: &[Submission], cfg: &QueueConfig) -> Option<QueueReport> {
-    if submissions.is_empty() {
+    if submissions.is_empty() || !cfg.stream_fps.is_finite() || cfg.stream_fps <= 0.0 {
         return None;
     }
-    assert!(cfg.stream_fps > 0.0);
     debug_assert!(
         submissions
             .windows(2)
@@ -96,6 +99,10 @@ pub fn simulate(submissions: &[Submission], cfg: &QueueConfig) -> Option<QueueRe
 
     latencies.sort_by(f64::total_cmp);
     let n = latencies.len();
+    // `span` covers both degenerate shapes: a single instantaneous burst
+    // (all arrivals equal, zero-frame requests => span 0) and offered
+    // load at or above the service rate (span = busy time, utilization
+    // exactly 1, never a negative residual).
     let span = (free_at - first_arrival).max(f64::MIN_POSITIVE);
     Some(QueueReport {
         completed: n,
@@ -107,14 +114,120 @@ pub fn simulate(submissions: &[Submission], cfg: &QueueConfig) -> Option<QueueRe
     })
 }
 
+/// [`QueueReport`] plus the resilience counters of a faulted run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilientQueueReport {
+    /// Queue metrics over *delivered* submissions only.
+    pub queue: QueueReport,
+    /// Submissions degraded (never served).
+    pub degraded: usize,
+    /// Frames belonging to degraded submissions.
+    pub degraded_frames: u64,
+    /// Fraction of submissions that were served.
+    pub availability: f64,
+}
+
+/// Simulates the FIFO queue with every submission passing through the
+/// resilient client first. Retries re-enter the discrete-event timeline:
+/// a submission delivered after `wasted` seconds of failed attempts and
+/// backoff effectively *arrives* that much later, so outages and retry
+/// storms grow the backlog exactly as they would in a deployment.
+/// Degraded submissions never occupy the server but are counted.
+///
+/// Returns `None` under the same conditions as [`simulate`].
+pub fn simulate_resilient(
+    submissions: &[Submission],
+    cfg: &QueueConfig,
+    client: &mut ResilientCiClient,
+) -> Option<ResilientQueueReport> {
+    if submissions.is_empty() || !cfg.stream_fps.is_finite() || cfg.stream_fps <= 0.0 {
+        return None;
+    }
+
+    let mut free_at = 0.0f64;
+    let mut latencies = Vec::new();
+    let mut busy = 0.0f64;
+    let mut max_backlog = 0u64;
+    let mut backlog_until: Vec<(f64, u64)> = Vec::new();
+    let mut degraded = 0usize;
+    let mut degraded_frames = 0u64;
+
+    let first_arrival = submissions[0].arrival_frame as f64 / cfg.stream_fps;
+    let mut last_finish = first_arrival;
+    for sub in submissions {
+        let arrival = sub.arrival_frame as f64 / cfg.stream_fps;
+        backlog_until.retain(|&(finish, _)| finish > arrival);
+        let backlog: u64 = backlog_until.iter().map(|&(_, f)| f).sum::<u64>() + sub.frames;
+        max_backlog = max_backlog.max(backlog);
+
+        match client.submit(sub.frames, arrival) {
+            SubmissionOutcome::Delivered {
+                wasted, service, ..
+            } => {
+                let effective_arrival = arrival + wasted;
+                let start = free_at.max(effective_arrival);
+                let finish = start + service;
+                busy += service;
+                latencies.push(finish - arrival);
+                backlog_until.push((finish, sub.frames));
+                free_at = finish;
+                last_finish = last_finish.max(finish);
+            }
+            SubmissionOutcome::Degraded { .. } => {
+                degraded += 1;
+                degraded_frames += sub.frames;
+                // The frames linger as backlog until abandonment; model
+                // them as pending for one inter-arrival period.
+                backlog_until.push((arrival + client.config_deadline(), sub.frames));
+            }
+        }
+    }
+
+    if latencies.is_empty() {
+        // Nothing was ever served: report an all-degraded run with an
+        // empty queue profile rather than dividing by zero.
+        return Some(ResilientQueueReport {
+            queue: QueueReport {
+                completed: 0,
+                utilization: 0.0,
+                mean_latency: 0.0,
+                p95_latency: 0.0,
+                max_latency: 0.0,
+                max_backlog_frames: max_backlog,
+            },
+            degraded,
+            degraded_frames,
+            availability: 0.0,
+        });
+    }
+
+    latencies.sort_by(f64::total_cmp);
+    let n = latencies.len();
+    let span = (last_finish - first_arrival).max(f64::MIN_POSITIVE);
+    Some(ResilientQueueReport {
+        queue: QueueReport {
+            completed: n,
+            utilization: (busy / span).min(1.0),
+            mean_latency: latencies.iter().sum::<f64>() / n as f64,
+            p95_latency: latencies[((0.95 * n as f64).ceil() as usize).clamp(1, n) - 1],
+            max_latency: latencies[n - 1],
+            max_backlog_frames: max_backlog,
+        },
+        degraded,
+        degraded_frames,
+        availability: n as f64 / (n + degraded) as f64,
+    })
+}
+
 /// Builds submissions from marshalled relay segments: each segment is
-/// submitted when its last frame has been captured.
+/// submitted when its last frame has been captured. Inverted segments
+/// (`end < start`) contribute zero frames instead of wrapping around.
 pub fn submissions_from_segments(segments: &[(u64, u64)]) -> Vec<Submission> {
     let mut subs: Vec<Submission> = segments
         .iter()
         .map(|&(start, end)| Submission {
             arrival_frame: end,
-            frames: end - start + 1,
+            frames: (end + 1).saturating_sub(start),
         })
         .collect();
     subs.sort_by_key(|s| s.arrival_frame);
@@ -235,6 +348,148 @@ mod tests {
         let r_ehcr = simulate(&ehcr, &c).unwrap();
         assert!(r_ehcr.mean_latency < r_bf.mean_latency / 2.0);
         assert!(r_ehcr.p95_latency < r_bf.p95_latency);
+    }
+
+    #[test]
+    fn zero_frame_submissions_do_not_divide_by_zero() {
+        // Regression: an all-zero burst at a single arrival frame used to
+        // make the busy span zero; the report must stay finite.
+        let subs = vec![
+            Submission {
+                arrival_frame: 100,
+                frames: 0,
+            };
+            5
+        ];
+        let r = simulate(&subs, &cfg(30.0, 10.0)).unwrap();
+        assert_eq!(r.completed, 5);
+        assert_eq!(r.mean_latency, 0.0);
+        assert!(r.utilization.is_finite() && r.utilization >= 0.0);
+        assert_eq!(r.max_backlog_frames, 0);
+    }
+
+    #[test]
+    fn dead_camera_yields_none_not_panic() {
+        // Regression: stream_fps = 0 used to assert.
+        let subs = vec![Submission {
+            arrival_frame: 1,
+            frames: 10,
+        }];
+        assert!(simulate(&subs, &cfg(0.0, 10.0)).is_none());
+        assert!(simulate(&subs, &cfg(f64::NAN, 10.0)).is_none());
+    }
+
+    #[test]
+    fn saturated_load_caps_utilization_at_one() {
+        // Offered load far above the service rate: utilization must be
+        // exactly 1 (never > 1 from the span guard) and backlog must be
+        // non-negative (u64) and growing.
+        let subs: Vec<Submission> = (0..50)
+            .map(|i| Submission {
+                arrival_frame: i, // one huge request per captured frame
+                frames: 1000,
+            })
+            .collect();
+        let r = simulate(&subs, &cfg(30.0, 1.0)).unwrap();
+        assert!(r.utilization <= 1.0 && r.utilization > 0.999);
+        assert!(r.max_backlog_frames >= 1000);
+    }
+
+    #[test]
+    fn inverted_segments_become_zero_frames() {
+        // Regression: (start > end) used to underflow u64.
+        let subs = submissions_from_segments(&[(80, 50), (10, 20)]);
+        assert_eq!(subs[1].frames, 0);
+        assert_eq!(subs[0].frames, 11);
+    }
+
+    #[test]
+    fn resilient_queue_reliable_channel_matches_plain_simulation() {
+        use crate::faults::FaultConfig;
+        use crate::resilient::{ResilienceConfig, ResilientCiClient};
+        let subs: Vec<Submission> = (1..=10)
+            .map(|i| Submission {
+                arrival_frame: i * 1000,
+                frames: 80,
+            })
+            .collect();
+        let c = cfg(30.0, 10.0);
+        let plain = simulate(&subs, &c).unwrap();
+        let mut client = ResilientCiClient::new(
+            FaultConfig::reliable(),
+            ResilienceConfig::default(),
+            c.ci.clone(),
+            1,
+        )
+        .unwrap();
+        let res = simulate_resilient(&subs, &c, &mut client).unwrap();
+        assert_eq!(res.availability, 1.0);
+        assert_eq!(res.degraded, 0);
+        assert_eq!(res.queue, plain, "no faults => identical queue profile");
+    }
+
+    #[test]
+    fn outages_grow_backlog_and_cut_availability() {
+        use crate::faults::FaultConfig;
+        use crate::resilient::{ResilienceConfig, ResilientCiClient};
+        let subs: Vec<Submission> = (1..=60)
+            .map(|i| Submission {
+                arrival_frame: i * 600,
+                frames: 100,
+            })
+            .collect();
+        let c = cfg(30.0, 10.0);
+        let clean = simulate(&subs, &c).unwrap();
+        let faults = FaultConfig {
+            p_good_to_bad: 0.15,
+            p_bad_to_good: 0.25,
+            bad_loss: 1.0,
+            transient_prob: 0.1,
+            ..FaultConfig::reliable()
+        };
+        let mut client = ResilientCiClient::new(
+            faults,
+            ResilienceConfig::default(),
+            c.ci.clone(),
+            5,
+        )
+        .unwrap();
+        let res = simulate_resilient(&subs, &c, &mut client).unwrap();
+        assert!(res.availability < 1.0, "outages must cost availability");
+        assert!(res.degraded > 0);
+        assert!(
+            res.queue.max_backlog_frames >= clean.max_backlog_frames,
+            "outages cannot shrink the backlog: {} vs {}",
+            res.queue.max_backlog_frames,
+            clean.max_backlog_frames
+        );
+        assert_eq!(res.queue.completed + res.degraded, subs.len());
+    }
+
+    #[test]
+    fn fully_dead_service_reports_zero_availability() {
+        use crate::faults::FaultConfig;
+        use crate::resilient::{ResilienceConfig, ResilientCiClient};
+        let subs: Vec<Submission> = (1..=5)
+            .map(|i| Submission {
+                arrival_frame: i * 100,
+                frames: 10,
+            })
+            .collect();
+        let c = cfg(30.0, 10.0);
+        let faults = FaultConfig {
+            p_good_to_bad: 1.0,
+            p_bad_to_good: 0.0,
+            bad_loss: 1.0,
+            ..FaultConfig::reliable()
+        };
+        let mut client =
+            ResilientCiClient::new(faults, ResilienceConfig::default(), c.ci.clone(), 2).unwrap();
+        let res = simulate_resilient(&subs, &c, &mut client).unwrap();
+        assert_eq!(res.availability, 0.0);
+        assert_eq!(res.queue.completed, 0);
+        assert_eq!(res.degraded, 5);
+        assert!(res.queue.mean_latency == 0.0 && res.queue.utilization == 0.0);
     }
 
     #[test]

@@ -14,6 +14,7 @@ use eventhit_video::stream::VideoStream;
 use eventhit_video::synthetic::DatasetProfile;
 
 use crate::ci::{CiConfig, CostReport};
+use crate::error::{CoreError, CoreResult};
 use crate::infer::{score_records, IntervalPrediction, ScoredRecord};
 use crate::metrics::{evaluate, EvalOutcome};
 use crate::model::{EncoderKind, EventHit, EventHitConfig};
@@ -148,12 +149,28 @@ impl TaskRun {
     /// Executes a task under `cfg`: generate → extract → split → train →
     /// calibrate → score.
     pub fn execute(task: &Task, cfg: &ExperimentConfig) -> TaskRun {
+        Self::try_execute(task, cfg).unwrap_or_else(|e| panic!("task execution failed: {e}"))
+    }
+
+    /// Fallible [`TaskRun::execute`]: invalid configuration (non-positive
+    /// occurrence boost, non-finite or non-positive scale) and splits left
+    /// empty by an over-aggressive scale come back as typed errors instead
+    /// of panics.
+    pub fn try_execute(task: &Task, cfg: &ExperimentConfig) -> CoreResult<TaskRun> {
+        if !(cfg.occurrence_boost > 0.0 && cfg.occurrence_boost.is_finite()) {
+            return Err(CoreError::InvalidConfig(format!(
+                "occurrence boost must be positive and finite, got {}",
+                cfg.occurrence_boost
+            )));
+        }
+        if !(cfg.scale > 0.0 && cfg.scale.is_finite()) {
+            return Err(CoreError::InvalidConfig(format!(
+                "scale must be positive and finite, got {}",
+                cfg.scale
+            )));
+        }
         let mut profile = task.profile().scaled(cfg.scale);
         if cfg.occurrence_boost != 1.0 {
-            assert!(
-                cfg.occurrence_boost > 0.0,
-                "occurrence boost must be positive"
-            );
             for class in &mut profile.classes {
                 class.occurrences =
                     ((class.occurrences as f64 * cfg.occurrence_boost).round() as u32).max(1);
@@ -175,12 +192,11 @@ impl TaskRun {
             dataset.calib = scaler.transform(&dataset.calib);
             dataset.test = scaler.transform(&dataset.test);
         }
-        assert!(
-            !dataset.train.is_empty() && !dataset.calib.is_empty() && !dataset.test.is_empty(),
-            "{}: empty split (scale {} too small?)",
-            task.id,
-            cfg.scale
-        );
+        if dataset.train.is_empty() || dataset.calib.is_empty() || dataset.test.is_empty() {
+            return Err(CoreError::EmptySplit {
+                task: task.id.to_string(),
+            });
+        }
 
         let model_cfg = EventHitConfig {
             input_dim: dataset.d,
@@ -206,9 +222,9 @@ impl TaskRun {
         let predictor_seconds_per_record =
             t0.elapsed().as_secs_f64() / dataset.test.len().max(1) as f64;
 
-        let state = ConformalState::fit(&calib, task.num_events(), cfg.tau2, horizon);
+        let state = ConformalState::try_fit(&calib, task.num_events(), cfg.tau2, horizon)?;
 
-        TaskRun {
+        Ok(TaskRun {
             task: task.clone(),
             profile,
             stream,
@@ -224,7 +240,7 @@ impl TaskRun {
             test,
             train_report,
             predictor_seconds_per_record,
-        }
+        })
     }
 
     /// Predictions of a strategy over the test split.
@@ -421,6 +437,42 @@ mod tests {
         // The standardized pipeline must remain functional (recall above
         // chance given the permissive strategy).
         assert!(o.rec > 0.3 || o.positives == 0, "rec={}", o.rec);
+    }
+
+    #[test]
+    fn try_execute_rejects_bad_configs_as_values() {
+        use crate::error::CoreError;
+        let t = task("TA10").unwrap();
+
+        let bad_boost = ExperimentConfig {
+            occurrence_boost: -1.0,
+            ..ExperimentConfig::quick(1)
+        };
+        assert!(matches!(
+            TaskRun::try_execute(&t, &bad_boost).err(),
+            Some(CoreError::InvalidConfig(_))
+        ));
+
+        let bad_scale = ExperimentConfig {
+            scale: 0.0,
+            ..ExperimentConfig::quick(1)
+        };
+        assert!(matches!(
+            TaskRun::try_execute(&t, &bad_scale).err(),
+            Some(CoreError::InvalidConfig(_))
+        ));
+
+        // A scale so small no test anchors survive the stride collapses a
+        // split; that must surface as EmptySplit, not a panic.
+        let tiny = ExperimentConfig {
+            scale: 0.001,
+            ..ExperimentConfig::quick(1)
+        };
+        match TaskRun::try_execute(&t, &tiny) {
+            Err(CoreError::EmptySplit { task }) => assert_eq!(task, "TA10"),
+            Err(e) => panic!("expected EmptySplit, got {e}"),
+            Ok(_) => panic!("expected EmptySplit, got a successful run"),
+        }
     }
 
     #[test]

@@ -1,0 +1,511 @@
+//! Deterministic fault injection for the cloud-inference path.
+//!
+//! The simulator's CI has so far been a perfectly available oracle; real
+//! edge-cloud links drop, throttle, and stall. This module injects faults
+//! *deterministically*: every draw comes from a dedicated
+//! [`eventhit_rng`] stream derived from `(seed, FAULT_STREAM_ID)`, so a
+//! faulted run is bit-reproducible from its seed and the whole fault
+//! history is captured in a [`FaultTrace`] with a stable fingerprint.
+//!
+//! Two mechanisms compose:
+//!
+//! * **Independent per-attempt faults** — transient 5xx-style errors,
+//!   per-request timeouts, 429-style throttling, and exponential latency
+//!   inflation on successful attempts.
+//! * **Correlated outage bursts** — a two-state Gilbert–Elliott channel
+//!   (Good/Bad). The state advances once per attempt; in the Bad state a
+//!   request is lost with probability [`FaultConfig::bad_loss`], which
+//!   produces the bursty, correlated failures that defeat naive retry
+//!   loops and exercise the circuit breaker.
+
+use eventhit_rng::rngs::StdRng;
+use eventhit_rng::Rng;
+
+/// The RNG stream id reserved for fault injection. Distinct from every
+/// stream the training/data pipeline uses, so enabling faults never
+/// perturbs the model or the synthetic stream.
+pub const FAULT_STREAM_ID: u64 = 0xFA_17;
+
+/// What kind of fault an attempt hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Transient server error (5xx-class); immediately retryable.
+    Transient,
+    /// The attempt exceeded its per-request timeout.
+    Timeout,
+    /// 429-style throttling; the service suggests a retry-after delay.
+    Throttled,
+    /// The Gilbert–Elliott channel is in its Bad state and ate the request.
+    Outage,
+}
+
+/// Outcome of a single submission attempt against the faulty channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AttemptOutcome {
+    /// The attempt was served after `latency` simulated seconds (service
+    /// time times the sampled inflation factor).
+    Success {
+        /// End-to-end seconds for this attempt.
+        latency: f64,
+    },
+    /// The attempt failed.
+    Fault {
+        /// The failure mode.
+        kind: FaultKind,
+        /// Seconds consumed before the failure was observed (e.g. a
+        /// timeout burns its full timeout budget).
+        wasted: f64,
+        /// Server-suggested minimum delay before retrying (throttling);
+        /// zero otherwise.
+        retry_after: f64,
+    },
+}
+
+impl AttemptOutcome {
+    /// True iff the attempt succeeded.
+    pub fn is_success(&self) -> bool {
+        matches!(self, AttemptOutcome::Success { .. })
+    }
+}
+
+/// Fault-injection parameters. The default is a perfectly reliable
+/// channel (all probabilities zero), so existing code paths are
+/// unaffected unless faults are asked for.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Probability an attempt fails with a transient error (Good state).
+    pub transient_prob: f64,
+    /// Probability an attempt times out (Good state).
+    pub timeout_prob: f64,
+    /// Probability an attempt is throttled (Good state).
+    pub throttle_prob: f64,
+    /// Per-attempt timeout: seconds wasted when an attempt times out.
+    pub attempt_timeout: f64,
+    /// Base retry-after suggested by a throttling response (seconds).
+    pub throttle_delay: f64,
+    /// Mean of the exponential extra-latency multiplier: a successful
+    /// attempt takes `service * (1 + Exp(mean))` seconds. Zero disables
+    /// inflation.
+    pub latency_inflation: f64,
+    /// Gilbert–Elliott: per-attempt probability of Good → Bad.
+    pub p_good_to_bad: f64,
+    /// Gilbert–Elliott: per-attempt probability of Bad → Good.
+    pub p_bad_to_good: f64,
+    /// Probability an attempt is lost while the channel is Bad.
+    pub bad_loss: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::reliable()
+    }
+}
+
+impl FaultConfig {
+    /// A perfectly reliable channel: no faults, no inflation.
+    pub fn reliable() -> Self {
+        FaultConfig {
+            transient_prob: 0.0,
+            timeout_prob: 0.0,
+            throttle_prob: 0.0,
+            attempt_timeout: 5.0,
+            throttle_delay: 1.0,
+            latency_inflation: 0.0,
+            p_good_to_bad: 0.0,
+            p_bad_to_good: 1.0,
+            bad_loss: 0.0,
+        }
+    }
+
+    /// A moderately lossy deployment profile: occasional independent
+    /// faults plus outage bursts averaging ~5 attempts every ~50.
+    pub fn lossy() -> Self {
+        FaultConfig {
+            transient_prob: 0.05,
+            timeout_prob: 0.02,
+            throttle_prob: 0.03,
+            attempt_timeout: 5.0,
+            throttle_delay: 1.0,
+            latency_inflation: 0.25,
+            p_good_to_bad: 0.02,
+            p_bad_to_good: 0.2,
+            bad_loss: 0.95,
+        }
+    }
+
+    /// Validates every probability and duration.
+    pub fn validate(&self) -> Result<(), crate::error::CoreError> {
+        let probs = [
+            ("transient_prob", self.transient_prob),
+            ("timeout_prob", self.timeout_prob),
+            ("throttle_prob", self.throttle_prob),
+            ("p_good_to_bad", self.p_good_to_bad),
+            ("p_bad_to_good", self.p_bad_to_good),
+            ("bad_loss", self.bad_loss),
+        ];
+        for (name, p) in probs {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(crate::error::CoreError::InvalidConfig(format!(
+                    "{name} = {p} outside [0, 1]"
+                )));
+            }
+        }
+        let sum = self.transient_prob + self.timeout_prob + self.throttle_prob;
+        if sum > 1.0 {
+            return Err(crate::error::CoreError::InvalidConfig(format!(
+                "independent fault probabilities sum to {sum} > 1"
+            )));
+        }
+        for (name, d) in [
+            ("attempt_timeout", self.attempt_timeout),
+            ("throttle_delay", self.throttle_delay),
+            ("latency_inflation", self.latency_inflation),
+        ] {
+            if !(d.is_finite() && d >= 0.0) {
+                return Err(crate::error::CoreError::InvalidConfig(format!(
+                    "{name} = {d} must be finite and non-negative"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Gilbert–Elliott channel state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelState {
+    /// Nominal operation: only independent faults apply.
+    Good,
+    /// Outage burst: requests are lost with probability `bad_loss`.
+    Bad,
+}
+
+/// One recorded attempt, compact enough to compare whole traces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEntry {
+    /// Monotone attempt counter.
+    pub attempt: u64,
+    /// Channel state the attempt saw.
+    pub channel: ChannelState,
+    /// What happened.
+    pub outcome: AttemptOutcome,
+}
+
+/// The full per-run fault history, with a stable fingerprint for
+/// bit-reproducibility assertions.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultTrace {
+    /// Every attempt, in order.
+    pub entries: Vec<TraceEntry>,
+}
+
+impl FaultTrace {
+    /// FNV-1a over the exact bit patterns of every entry: two traces have
+    /// equal fingerprints iff they are bit-identical.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |byte: u8| {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        };
+        for e in &self.entries {
+            for b in e.attempt.to_le_bytes() {
+                mix(b);
+            }
+            mix(matches!(e.channel, ChannelState::Bad) as u8);
+            match e.outcome {
+                AttemptOutcome::Success { latency } => {
+                    mix(0);
+                    for b in latency.to_bits().to_le_bytes() {
+                        mix(b);
+                    }
+                }
+                AttemptOutcome::Fault {
+                    kind,
+                    wasted,
+                    retry_after,
+                } => {
+                    mix(match kind {
+                        FaultKind::Transient => 1,
+                        FaultKind::Timeout => 2,
+                        FaultKind::Throttled => 3,
+                        FaultKind::Outage => 4,
+                    });
+                    for b in wasted.to_bits().to_le_bytes() {
+                        mix(b);
+                    }
+                    for b in retry_after.to_bits().to_le_bytes() {
+                        mix(b);
+                    }
+                }
+            }
+        }
+        h
+    }
+
+    /// Number of attempts that hit `kind`.
+    pub fn count(&self, kind: FaultKind) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| matches!(e.outcome, AttemptOutcome::Fault { kind: k, .. } if k == kind))
+            .count()
+    }
+}
+
+/// Seed-driven fault injector: owns its RNG stream, the Gilbert–Elliott
+/// state, and the trace.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    cfg: FaultConfig,
+    rng: StdRng,
+    state: ChannelState,
+    attempts: u64,
+    /// Recorded history of every attempt.
+    pub trace: FaultTrace,
+}
+
+impl FaultInjector {
+    /// Creates an injector for the run seeded by `seed`. The RNG stream is
+    /// `(seed, FAULT_STREAM_ID)`, independent of every other stream the
+    /// pipeline derives from the same seed.
+    pub fn new(cfg: FaultConfig, seed: u64) -> Self {
+        FaultInjector {
+            cfg,
+            rng: StdRng::stream(seed, FAULT_STREAM_ID),
+            state: ChannelState::Good,
+            attempts: 0,
+            trace: FaultTrace::default(),
+        }
+    }
+
+    /// The injector's fault configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Current Gilbert–Elliott state.
+    pub fn channel_state(&self) -> ChannelState {
+        self.state
+    }
+
+    /// Simulates one attempt whose fault-free service time would be
+    /// `service_seconds`. Advances the channel, samples a fault (or
+    /// success latency), and records the outcome in the trace.
+    pub fn attempt(&mut self, service_seconds: f64) -> AttemptOutcome {
+        // Advance the Gilbert–Elliott chain one step per attempt. The
+        // transition is sampled before the loss draw, matching the
+        // standard discrete-time formulation.
+        self.state = match self.state {
+            ChannelState::Good if self.rng.random_bool(self.cfg.p_good_to_bad) => ChannelState::Bad,
+            ChannelState::Bad if self.rng.random_bool(self.cfg.p_bad_to_good) => ChannelState::Good,
+            s => s,
+        };
+
+        let outcome = if self.state == ChannelState::Bad && self.rng.random_bool(self.cfg.bad_loss)
+        {
+            AttemptOutcome::Fault {
+                kind: FaultKind::Outage,
+                // An outage manifests as an unanswered request: the full
+                // attempt timeout is burned before the client gives up.
+                wasted: self.cfg.attempt_timeout,
+                retry_after: 0.0,
+            }
+        } else {
+            // Independent faults: one uniform draw partitioned into the
+            // three disjoint failure bands, remainder = success.
+            let u: f64 = self.rng.random();
+            if u < self.cfg.transient_prob {
+                AttemptOutcome::Fault {
+                    kind: FaultKind::Transient,
+                    wasted: 0.0,
+                    retry_after: 0.0,
+                }
+            } else if u < self.cfg.transient_prob + self.cfg.timeout_prob {
+                AttemptOutcome::Fault {
+                    kind: FaultKind::Timeout,
+                    wasted: self.cfg.attempt_timeout,
+                    retry_after: 0.0,
+                }
+            } else if u < self.cfg.transient_prob + self.cfg.timeout_prob + self.cfg.throttle_prob {
+                AttemptOutcome::Fault {
+                    kind: FaultKind::Throttled,
+                    wasted: 0.0,
+                    retry_after: self.cfg.throttle_delay,
+                }
+            } else {
+                let inflation = if self.cfg.latency_inflation > 0.0 {
+                    // Exponential via inverse CDF; 1 - u' stays in (0, 1].
+                    let u2: f64 = self.rng.random();
+                    -(1.0 - u2).max(f64::MIN_POSITIVE).ln() * self.cfg.latency_inflation
+                } else {
+                    0.0
+                };
+                AttemptOutcome::Success {
+                    latency: service_seconds * (1.0 + inflation),
+                }
+            }
+        };
+
+        self.trace.entries.push(TraceEntry {
+            attempt: self.attempts,
+            channel: self.state,
+            outcome,
+        });
+        self.attempts += 1;
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliable_channel_never_faults() {
+        let mut inj = FaultInjector::new(FaultConfig::reliable(), 7);
+        for _ in 0..200 {
+            let o = inj.attempt(1.0);
+            assert_eq!(o, AttemptOutcome::Success { latency: 1.0 });
+        }
+        assert_eq!(inj.trace.entries.len(), 200);
+        assert_eq!(inj.channel_state(), ChannelState::Good);
+    }
+
+    #[test]
+    fn lossy_channel_faults_sometimes_and_replays_exactly() {
+        let run = |seed| {
+            let mut inj = FaultInjector::new(FaultConfig::lossy(), seed);
+            for _ in 0..500 {
+                inj.attempt(2.0);
+            }
+            inj.trace
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a, b, "same seed must replay the same trace");
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = run(43);
+        assert_ne!(a.fingerprint(), c.fingerprint(), "different seed, different trace");
+
+        let faults = a
+            .entries
+            .iter()
+            .filter(|e| !e.outcome.is_success())
+            .count();
+        assert!(faults > 0, "lossy profile should fault");
+        assert!(faults < 500, "but not always");
+    }
+
+    #[test]
+    fn outages_come_in_bursts() {
+        // With sticky Bad state, outage faults should cluster: the number
+        // of Good↔Bad transitions is far below the number of Bad attempts.
+        let cfg = FaultConfig {
+            p_good_to_bad: 0.05,
+            p_bad_to_good: 0.1,
+            bad_loss: 1.0,
+            ..FaultConfig::reliable()
+        };
+        let mut inj = FaultInjector::new(cfg, 3);
+        let mut bad_attempts = 0usize;
+        let mut transitions = 0usize;
+        let mut prev = ChannelState::Good;
+        for _ in 0..2000 {
+            inj.attempt(1.0);
+            let s = inj.channel_state();
+            if s == ChannelState::Bad {
+                bad_attempts += 1;
+            }
+            if s != prev {
+                transitions += 1;
+            }
+            prev = s;
+        }
+        assert!(bad_attempts > 100, "bad attempts {bad_attempts}");
+        assert!(
+            transitions * 3 < bad_attempts,
+            "outages should be bursty: {transitions} transitions vs {bad_attempts} bad attempts"
+        );
+        assert_eq!(inj.trace.count(FaultKind::Outage), bad_attempts);
+    }
+
+    #[test]
+    fn timeout_burns_the_attempt_budget() {
+        let cfg = FaultConfig {
+            timeout_prob: 1.0,
+            attempt_timeout: 7.5,
+            ..FaultConfig::reliable()
+        };
+        let mut inj = FaultInjector::new(cfg, 1);
+        match inj.attempt(1.0) {
+            AttemptOutcome::Fault {
+                kind: FaultKind::Timeout,
+                wasted,
+                ..
+            } => assert_eq!(wasted, 7.5),
+            o => panic!("expected timeout, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn throttle_suggests_retry_after() {
+        let cfg = FaultConfig {
+            throttle_prob: 1.0,
+            throttle_delay: 2.25,
+            ..FaultConfig::reliable()
+        };
+        let mut inj = FaultInjector::new(cfg, 1);
+        match inj.attempt(1.0) {
+            AttemptOutcome::Fault {
+                kind: FaultKind::Throttled,
+                retry_after,
+                ..
+            } => assert_eq!(retry_after, 2.25),
+            o => panic!("expected throttle, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn latency_inflation_only_stretches() {
+        let cfg = FaultConfig {
+            latency_inflation: 0.5,
+            ..FaultConfig::reliable()
+        };
+        let mut inj = FaultInjector::new(cfg, 9);
+        for _ in 0..100 {
+            match inj.attempt(4.0) {
+                AttemptOutcome::Success { latency } => {
+                    assert!(latency >= 4.0, "inflation never shrinks latency")
+                }
+                o => panic!("reliable+inflation cannot fault: {o:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_probabilities() {
+        let mut cfg = FaultConfig::reliable();
+        assert!(cfg.validate().is_ok());
+        cfg.transient_prob = 1.5;
+        assert!(cfg.validate().is_err());
+        let mut cfg = FaultConfig::reliable();
+        cfg.transient_prob = 0.6;
+        cfg.timeout_prob = 0.6;
+        assert!(cfg.validate().is_err(), "summed bands exceed 1");
+        let mut cfg = FaultConfig::reliable();
+        cfg.attempt_timeout = f64::NAN;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn fault_stream_is_independent_of_seed_zero_convention() {
+        // Stream derivation must differ across seeds even at stream id 0xFA17.
+        let a = FaultInjector::new(FaultConfig::lossy(), 0);
+        let b = FaultInjector::new(FaultConfig::lossy(), 1);
+        let mut a = a;
+        let mut b = b;
+        let oa: Vec<_> = (0..32).map(|_| a.attempt(1.0)).collect();
+        let ob: Vec<_> = (0..32).map(|_| b.attempt(1.0)).collect();
+        assert_ne!(oa, ob);
+    }
+}

@@ -21,7 +21,9 @@ pub mod capacity;
 pub mod ci;
 pub mod ci_queue;
 pub mod drift;
+pub mod error;
 pub mod experiment;
+pub mod faults;
 pub mod infer;
 pub mod marshal;
 pub mod metrics;
@@ -30,12 +32,19 @@ pub mod model_io;
 pub mod multi;
 pub mod pipeline;
 pub mod report;
+pub mod resilient;
 pub mod streaming;
 pub mod tasks;
 pub mod train;
 pub mod tune;
 
 pub use ci::{CiConfig, CostReport};
+pub use error::{CoreError, CoreResult};
+pub use faults::{FaultConfig, FaultInjector, FaultKind, FaultTrace};
+pub use resilient::{
+    BreakerConfig, BreakerState, CircuitBreaker, DegradationMode, DegradationTag,
+    ResilienceConfig, ResilienceStats, ResilientCiClient, RetryPolicy, SubmissionOutcome,
+};
 pub use experiment::{ExperimentConfig, TaskRun};
 pub use infer::{EventScores, IntervalPrediction, ScoredRecord};
 pub use metrics::{evaluate, EvalOutcome};

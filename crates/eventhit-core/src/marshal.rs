@@ -9,9 +9,15 @@ use eventhit_video::stream::VideoStream;
 use eventhit_nn::matrix::Matrix;
 
 use crate::ci::{CiConfig, CostReport};
+use crate::error::CoreError;
 use crate::infer::score_records;
+use crate::metrics::MissAttribution;
 use crate::model::EventHit;
 use crate::pipeline::{ConformalState, Strategy};
+use crate::resilient::{
+    DegradationMode, DegradationTag, FailReason, ResilienceStats, ResilientCiClient,
+    SubmissionOutcome,
+};
 
 /// A contiguous run of absolute stream frames relayed to the CI for one
 /// event type.
@@ -121,9 +127,8 @@ impl Marshaller {
     /// Walks `[from, to)` of the stream with non-overlapping horizons,
     /// predicting at each anchor and relaying predicted intervals.
     ///
-    /// The decision uses only the covariates (features of the collection
-    /// window); ground truth is consulted solely to simulate the oracle CI
-    /// and to report recall.
+    /// Panicking wrapper around [`Marshaller::try_run`], kept for call
+    /// sites that treat a bad range as a programming error.
     pub fn run(
         &mut self,
         stream: &VideoStream,
@@ -131,11 +136,41 @@ impl Marshaller {
         from: u64,
         to: u64,
     ) -> MarshalResult {
-        assert!(
-            from >= self.window as u64,
-            "need a full collection window before `from`"
-        );
-        assert!(to <= stream.len, "`to` beyond stream end");
+        self.try_run(stream, features, from, to)
+            .unwrap_or_else(|e| panic!("marshal run failed: {e}"))
+    }
+
+    fn check_range(&self, stream: &VideoStream, from: u64, to: u64) -> Result<(), CoreError> {
+        if from < self.window as u64 {
+            return Err(CoreError::WindowUnderflow {
+                from,
+                window: self.window,
+            });
+        }
+        if to > stream.len {
+            return Err(CoreError::StreamBounds {
+                to,
+                len: stream.len,
+            });
+        }
+        Ok(())
+    }
+
+    /// Fallible form of [`Marshaller::run`]: a range that does not leave
+    /// room for the collection window, or that runs past the stream end,
+    /// surfaces as a typed [`CoreError`] instead of an abort.
+    ///
+    /// The decision uses only the covariates (features of the collection
+    /// window); ground truth is consulted solely to simulate the oracle CI
+    /// and to report recall.
+    pub fn try_run(
+        &mut self,
+        stream: &VideoStream,
+        features: &Matrix,
+        from: u64,
+        to: u64,
+    ) -> Result<MarshalResult, CoreError> {
+        self.check_range(stream, from, to)?;
 
         let mut segments = Vec::new();
         let mut detections = Vec::new();
@@ -196,13 +231,215 @@ impl Marshaller {
             horizons as f64 * 1e-3,
         );
 
-        MarshalResult {
+        Ok(MarshalResult {
             segments,
             detections,
             ground_truth,
             horizons,
             cost,
+        })
+    }
+
+    /// Walks `[from, to)` like [`Marshaller::try_run`], but every
+    /// horizon's relay passes through the resilient CI client: faults,
+    /// retries, the circuit breaker, and the configured degradation
+    /// policy all apply. One submission is issued per horizon (the union
+    /// of the predicted intervals — a CI call covers all event models),
+    /// timed on the simulated clock at `stream_fps`.
+    ///
+    /// Every ground-truth instance in the walked region is attributed to
+    /// exactly one bucket of the returned [`MissAttribution`].
+    pub fn run_resilient(
+        &mut self,
+        stream: &VideoStream,
+        features: &Matrix,
+        from: u64,
+        to: u64,
+        stream_fps: f64,
+        client: &mut ResilientCiClient,
+    ) -> Result<ResilientMarshalResult, CoreError> {
+        self.check_range(stream, from, to)?;
+        if !(stream_fps > 0.0 && stream_fps.is_finite()) {
+            return Err(CoreError::InvalidConfig(format!(
+                "stream_fps = {stream_fps} must be finite and positive"
+            )));
         }
+
+        let mut detections = Vec::new();
+        let mut local_cover: Vec<(usize, u64, u64)> = Vec::new();
+        let mut lost_segments: Vec<RelaySegment> = Vec::new();
+        let mut ground_truth = Vec::new();
+        let mut horizon_tags = Vec::new();
+        let mut horizons = 0usize;
+        let mut frames_relayed = 0u64;
+        // Frames deferred by DeferNextHorizon, with the segments they
+        // covered, awaiting one redelivery attempt.
+        let mut deferred: Option<(u64, Vec<RelaySegment>)> = None;
+
+        let mut anchor = from;
+        while anchor + self.horizon as u64 <= to {
+            horizons += 1;
+            let record = extract_record(stream, features, anchor, self.window, self.horizon);
+            let scored = score_records(&mut self.model, std::slice::from_ref(&record), 1);
+            let preds = self.state.predict(&scored[0], &self.strategy);
+
+            for (k, label) in record.labels.iter().enumerate() {
+                if label.present {
+                    ground_truth.push((
+                        k,
+                        anchor + label.start as u64,
+                        anchor + label.end as u64,
+                    ));
+                }
+            }
+
+            let mut horizon_segments: Vec<RelaySegment> = Vec::new();
+            for (k, pred) in preds.iter().enumerate() {
+                if pred.present {
+                    horizon_segments.push(RelaySegment {
+                        event: k,
+                        start: anchor + pred.start as u64,
+                        end: anchor + pred.end as u64,
+                    });
+                }
+            }
+
+            // The submission clock: the decision fires when the last
+            // window frame has been captured.
+            let now = anchor as f64 / stream_fps;
+            let mut submit_frames = crate::metrics::union_frames(&preds);
+            let mut carried: Vec<RelaySegment> = Vec::new();
+            if let Some((frames, segs)) = deferred.take() {
+                // Redeliver last horizon's deferred frames alongside this
+                // submission (one extra chance).
+                submit_frames += frames;
+                carried = segs;
+            }
+
+            let outcome = client.submit(submit_frames, now);
+            let tag = outcome.tag();
+            horizon_tags.push((anchor, tag));
+
+            match outcome {
+                SubmissionOutcome::Delivered { .. } => {
+                    frames_relayed += submit_frames;
+                    for seg in horizon_segments.iter().chain(carried.iter()) {
+                        for inst in stream.all_intersecting(seg.event, seg.start, seg.end) {
+                            detections.push(Detection {
+                                event: seg.event,
+                                start: inst.interval.start.max(seg.start),
+                                end: inst.interval.end.min(seg.end),
+                            });
+                        }
+                    }
+                }
+                SubmissionOutcome::Degraded { mode, reason, .. } => match mode {
+                    DegradationMode::DropDeadLetter => {
+                        lost_segments.extend(horizon_segments.iter().copied());
+                        lost_segments.extend(carried.iter().copied());
+                    }
+                    DegradationMode::DeferNextHorizon => {
+                        if carried.is_empty() {
+                            let mut segs = horizon_segments.clone();
+                            segs.shrink_to_fit();
+                            deferred = Some((submit_frames, segs));
+                        } else {
+                            // Second failure: give up on both loads.
+                            client.dead_letter(submit_frames, now, reason);
+                            lost_segments.extend(horizon_segments.iter().copied());
+                            lost_segments.extend(carried.iter().copied());
+                        }
+                    }
+                    DegradationMode::LocalOnly => {
+                        // Trust the C-REGRESS interval without the CI:
+                        // coverage is claimed, not confirmed.
+                        for seg in horizon_segments.iter().chain(carried.iter()) {
+                            local_cover.push((seg.event, seg.start, seg.end));
+                        }
+                    }
+                },
+            }
+
+            anchor += self.horizon as u64;
+        }
+
+        // Anything still deferred at the end of the walk is lost.
+        if let Some((frames, segs)) = deferred.take() {
+            client.dead_letter(frames, to as f64 / stream_fps, FailReason::RetriesExhausted);
+            lost_segments.extend(segs);
+        }
+
+        // Attribute every ground-truth instance to exactly one bucket,
+        // in confirmation-strength order: CI-confirmed, locally covered,
+        // relayed-but-lost, never relayed.
+        let mut attribution = MissAttribution::default();
+        for &(k, s, e) in &ground_truth {
+            let confirmed = detections
+                .iter()
+                .any(|d| d.event == k && d.start <= e && d.end >= s);
+            if confirmed {
+                attribution.detected += 1;
+            } else if local_cover
+                .iter()
+                .any(|&(ev, ls, le)| ev == k && ls <= e && le >= s)
+            {
+                attribution.local_unconfirmed += 1;
+            } else if lost_segments
+                .iter()
+                .any(|seg| seg.event == k && seg.start <= e && seg.end >= s)
+            {
+                attribution.dropped_by_faults += 1;
+            } else {
+                attribution.filtered_by_predictor += 1;
+            }
+        }
+
+        let cost = self.ci.account(
+            horizons,
+            self.window,
+            self.horizon,
+            frames_relayed,
+            horizons as f64 * 1e-3,
+        );
+
+        Ok(ResilientMarshalResult {
+            detections,
+            ground_truth,
+            horizon_tags,
+            attribution,
+            horizons,
+            cost,
+            stats: client.stats.clone(),
+            fault_fingerprint: client.fault_trace().fingerprint(),
+        })
+    }
+}
+
+/// Outcome of a faulted (resilient) marshalling run.
+#[derive(Debug, Clone)]
+pub struct ResilientMarshalResult {
+    /// CI-confirmed detections.
+    pub detections: Vec<Detection>,
+    /// True event instances in the walked region, `(event, start, end)`.
+    pub ground_truth: Vec<(usize, u64, u64)>,
+    /// Per-horizon degradation tag, `(anchor, tag)` in walk order.
+    pub horizon_tags: Vec<(u64, DegradationTag)>,
+    /// Every ground-truth instance attributed to one bucket.
+    pub attribution: MissAttribution,
+    /// Number of prediction episodes walked.
+    pub horizons: usize,
+    /// Cost accounting (only frames actually delivered are billed).
+    pub cost: CostReport,
+    /// Snapshot of the client's counters after the walk.
+    pub stats: ResilienceStats,
+    /// Fingerprint of the fault trace (bit-reproducible from the seed).
+    pub fault_fingerprint: u64,
+}
+
+impl ResilientMarshalResult {
+    /// Fraction of submissions delivered during the walk.
+    pub fn availability(&self) -> f64 {
+        self.stats.availability()
     }
 }
 
@@ -287,5 +524,219 @@ mod tests {
     fn strategy_can_be_retuned() {
         let (mut m, _) = build_marshaller();
         m.set_strategy(Strategy::Eho { tau1: 0.5 });
+    }
+
+    #[test]
+    fn bad_ranges_surface_as_typed_errors() {
+        let (mut m, run) = build_marshaller();
+        let err = m
+            .try_run(&run.stream, &run.features, 0, run.stream.len)
+            .unwrap_err();
+        assert!(matches!(err, crate::error::CoreError::WindowUnderflow { .. }));
+        let err = m
+            .try_run(
+                &run.stream,
+                &run.features,
+                run.window as u64,
+                run.stream.len + 1,
+            )
+            .unwrap_err();
+        assert!(matches!(err, crate::error::CoreError::StreamBounds { .. }));
+    }
+
+    mod resilient {
+        use super::*;
+        use crate::faults::FaultConfig;
+        use crate::resilient::{
+            DegradationMode, DegradationTag, ResilienceConfig, ResilientCiClient, RetryPolicy,
+        };
+        use eventhit_video::detector::StageModel;
+
+        struct Fixture {
+            stream: eventhit_video::stream::VideoStream,
+            features: eventhit_nn::matrix::Matrix,
+            window: usize,
+        }
+
+        fn trained() -> (Marshaller, Fixture) {
+            let run = TaskRun::execute(&task("TA10").unwrap(), &ExperimentConfig::quick(6));
+            let fx = Fixture {
+                stream: run.stream.clone(),
+                features: run.features.clone(),
+                window: run.window,
+            };
+            let m = Marshaller::new(
+                run.model,
+                run.state,
+                Strategy::Ehcr { c: 0.9, alpha: 0.5 },
+                run.window,
+                run.horizon,
+                CiConfig::default(),
+            );
+            (m, fx)
+        }
+
+        fn make_client(faults: FaultConfig, mode: DegradationMode, seed: u64) -> ResilientCiClient {
+            ResilientCiClient::new(
+                faults,
+                ResilienceConfig {
+                    degradation: mode,
+                    retry: RetryPolicy {
+                        max_attempts: 3,
+                        ..RetryPolicy::default()
+                    },
+                    ..ResilienceConfig::default()
+                },
+                // Fast CI so deadlines don't dominate the test.
+                StageModel::new("ci", 1000.0),
+                seed,
+            )
+            .unwrap()
+        }
+
+        #[test]
+        fn reliable_client_matches_plain_run() {
+            let (mut m, fx) = trained();
+            let from = (fx.stream.len * 3) / 4;
+            let plain = m
+                .try_run(&fx.stream, &fx.features, from, fx.stream.len)
+                .unwrap();
+            let mut client = make_client(
+                FaultConfig::reliable(),
+                DegradationMode::DropDeadLetter,
+                99,
+            );
+            let res = m
+                .run_resilient(
+                    &fx.stream,
+                    &fx.features,
+                    from,
+                    fx.stream.len,
+                    30.0,
+                    &mut client,
+                )
+                .unwrap();
+            assert_eq!(res.availability(), 1.0);
+            assert_eq!(res.attribution.dropped_by_faults, 0);
+            assert_eq!(res.horizons, plain.horizons);
+            assert_eq!(res.detections, plain.detections);
+            assert_eq!(res.ground_truth, plain.ground_truth);
+            assert_eq!(res.cost.frames_relayed, plain.cost.frames_relayed);
+            assert!(res
+                .horizon_tags
+                .iter()
+                .all(|&(_, t)| t == DegradationTag::None));
+        }
+
+        #[test]
+        fn faulted_run_attributes_every_instance_and_replays() {
+            let (mut m, fx) = trained();
+            let from = fx.window as u64;
+            let faults = FaultConfig {
+                p_good_to_bad: 0.3,
+                p_bad_to_good: 0.3,
+                bad_loss: 1.0,
+                transient_prob: 0.1,
+                ..FaultConfig::reliable()
+            };
+            let go = |m: &mut Marshaller| {
+                let mut client = make_client(faults.clone(), DegradationMode::DropDeadLetter, 123);
+                m.run_resilient(
+                    &fx.stream,
+                    &fx.features,
+                    from,
+                    fx.stream.len,
+                    30.0,
+                    &mut client,
+                )
+                .unwrap()
+            };
+            let a = go(&mut m);
+            assert_eq!(
+                a.attribution.total(),
+                a.ground_truth.len(),
+                "every instance lands in exactly one bucket"
+            );
+            assert!(a.availability() < 1.0, "outages must show up");
+            // Replay: bit-identical trace and attribution.
+            let b = go(&mut m);
+            assert_eq!(a.fault_fingerprint, b.fault_fingerprint);
+            assert_eq!(a.attribution, b.attribution);
+            assert_eq!(a.stats, b.stats);
+            assert_eq!(a.horizon_tags, b.horizon_tags);
+        }
+
+        #[test]
+        fn local_only_covers_without_confirmation() {
+            let (mut m, fx) = trained();
+            let from = fx.window as u64;
+            // Total outage: nothing is ever delivered.
+            let faults = FaultConfig {
+                p_good_to_bad: 1.0,
+                p_bad_to_good: 0.0,
+                bad_loss: 1.0,
+                ..FaultConfig::reliable()
+            };
+            let mut client = make_client(faults, DegradationMode::LocalOnly, 7);
+            let res = m
+                .run_resilient(
+                    &fx.stream,
+                    &fx.features,
+                    from,
+                    fx.stream.len,
+                    30.0,
+                    &mut client,
+                )
+                .unwrap();
+            assert_eq!(res.attribution.detected, 0, "no CI confirmations");
+            assert_eq!(res.attribution.dropped_by_faults, 0, "local mode never drops");
+            assert!(res.detections.is_empty());
+            assert_eq!(
+                res.attribution.local_unconfirmed + res.attribution.filtered_by_predictor,
+                res.ground_truth.len()
+            );
+            assert!(
+                res.attribution.effective_recall() >= res.attribution.confirmed_recall()
+            );
+        }
+
+        #[test]
+        fn deferred_mode_gives_one_second_chance() {
+            let (mut m, fx) = trained();
+            let from = fx.window as u64;
+            // Deterministic alternating failure is hard to arrange; use a
+            // bursty profile and just check conservation: every degraded
+            // horizon is Deferred-tagged and dropped frames only come
+            // from double failures or end-of-walk.
+            let faults = FaultConfig {
+                p_good_to_bad: 0.4,
+                p_bad_to_good: 0.4,
+                bad_loss: 1.0,
+                ..FaultConfig::reliable()
+            };
+            let mut client = make_client(faults, DegradationMode::DeferNextHorizon, 15);
+            let res = m
+                .run_resilient(
+                    &fx.stream,
+                    &fx.features,
+                    from,
+                    fx.stream.len,
+                    30.0,
+                    &mut client,
+                )
+                .unwrap();
+            for (_, tag) in &res.horizon_tags {
+                assert!(
+                    matches!(
+                        tag,
+                        DegradationTag::None
+                            | DegradationTag::Retried { .. }
+                            | DegradationTag::Deferred
+                    ),
+                    "unexpected tag {tag:?}"
+                );
+            }
+            assert_eq!(res.attribution.total(), res.ground_truth.len());
+        }
     }
 }

@@ -10,6 +10,7 @@ use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
+use crate::error::{CoreError, CoreResult};
 use crate::model::{EncoderKind, EventHit, EventHitConfig};
 
 const MAGIC: &[u8; 4] = b"EVHT";
@@ -35,12 +36,12 @@ fn read_f32(r: &mut impl Read) -> io::Result<f32> {
     Ok(f32::from_le_bytes(buf))
 }
 
-fn bad(msg: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg)
+fn bad(msg: &'static str) -> CoreError {
+    CoreError::ModelFormat(msg)
 }
 
 /// Serializes a trained model.
-pub fn save(model: &mut EventHit, w: &mut impl Write) -> io::Result<()> {
+pub fn save(model: &mut EventHit, w: &mut impl Write) -> CoreResult<()> {
     w.write_all(MAGIC)?;
     write_u32(w, VERSION)?;
     let cfg = model.config().clone();
@@ -72,7 +73,7 @@ pub fn save(model: &mut EventHit, w: &mut impl Write) -> io::Result<()> {
 }
 
 /// Deserializes a model saved with [`save`].
-pub fn load(r: &mut impl Read) -> io::Result<EventHit> {
+pub fn load(r: &mut impl Read) -> CoreResult<EventHit> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
@@ -118,14 +119,15 @@ pub fn load(r: &mut impl Read) -> io::Result<EventHit> {
 }
 
 /// Saves to a file path.
-pub fn save_to_path(model: &mut EventHit, path: impl AsRef<Path>) -> io::Result<()> {
+pub fn save_to_path(model: &mut EventHit, path: impl AsRef<Path>) -> CoreResult<()> {
     let mut w = BufWriter::new(File::create(path)?);
     save(model, &mut w)?;
-    w.flush()
+    w.flush()?;
+    Ok(())
 }
 
 /// Loads from a file path.
-pub fn load_from_path(path: impl AsRef<Path>) -> io::Result<EventHit> {
+pub fn load_from_path(path: impl AsRef<Path>) -> CoreResult<EventHit> {
     let mut r = BufReader::new(File::open(path)?);
     load(&mut r)
 }
@@ -193,7 +195,8 @@ mod tests {
         let mut buf = Vec::new();
         save(&mut tiny_model(3), &mut buf).unwrap();
         buf[0] = b'X';
-        assert!(load(&mut buf.as_slice()).is_err());
+        let err = load(&mut buf.as_slice()).err().expect("must fail");
+        assert!(matches!(err, CoreError::ModelFormat(_)), "{err}");
     }
 
     #[test]
@@ -209,7 +212,8 @@ mod tests {
         let mut buf = Vec::new();
         save(&mut tiny_model(5), &mut buf).unwrap();
         buf.truncate(buf.len() / 2);
-        assert!(load(&mut buf.as_slice()).is_err());
+        let err = load(&mut buf.as_slice()).err().expect("must fail");
+        assert!(matches!(err, CoreError::Io(_)), "{err}");
     }
 
     #[test]

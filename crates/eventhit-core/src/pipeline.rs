@@ -11,6 +11,7 @@ use eventhit_conformal::classify::ConformalClassifier;
 use eventhit_conformal::nonconformity::Nonconformity;
 use eventhit_conformal::regress::IntervalCalibration;
 
+use crate::error::{CoreError, CoreResult};
 use crate::infer::{eho_predict, raw_interval, IntervalPrediction, ScoredRecord};
 
 /// Which algorithm variant decides existence and interval.
@@ -73,6 +74,35 @@ impl ConformalState {
     /// * interval residuals `|ŝ - s|`, `|ê - e|` are computed from the raw
     ///   (EHO, `τ_2`) interval estimate on the same records (Algorithm 2).
     pub fn fit(calib: &[ScoredRecord], num_events: usize, tau2: f32, horizon: usize) -> Self {
+        Self::try_fit(calib, num_events, tau2, horizon)
+            .unwrap_or_else(|e| panic!("conformal fit failed: {e}"))
+    }
+
+    /// Fallible [`ConformalState::fit`]: rejects calibration records whose
+    /// score or label vectors are shorter than `num_events` instead of
+    /// panicking on an out-of-bounds index deep inside the loop.
+    pub fn try_fit(
+        calib: &[ScoredRecord],
+        num_events: usize,
+        tau2: f32,
+        horizon: usize,
+    ) -> CoreResult<Self> {
+        for rec in calib {
+            if rec.scores.len() < num_events {
+                return Err(CoreError::ShapeMismatch {
+                    what: "calibration record scores",
+                    expected: num_events,
+                    got: rec.scores.len(),
+                });
+            }
+            if rec.labels.len() < num_events {
+                return Err(CoreError::ShapeMismatch {
+                    what: "calibration record labels",
+                    expected: num_events,
+                    got: rec.labels.len(),
+                });
+            }
+        }
         let mut classifiers = Vec::with_capacity(num_events);
         let mut intervals = Vec::with_capacity(num_events);
         for k in 0..num_events {
@@ -95,12 +125,12 @@ impl ConformalState {
             ));
             intervals.push(IntervalCalibration::fit(start_residuals, end_residuals));
         }
-        ConformalState {
+        Ok(ConformalState {
             classifiers,
             intervals,
             tau2,
             horizon: horizon as u32,
-        }
+        })
     }
 
     /// Number of event types.
@@ -131,6 +161,23 @@ impl ConformalState {
         (0..self.num_events())
             .map(|k| self.predict_event(rec, k, strategy))
             .collect()
+    }
+
+    /// Fallible [`ConformalState::predict`]: rejects records scored for
+    /// fewer events than this state was fitted on.
+    pub fn try_predict(
+        &self,
+        rec: &ScoredRecord,
+        strategy: &Strategy,
+    ) -> CoreResult<Vec<IntervalPrediction>> {
+        if rec.scores.len() < self.num_events() {
+            return Err(CoreError::ShapeMismatch {
+                what: "scored record events",
+                expected: self.num_events(),
+                got: rec.scores.len(),
+            });
+        }
+        Ok(self.predict(rec, strategy))
     }
 
     /// Predicts one event of one record under `strategy`.
@@ -295,6 +342,35 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn try_fit_rejects_short_records() {
+        let mut calib = calib_set();
+        calib[1].scores.clear();
+        let err = ConformalState::try_fit(&calib, 1, 0.5, 10).unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::ShapeMismatch {
+                what: "calibration record scores",
+                expected: 1,
+                got: 0,
+            }
+        ));
+    }
+
+    #[test]
+    fn try_predict_rejects_short_records() {
+        let state = ConformalState::fit(&calib_set(), 1, 0.5, 10);
+        let mut rec = test_record(0.5);
+        assert!(state
+            .try_predict(&rec, &Strategy::Eho { tau1: 0.5 })
+            .is_ok());
+        rec.scores.clear();
+        let err = state
+            .try_predict(&rec, &Strategy::Eho { tau1: 0.5 })
+            .unwrap_err();
+        assert!(matches!(err, CoreError::ShapeMismatch { .. }));
     }
 
     #[test]

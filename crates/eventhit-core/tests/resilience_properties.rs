@@ -1,0 +1,117 @@
+//! Property-based tests of the resilience primitives: the backoff
+//! schedule's deterministic caps and jitter bounds, and the circuit
+//! breaker's state machine.
+
+use eventhit_core::resilient::{BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy};
+use eventhit_rng::rngs::StdRng;
+use eventhit_rng::testkit::{from_fn, vec as vec_of, Strategy};
+use eventhit_rng::{prop_assert, prop_assert_eq, property, Rng, SeedableRng};
+
+fn policy() -> impl Strategy<Value = RetryPolicy> {
+    from_fn(|rng| {
+        let base_delay = rng.random_range(0.01f64..=5.0);
+        RetryPolicy {
+            base_delay,
+            max_delay: base_delay * rng.random_range(1.0f64..=100.0),
+            max_attempts: rng.random_range(1u32..=16),
+            retry_budget: rng.random_range(0.0f64..=300.0),
+        }
+    })
+}
+
+fn breaker_cfg() -> impl Strategy<Value = BreakerConfig> {
+    from_fn(|rng| BreakerConfig {
+        failure_threshold: rng.random_range(1u32..=8),
+        open_seconds: rng.random_range(0.1f64..=60.0),
+        close_threshold: rng.random_range(1u32..=4),
+    })
+}
+
+/// One breaker stimulus: advance the clock, then report success/failure.
+fn events() -> impl Strategy<Value = Vec<(f64, bool)>> {
+    vec_of(
+        from_fn(|rng| (rng.random_range(0.0f64..=20.0), rng.random())),
+        1..120,
+    )
+}
+
+property! {
+    #[test]
+    fn generated_policies_are_valid(p in policy()) {
+        prop_assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn backoff_caps_are_monotone_and_bounded(p in policy()) {
+        let mut prev_cap = 0.0f64;
+        for retry in 1..=p.max_attempts {
+            let cap = p.cap_for(retry);
+            prop_assert!(cap >= prev_cap, "cap must not decrease: {prev_cap} -> {cap}");
+            prop_assert!(cap <= p.max_delay);
+            prop_assert!(cap >= p.base_delay.min(p.max_delay));
+            prev_cap = cap;
+        }
+        // Once the exponential passes the cap, it saturates there.
+        prop_assert_eq!(p.cap_for(1_000), p.max_delay);
+    }
+
+    #[test]
+    fn jitter_stays_within_bounds(p in policy(), seed in from_fn(|rng| rng.random::<u64>())) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut prev = p.base_delay;
+        for retry in 1..=p.max_attempts {
+            let d = p.backoff(retry, prev, &mut rng);
+            let cap = p.cap_for(retry);
+            let lo = p.base_delay.min(cap);
+            prop_assert!(d >= lo, "delay {d} below floor {lo}");
+            prop_assert!(d <= cap, "delay {d} above cap {cap}");
+            prop_assert!(
+                d <= (3.0 * prev.max(p.base_delay)).max(lo),
+                "delay {d} above decorrelated bound"
+            );
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn breaker_never_jumps_closed_to_half_open(cfg in breaker_cfg(), evs in events()) {
+        let mut b = CircuitBreaker::new(cfg.clone());
+        let mut now = 0.0;
+        for (dt, ok) in evs {
+            now += dt;
+            if ok {
+                b.on_success(now);
+            } else {
+                b.on_failure(now);
+            }
+            let _ = b.state_at(now);
+        }
+        // Walk the transition log: HalfOpen may only follow Open, and only
+        // after the full cool-down; Closed may only follow HalfOpen.
+        let mut prev = (f64::NEG_INFINITY, BreakerState::Closed);
+        for &(t, s) in &b.transitions {
+            prop_assert!(t >= prev.0 || prev.0.is_infinite(), "time goes forward");
+            match s {
+                BreakerState::HalfOpen => {
+                    prop_assert_eq!(prev.1, BreakerState::Open);
+                    prop_assert!(
+                        t - prev.0 >= cfg.open_seconds,
+                        "cool-down not served: {} < {}",
+                        t - prev.0,
+                        cfg.open_seconds
+                    );
+                }
+                BreakerState::Closed => {
+                    prop_assert_eq!(prev.1, BreakerState::HalfOpen);
+                }
+                BreakerState::Open => {
+                    prop_assert!(
+                        prev.1 != BreakerState::Open,
+                        "open must come from closed or half-open"
+                    );
+                }
+            }
+            prev = (t, s);
+        }
+    }
+}
