@@ -29,7 +29,9 @@ fn bench_inference(c: &mut Criterion) {
     let records = run.test_records.clone();
     let mut group = c.benchmark_group("eventhit_inference");
     group.sample_size(20);
-    group.throughput(eventhit_rng::bench::Throughput::Elements(records.len() as u64));
+    group.throughput(eventhit_rng::bench::Throughput::Elements(
+        records.len() as u64
+    ));
     group.bench_function("score_records_batch128", |b| {
         b.iter(|| black_box(score_records(&mut run.model, &records, 128)))
     });

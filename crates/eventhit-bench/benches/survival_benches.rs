@@ -6,10 +6,10 @@ use eventhit_rng::bench::{BenchmarkId, Criterion};
 use eventhit_rng::{bench_group, bench_main};
 use std::hint::black_box;
 
-use eventhit_survival::cox::{CoxConfig, CoxModel, Subject};
-use eventhit_survival::km::KaplanMeier;
 use eventhit_rng::rngs::StdRng;
 use eventhit_rng::{Rng, SeedableRng};
+use eventhit_survival::cox::{CoxConfig, CoxModel, Subject};
+use eventhit_survival::km::KaplanMeier;
 
 fn subjects(n: usize, d: usize, seed: u64) -> Vec<Subject> {
     let mut rng = StdRng::seed_from_u64(seed);

@@ -77,9 +77,9 @@ impl ConformalClassifier {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use eventhit_rng::rngs::StdRng;
     use eventhit_rng::testkit::vec as vec_of;
     use eventhit_rng::{prop_assert, property};
-    use eventhit_rng::rngs::StdRng;
     use eventhit_rng::{Rng, SeedableRng};
 
     #[test]

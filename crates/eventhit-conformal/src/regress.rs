@@ -105,9 +105,9 @@ impl IntervalCalibration {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use eventhit_rng::rngs::StdRng;
     use eventhit_rng::testkit::vec as vec_of;
     use eventhit_rng::{prop_assert, property};
-    use eventhit_rng::rngs::StdRng;
     use eventhit_rng::{Rng, SeedableRng};
 
     #[test]

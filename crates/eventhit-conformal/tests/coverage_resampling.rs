@@ -9,7 +9,9 @@
 //! resamples drawn from the in-repo RNG (one sub-stream per resample, so
 //! the whole test is deterministic for its fixed master seed).
 
-use eventhit_conformal::{ConformalClassifier, ConformalRegressor, IntervalCalibration, Nonconformity};
+use eventhit_conformal::{
+    ConformalClassifier, ConformalRegressor, IntervalCalibration, Nonconformity,
+};
 use eventhit_rng::normal::standard_normal;
 use eventhit_rng::rngs::StdRng;
 use eventhit_rng::Rng;
@@ -108,8 +110,12 @@ fn interval_adjustment_covers_start_and_end() {
         for _ in 0..TEST {
             let true_start = rng.random_range(30u32..120);
             let true_end = true_start + rng.random_range(10u32..80);
-            let pred_start = (true_start as f64 + err(&mut rng)).round().clamp(1.0, h as f64) as u32;
-            let pred_end = (true_end as f64 + err(&mut rng)).round().clamp(pred_start as f64, h as f64) as u32;
+            let pred_start = (true_start as f64 + err(&mut rng))
+                .round()
+                .clamp(1.0, h as f64) as u32;
+            let pred_end = (true_end as f64 + err(&mut rng))
+                .round()
+                .clamp(pred_start as f64, h as f64) as u32;
             let (adj_s, adj_e) = cal.adjust(pred_start.max(1), pred_end, h, alpha);
             if adj_s <= true_start {
                 start_ok += 1;

@@ -9,6 +9,7 @@
 //! arrival framing, §I, cites Kleinrock for exactly this machinery) fed by
 //! relay segments and reports latency percentiles and backlog.
 
+use eventhit_telemetry::{percentile, Telemetry};
 use eventhit_video::detector::StageModel;
 
 use crate::resilient::{ResilientCiClient, SubmissionOutcome};
@@ -51,12 +52,57 @@ pub struct QueueReport {
     pub utilization: f64,
     /// Mean seconds from submission to completion.
     pub mean_latency: f64,
+    /// Median latency (seconds).
+    pub p50_latency: f64,
     /// 95th-percentile latency (seconds).
     pub p95_latency: f64,
+    /// 99th-percentile latency (seconds).
+    pub p99_latency: f64,
     /// Maximum latency (seconds).
     pub max_latency: f64,
     /// Largest backlog observed at any arrival, in frames awaiting service.
     pub max_backlog_frames: u64,
+}
+
+impl QueueReport {
+    /// A zeroed profile (used when nothing was ever served) carrying only
+    /// the observed backlog.
+    fn empty(max_backlog_frames: u64) -> Self {
+        QueueReport {
+            completed: 0,
+            utilization: 0.0,
+            mean_latency: 0.0,
+            p50_latency: 0.0,
+            p95_latency: 0.0,
+            p99_latency: 0.0,
+            max_latency: 0.0,
+            max_backlog_frames,
+        }
+    }
+
+    /// The single construction path for a served-latency profile, shared
+    /// by the plain and resilient simulators so their reports stay
+    /// field-for-field comparable. Sorts `latencies` in place.
+    fn from_latencies(
+        latencies: &mut [f64],
+        busy: f64,
+        span: f64,
+        max_backlog_frames: u64,
+    ) -> Self {
+        latencies.sort_by(f64::total_cmp);
+        let n = latencies.len();
+        let span = span.max(f64::MIN_POSITIVE);
+        QueueReport {
+            completed: n,
+            utilization: (busy / span).min(1.0),
+            mean_latency: latencies.iter().sum::<f64>() / n as f64,
+            p50_latency: percentile(latencies, 0.50).unwrap_or(0.0),
+            p95_latency: percentile(latencies, 0.95).unwrap_or(0.0),
+            p99_latency: percentile(latencies, 0.99).unwrap_or(0.0),
+            max_latency: latencies[n - 1],
+            max_backlog_frames,
+        }
+    }
 }
 
 /// Simulates the FIFO queue over submissions (must be sorted by
@@ -64,6 +110,18 @@ pub struct QueueReport {
 /// non-positive capture rate (a dead camera offers no load — nothing to
 /// simulate, not a panic).
 pub fn simulate(submissions: &[Submission], cfg: &QueueConfig) -> Option<QueueReport> {
+    simulate_instrumented(submissions, cfg, None)
+}
+
+/// [`simulate`] with telemetry. The recorder is expected to be on the
+/// manual clock: the simulator advances it to each arrival time, so the
+/// backlog gauge and per-submission latency histogram live on the
+/// simulated timeline and are bit-deterministic.
+pub fn simulate_instrumented(
+    submissions: &[Submission],
+    cfg: &QueueConfig,
+    tel: Option<&Telemetry>,
+) -> Option<QueueReport> {
     if submissions.is_empty() || !cfg.stream_fps.is_finite() || cfg.stream_fps <= 0.0 {
         return None;
     }
@@ -80,6 +138,7 @@ pub fn simulate(submissions: &[Submission], cfg: &QueueConfig) -> Option<QueueRe
     let mut max_backlog = 0u64;
     let mut backlog_until: Vec<(f64, u64)> = Vec::new(); // (finish_time, frames)
 
+    let _sim = tel.map(|t| t.span("ciq.simulate"));
     let first_arrival = submissions[0].arrival_frame as f64 / cfg.stream_fps;
     for sub in submissions {
         let arrival = sub.arrival_frame as f64 / cfg.stream_fps;
@@ -92,26 +151,34 @@ pub fn simulate(submissions: &[Submission], cfg: &QueueConfig) -> Option<QueueRe
         let service = cfg.ci.seconds_for(sub.frames);
         let finish = start + service;
         busy += service;
-        latencies.push(finish - arrival);
+        let latency = finish - arrival;
+        latencies.push(latency);
         backlog_until.push((finish, sub.frames));
         free_at = finish;
+        if let Some(t) = tel {
+            t.set_time(arrival);
+            t.add("ciq.submissions", 1);
+            t.add("ciq.frames", sub.frames);
+            t.gauge_set("ciq.backlog_frames", backlog as f64);
+            t.observe("ciq.latency_seconds", latency);
+        }
+    }
+    if let Some(t) = tel {
+        t.set_time(free_at);
+        t.add("ciq.completed", latencies.len() as u64);
     }
 
-    latencies.sort_by(f64::total_cmp);
-    let n = latencies.len();
     // `span` covers both degenerate shapes: a single instantaneous burst
     // (all arrivals equal, zero-frame requests => span 0) and offered
     // load at or above the service rate (span = busy time, utilization
     // exactly 1, never a negative residual).
-    let span = (free_at - first_arrival).max(f64::MIN_POSITIVE);
-    Some(QueueReport {
-        completed: n,
-        utilization: (busy / span).min(1.0),
-        mean_latency: latencies.iter().sum::<f64>() / n as f64,
-        p95_latency: latencies[((0.95 * n as f64).ceil() as usize).clamp(1, n) - 1],
-        max_latency: latencies[n - 1],
-        max_backlog_frames: max_backlog,
-    })
+    let span = free_at - first_arrival;
+    Some(QueueReport::from_latencies(
+        &mut latencies,
+        busy,
+        span,
+        max_backlog,
+    ))
 }
 
 /// [`QueueReport`] plus the resilience counters of a faulted run.
@@ -140,6 +207,18 @@ pub fn simulate_resilient(
     cfg: &QueueConfig,
     client: &mut ResilientCiClient,
 ) -> Option<ResilientQueueReport> {
+    simulate_resilient_instrumented(submissions, cfg, client, None)
+}
+
+/// [`simulate_resilient`] with telemetry: the queue metrics above plus the
+/// resilient client's own counters (faults, retries, breaker transitions)
+/// when the client carries the same recorder.
+pub fn simulate_resilient_instrumented(
+    submissions: &[Submission],
+    cfg: &QueueConfig,
+    client: &mut ResilientCiClient,
+    tel: Option<&Telemetry>,
+) -> Option<ResilientQueueReport> {
     if submissions.is_empty() || !cfg.stream_fps.is_finite() || cfg.stream_fps <= 0.0 {
         return None;
     }
@@ -152,6 +231,7 @@ pub fn simulate_resilient(
     let mut degraded = 0usize;
     let mut degraded_frames = 0u64;
 
+    let _sim = tel.map(|t| t.span("ciq.simulate_resilient"));
     let first_arrival = submissions[0].arrival_frame as f64 / cfg.stream_fps;
     let mut last_finish = first_arrival;
     for sub in submissions {
@@ -159,6 +239,12 @@ pub fn simulate_resilient(
         backlog_until.retain(|&(finish, _)| finish > arrival);
         let backlog: u64 = backlog_until.iter().map(|&(_, f)| f).sum::<u64>() + sub.frames;
         max_backlog = max_backlog.max(backlog);
+        if let Some(t) = tel {
+            t.set_time(arrival);
+            t.add("ciq.submissions", 1);
+            t.add("ciq.frames", sub.frames);
+            t.gauge_set("ciq.backlog_frames", backlog as f64);
+        }
 
         match client.submit(sub.frames, arrival) {
             SubmissionOutcome::Delivered {
@@ -168,10 +254,14 @@ pub fn simulate_resilient(
                 let start = free_at.max(effective_arrival);
                 let finish = start + service;
                 busy += service;
-                latencies.push(finish - arrival);
+                let latency = finish - arrival;
+                latencies.push(latency);
                 backlog_until.push((finish, sub.frames));
                 free_at = finish;
                 last_finish = last_finish.max(finish);
+                if let Some(t) = tel {
+                    t.observe("ciq.latency_seconds", latency);
+                }
             }
             SubmissionOutcome::Degraded { .. } => {
                 degraded += 1;
@@ -179,40 +269,32 @@ pub fn simulate_resilient(
                 // The frames linger as backlog until abandonment; model
                 // them as pending for one inter-arrival period.
                 backlog_until.push((arrival + client.config_deadline(), sub.frames));
+                if let Some(t) = tel {
+                    t.add("ciq.degraded", 1);
+                }
             }
         }
+    }
+    if let Some(t) = tel {
+        t.set_time(last_finish);
+        t.add("ciq.completed", latencies.len() as u64);
     }
 
     if latencies.is_empty() {
         // Nothing was ever served: report an all-degraded run with an
         // empty queue profile rather than dividing by zero.
         return Some(ResilientQueueReport {
-            queue: QueueReport {
-                completed: 0,
-                utilization: 0.0,
-                mean_latency: 0.0,
-                p95_latency: 0.0,
-                max_latency: 0.0,
-                max_backlog_frames: max_backlog,
-            },
+            queue: QueueReport::empty(max_backlog),
             degraded,
             degraded_frames,
             availability: 0.0,
         });
     }
 
-    latencies.sort_by(f64::total_cmp);
     let n = latencies.len();
-    let span = (last_finish - first_arrival).max(f64::MIN_POSITIVE);
+    let span = last_finish - first_arrival;
     Some(ResilientQueueReport {
-        queue: QueueReport {
-            completed: n,
-            utilization: (busy / span).min(1.0),
-            mean_latency: latencies.iter().sum::<f64>() / n as f64,
-            p95_latency: latencies[((0.95 * n as f64).ceil() as usize).clamp(1, n) - 1],
-            max_latency: latencies[n - 1],
-            max_backlog_frames: max_backlog,
-        },
+        queue: QueueReport::from_latencies(&mut latencies, busy, span, max_backlog),
         degraded,
         degraded_frames,
         availability: n as f64 / (n + degraded) as f64,
@@ -447,13 +529,8 @@ mod tests {
             transient_prob: 0.1,
             ..FaultConfig::reliable()
         };
-        let mut client = ResilientCiClient::new(
-            faults,
-            ResilienceConfig::default(),
-            c.ci.clone(),
-            5,
-        )
-        .unwrap();
+        let mut client =
+            ResilientCiClient::new(faults, ResilienceConfig::default(), c.ci.clone(), 5).unwrap();
         let res = simulate_resilient(&subs, &c, &mut client).unwrap();
         assert!(res.availability < 1.0, "outages must cost availability");
         assert!(res.degraded > 0);
@@ -501,7 +578,37 @@ mod tests {
             })
             .collect();
         let r = simulate(&subs, &cfg(30.0, 20.0)).unwrap();
+        assert!(r.p50_latency <= r.mean_latency + 1e-12 || r.p50_latency <= r.p95_latency);
         assert!(r.mean_latency <= r.p95_latency + 1e-12);
-        assert!(r.p95_latency <= r.max_latency + 1e-12);
+        assert!(r.p95_latency <= r.p99_latency + 1e-12);
+        assert!(r.p99_latency <= r.max_latency + 1e-12);
+    }
+
+    #[test]
+    fn instrumented_simulation_records_queue_metrics() {
+        use eventhit_telemetry::Telemetry;
+        let subs: Vec<Submission> = (1..=10)
+            .map(|i| Submission {
+                arrival_frame: i * 1000,
+                frames: 80,
+            })
+            .collect();
+        let c = cfg(30.0, 10.0);
+        let tel = Telemetry::with_manual_clock();
+        let instrumented = simulate_instrumented(&subs, &c, Some(&tel)).unwrap();
+        assert_eq!(instrumented, simulate(&subs, &c).unwrap());
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("ciq.submissions"), Some(10));
+        assert_eq!(snap.counter("ciq.completed"), Some(10));
+        assert_eq!(snap.counter("ciq.frames"), Some(800));
+        let h = snap.histogram("ciq.latency_seconds").unwrap();
+        assert_eq!(h.count(), 10);
+        // Underloaded queue: every latency is the 8 s service time, and
+        // clamped bucket midpoints make the quantile exact.
+        assert_eq!(h.quantile(0.5), Some(8.0));
+        let depth = snap.gauge("ciq.backlog_frames").unwrap();
+        assert_eq!(depth.max, 80.0);
+        // The simulator drove the manual clock to the last finish time.
+        assert!(tel.now() > 300.0);
     }
 }

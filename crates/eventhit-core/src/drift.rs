@@ -159,9 +159,9 @@ impl Recalibrator {
 mod tests {
     use super::*;
     use crate::infer::EventScores;
-    use eventhit_video::records::EventLabel;
     use eventhit_rng::rngs::StdRng;
     use eventhit_rng::{Rng, SeedableRng};
+    use eventhit_video::records::EventLabel;
 
     #[test]
     fn stationary_uniform_p_values_rarely_alarm() {

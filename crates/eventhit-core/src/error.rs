@@ -71,7 +71,10 @@ impl fmt::Display for CoreError {
                 what,
                 expected,
                 got,
-            } => write!(f, "shape mismatch in {what}: expected {expected}, got {got}"),
+            } => write!(
+                f,
+                "shape mismatch in {what}: expected {expected}, got {got}"
+            ),
             CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             CoreError::UnknownTask(id) => write!(f, "unknown task id {id:?}"),
             CoreError::EmptySplit { task } => {
@@ -82,7 +85,10 @@ impl fmt::Display for CoreError {
                 "marshal range starts at frame {from}, before a full {window}-frame window"
             ),
             CoreError::StreamBounds { to, len } => {
-                write!(f, "marshal range ends at frame {to}, beyond stream length {len}")
+                write!(
+                    f,
+                    "marshal range ends at frame {to}, beyond stream length {len}"
+                )
             }
             CoreError::CircuitOpen => write!(f, "circuit breaker open: CI presumed unavailable"),
             CoreError::DeadlineExceeded { deadline } => {
@@ -127,7 +133,9 @@ mod tests {
         assert!(e.to_string().contains("record scores"));
         assert!(e.to_string().contains("expected 3"));
         assert!(CoreError::CircuitOpen.to_string().contains("circuit"));
-        assert!(CoreError::UnknownTask("XX".into()).to_string().contains("XX"));
+        assert!(CoreError::UnknownTask("XX".into())
+            .to_string()
+            .contains("XX"));
     }
 
     #[test]

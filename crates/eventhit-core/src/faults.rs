@@ -385,13 +385,13 @@ mod tests {
         assert_eq!(a, b, "same seed must replay the same trace");
         assert_eq!(a.fingerprint(), b.fingerprint());
         let c = run(43);
-        assert_ne!(a.fingerprint(), c.fingerprint(), "different seed, different trace");
+        assert_ne!(
+            a.fingerprint(),
+            c.fingerprint(),
+            "different seed, different trace"
+        );
 
-        let faults = a
-            .entries
-            .iter()
-            .filter(|e| !e.outcome.is_success())
-            .count();
+        let faults = a.entries.iter().filter(|e| !e.outcome.is_success()).count();
         assert!(faults > 0, "lossy profile should fault");
         assert!(faults < 500, "but not always");
     }

@@ -40,15 +40,18 @@ pub mod tune;
 
 pub use ci::{CiConfig, CostReport};
 pub use error::{CoreError, CoreResult};
-pub use faults::{FaultConfig, FaultInjector, FaultKind, FaultTrace};
-pub use resilient::{
-    BreakerConfig, BreakerState, CircuitBreaker, DegradationMode, DegradationTag,
-    ResilienceConfig, ResilienceStats, ResilientCiClient, RetryPolicy, SubmissionOutcome,
-};
 pub use experiment::{ExperimentConfig, TaskRun};
+pub use faults::{FaultConfig, FaultInjector, FaultKind, FaultTrace};
 pub use infer::{EventScores, IntervalPrediction, ScoredRecord};
-pub use metrics::{evaluate, EvalOutcome};
+pub use metrics::{evaluate, try_evaluate, EvalOutcome};
 pub use model::{EventHit, EventHitConfig};
 pub use pipeline::{ConformalState, Strategy};
+pub use report::TelemetrySnapshot;
+pub use resilient::{
+    BreakerConfig, BreakerState, CircuitBreaker, DegradationMode, DegradationTag, ResilienceConfig,
+    ResilienceStats, ResilientCiClient, RetryPolicy, SubmissionOutcome,
+};
 pub use tasks::{all_tasks, task, DatasetKind, Task};
-pub use train::{train, TrainConfig, TrainReport};
+pub use train::{train, train_instrumented, TrainConfig, TrainReport};
+
+pub use eventhit_telemetry::Telemetry;

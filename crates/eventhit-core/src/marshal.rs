@@ -3,6 +3,9 @@
 //! occurrence intervals to the (simulated) CI, and reports what the CI
 //! detected and what it cost — the deployment loop of Fig. 1.
 
+use std::sync::Arc;
+
+use eventhit_telemetry::Telemetry;
 use eventhit_video::records::extract_record;
 use eventhit_video::stream::VideoStream;
 
@@ -97,6 +100,19 @@ pub struct Marshaller {
     window: usize,
     horizon: usize,
     ci: CiConfig,
+    telemetry: Option<Arc<Telemetry>>,
+}
+
+/// Stable label for a degradation tag (counter label on
+/// `marshal.degradation`).
+fn tag_label(tag: DegradationTag) -> &'static str {
+    match tag {
+        DegradationTag::None => "none",
+        DegradationTag::Retried { .. } => "retried",
+        DegradationTag::Dropped => "dropped",
+        DegradationTag::Deferred => "deferred",
+        DegradationTag::LocalOnly => "local_only",
+    }
 }
 
 impl Marshaller {
@@ -116,12 +132,23 @@ impl Marshaller {
             window,
             horizon,
             ci,
+            telemetry: None,
         }
     }
 
     /// Changes the operating strategy (e.g. to retune `c`/`α` online).
     pub fn set_strategy(&mut self, strategy: Strategy) {
         self.strategy = strategy;
+    }
+
+    /// Attaches a telemetry recorder: runs record a `marshal.run` /
+    /// `marshal.run_resilient` span, horizon and relayed-frame counters,
+    /// and (on the resilient path) per-horizon degradation tags as the
+    /// labeled `marshal.degradation` counter. Share the same recorder
+    /// with the [`ResilientCiClient`] to see retries and breaker
+    /// transitions on the same timeline.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.telemetry = Some(telemetry);
     }
 
     /// Walks `[from, to)` of the stream with non-overlapping horizons,
@@ -171,6 +198,8 @@ impl Marshaller {
         to: u64,
     ) -> Result<MarshalResult, CoreError> {
         self.check_range(stream, from, to)?;
+        let tel = self.telemetry.clone();
+        let _run = tel.as_deref().map(|t| t.span("marshal.run"));
 
         let mut segments = Vec::new();
         let mut detections = Vec::new();
@@ -221,6 +250,10 @@ impl Marshaller {
             anchor += self.horizon as u64;
         }
 
+        if let Some(t) = tel.as_deref() {
+            t.add("marshal.horizons", horizons as u64);
+            t.add("marshal.frames_relayed", frames_relayed);
+        }
         let cost = self.ci.account(
             horizons,
             self.window,
@@ -265,6 +298,9 @@ impl Marshaller {
             )));
         }
 
+        let tel = self.telemetry.clone();
+        let _run = tel.as_deref().map(|t| t.span("marshal.run_resilient"));
+
         let mut detections = Vec::new();
         let mut local_cover: Vec<(usize, u64, u64)> = Vec::new();
         let mut lost_segments: Vec<RelaySegment> = Vec::new();
@@ -285,11 +321,7 @@ impl Marshaller {
 
             for (k, label) in record.labels.iter().enumerate() {
                 if label.present {
-                    ground_truth.push((
-                        k,
-                        anchor + label.start as u64,
-                        anchor + label.end as u64,
-                    ));
+                    ground_truth.push((k, anchor + label.start as u64, anchor + label.end as u64));
                 }
             }
 
@@ -316,9 +348,18 @@ impl Marshaller {
                 carried = segs;
             }
 
+            // Keep the simulated timeline moving even when the client has
+            // no recorder of its own (the client sets the time again
+            // before its span when it does).
+            if let Some(t) = tel.as_deref() {
+                t.set_time(now);
+            }
             let outcome = client.submit(submit_frames, now);
             let tag = outcome.tag();
             horizon_tags.push((anchor, tag));
+            if let Some(t) = tel.as_deref() {
+                t.add_labeled("marshal.degradation", tag_label(tag), 1);
+            }
 
             match outcome {
                 SubmissionOutcome::Delivered { .. } => {
@@ -394,6 +435,10 @@ impl Marshaller {
             }
         }
 
+        if let Some(t) = tel.as_deref() {
+            t.add("marshal.horizons", horizons as u64);
+            t.add("marshal.frames_relayed", frames_relayed);
+        }
         let cost = self.ci.account(
             horizons,
             self.window,
@@ -532,7 +577,10 @@ mod tests {
         let err = m
             .try_run(&run.stream, &run.features, 0, run.stream.len)
             .unwrap_err();
-        assert!(matches!(err, crate::error::CoreError::WindowUnderflow { .. }));
+        assert!(matches!(
+            err,
+            crate::error::CoreError::WindowUnderflow { .. }
+        ));
         let err = m
             .try_run(
                 &run.stream,
@@ -601,11 +649,8 @@ mod tests {
             let plain = m
                 .try_run(&fx.stream, &fx.features, from, fx.stream.len)
                 .unwrap();
-            let mut client = make_client(
-                FaultConfig::reliable(),
-                DegradationMode::DropDeadLetter,
-                99,
-            );
+            let mut client =
+                make_client(FaultConfig::reliable(), DegradationMode::DropDeadLetter, 99);
             let res = m
                 .run_resilient(
                     &fx.stream,
@@ -689,15 +734,63 @@ mod tests {
                 )
                 .unwrap();
             assert_eq!(res.attribution.detected, 0, "no CI confirmations");
-            assert_eq!(res.attribution.dropped_by_faults, 0, "local mode never drops");
+            assert_eq!(
+                res.attribution.dropped_by_faults, 0,
+                "local mode never drops"
+            );
             assert!(res.detections.is_empty());
             assert_eq!(
                 res.attribution.local_unconfirmed + res.attribution.filtered_by_predictor,
                 res.ground_truth.len()
             );
-            assert!(
-                res.attribution.effective_recall() >= res.attribution.confirmed_recall()
+            assert!(res.attribution.effective_recall() >= res.attribution.confirmed_recall());
+        }
+
+        #[test]
+        fn shared_recorder_sees_marshal_and_client_metrics() {
+            use eventhit_telemetry::Telemetry;
+            use std::sync::Arc;
+
+            let (mut m, fx) = trained();
+            let from = fx.window as u64;
+            let faults = FaultConfig {
+                p_good_to_bad: 0.3,
+                p_bad_to_good: 0.3,
+                bad_loss: 1.0,
+                transient_prob: 0.1,
+                ..FaultConfig::reliable()
+            };
+            let tel = Arc::new(Telemetry::with_manual_clock());
+            m.set_telemetry(Arc::clone(&tel));
+            let mut client = make_client(faults, DegradationMode::DropDeadLetter, 123);
+            client.set_telemetry(Arc::clone(&tel));
+            let res = m
+                .run_resilient(
+                    &fx.stream,
+                    &fx.features,
+                    from,
+                    fx.stream.len,
+                    30.0,
+                    &mut client,
+                )
+                .unwrap();
+
+            let snap = tel.snapshot();
+            assert_eq!(snap.counter("marshal.horizons"), Some(res.horizons as u64));
+            // One degradation tag per horizon, and the submission counter
+            // matches the client's stats on the same recorder.
+            assert_eq!(
+                snap.counter_total("marshal.degradation"),
+                res.horizons as u64
             );
+            assert_eq!(snap.counter("ci.submissions"), Some(res.stats.submissions));
+            // The ci.submit spans nest under the marshal.run_resilient span.
+            let stats = snap.span_stats();
+            let sub = stats
+                .iter()
+                .find(|s| s.path == "marshal.run_resilient/ci.submit")
+                .expect("nested submit span");
+            assert_eq!(sub.calls, res.stats.submissions);
         }
 
         #[test]

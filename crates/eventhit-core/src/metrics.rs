@@ -3,6 +3,7 @@
 
 use eventhit_video::records::EventLabel;
 
+use crate::error::CoreError;
 use crate::infer::{IntervalPrediction, ScoredRecord};
 
 /// Frame-level recall `η` of one prediction against one label: the fraction
@@ -65,12 +66,32 @@ pub struct EvalOutcome {
 
 /// Evaluates per-record predictions (`preds[i][k]` for record `i`, event
 /// `k`) against the records' ground truth.
+///
+/// Panicking wrapper around [`try_evaluate`], kept for call sites that
+/// treat mismatched shapes as a programming error.
 pub fn evaluate(
     preds: &[Vec<IntervalPrediction>],
     records: &[ScoredRecord],
     horizon: u32,
 ) -> EvalOutcome {
-    assert_eq!(preds.len(), records.len(), "one prediction set per record");
+    try_evaluate(preds, records, horizon).unwrap_or_else(|e| panic!("evaluate failed: {e}"))
+}
+
+/// Fallible form of [`evaluate`]: a prediction set that does not line up
+/// with the records (one set per record, one prediction per event)
+/// surfaces as a typed [`CoreError::ShapeMismatch`] instead of an abort.
+pub fn try_evaluate(
+    preds: &[Vec<IntervalPrediction>],
+    records: &[ScoredRecord],
+    horizon: u32,
+) -> Result<EvalOutcome, CoreError> {
+    if preds.len() != records.len() {
+        return Err(CoreError::ShapeMismatch {
+            what: "one prediction set per record",
+            expected: records.len(),
+            got: preds.len(),
+        });
+    }
     let mut eta_sum = 0.0;
     let mut positives = 0usize;
     let mut hits = 0usize;
@@ -81,7 +102,13 @@ pub fn evaluate(
     let mut true_frames = 0u64;
 
     for (pred_vec, rec) in preds.iter().zip(records) {
-        assert_eq!(pred_vec.len(), rec.labels.len(), "one prediction per event");
+        if pred_vec.len() != rec.labels.len() {
+            return Err(CoreError::ShapeMismatch {
+                what: "one prediction per event",
+                expected: rec.labels.len(),
+                got: pred_vec.len(),
+            });
+        }
         // Union of relayed intervals across events, for cost accounting.
         frames_relayed += union_frames(pred_vec);
         for (pred, label) in pred_vec.iter().zip(&rec.labels) {
@@ -100,7 +127,7 @@ pub fn evaluate(
         }
     }
 
-    EvalOutcome {
+    Ok(EvalOutcome {
         rec: if positives > 0 {
             eta_sum / positives as f64
         } else {
@@ -125,7 +152,7 @@ pub fn evaluate(
         true_frames,
         positives,
         records: records.len(),
-    }
+    })
 }
 
 /// Per-event evaluation: one [`EvalOutcome`] per event index, computed on
@@ -137,11 +164,39 @@ pub fn evaluate_per_event(
     records: &[ScoredRecord],
     horizon: u32,
 ) -> Vec<EvalOutcome> {
-    assert_eq!(preds.len(), records.len());
+    try_evaluate_per_event(preds, records, horizon)
+        .unwrap_or_else(|e| panic!("evaluate_per_event failed: {e}"))
+}
+
+/// Fallible form of [`evaluate_per_event`], with the same shape contract
+/// as [`try_evaluate`] plus: every record must carry the same number of
+/// events as the first.
+pub fn try_evaluate_per_event(
+    preds: &[Vec<IntervalPrediction>],
+    records: &[ScoredRecord],
+    horizon: u32,
+) -> Result<Vec<EvalOutcome>, CoreError> {
+    if preds.len() != records.len() {
+        return Err(CoreError::ShapeMismatch {
+            what: "one prediction set per record",
+            expected: records.len(),
+            got: preds.len(),
+        });
+    }
     if records.is_empty() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let k_events = records[0].labels.len();
+    for (pred_vec, rec) in preds.iter().zip(records) {
+        let per_record = rec.labels.len().min(rec.scores.len());
+        if per_record != k_events || pred_vec.len() != k_events {
+            return Err(CoreError::ShapeMismatch {
+                what: "same event count on every record and prediction set",
+                expected: k_events,
+                got: per_record.min(pred_vec.len()),
+            });
+        }
+    }
     (0..k_events)
         .map(|k| {
             let single_preds: Vec<Vec<IntervalPrediction>> =
@@ -154,7 +209,7 @@ pub fn evaluate_per_event(
                     labels: vec![r.labels[k]],
                 })
                 .collect();
-            evaluate(&single_preds, &single_records, horizon)
+            try_evaluate(&single_preds, &single_records, horizon)
         })
         .collect()
 }
@@ -415,6 +470,48 @@ mod tests {
         // Nothing predicted: precision defined as 1.
         let none = vec![vec![IntervalPrediction::absent()]; 2];
         assert_eq!(existence_precision(&none, &records), 1.0);
+    }
+
+    #[test]
+    fn shape_mismatches_surface_as_typed_errors() {
+        let records = vec![scored(vec![label(1, 10)])];
+        // Wrong number of prediction sets.
+        let err = try_evaluate(&[], &records, 100).unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::ShapeMismatch {
+                expected: 1,
+                got: 0,
+                ..
+            }
+        ));
+        // Wrong number of predictions within a set.
+        let err = try_evaluate(&[vec![pred(1, 2), pred(3, 4)]], &records, 100).unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::ShapeMismatch {
+                expected: 1,
+                got: 2,
+                ..
+            }
+        ));
+        // Per-event form rejects ragged event counts.
+        let ragged = vec![
+            scored(vec![label(1, 10), label(20, 29)]),
+            scored(vec![label(1, 10)]),
+        ];
+        let preds = vec![
+            vec![pred(1, 10), pred(20, 29)],
+            vec![pred(1, 10), pred(20, 29)],
+        ];
+        assert!(try_evaluate_per_event(&preds, &ragged, 100).is_err());
+        // The happy path agrees with the panicking wrapper.
+        let ok_records = vec![scored(vec![label(1, 10)])];
+        let ok_preds = vec![vec![pred(1, 10)]];
+        assert_eq!(
+            try_evaluate(&ok_preds, &ok_records, 100).unwrap(),
+            evaluate(&ok_preds, &ok_records, 100)
+        );
     }
 
     #[test]

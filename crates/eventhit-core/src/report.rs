@@ -6,6 +6,11 @@
 use crate::metrics::{EvalOutcome, MissAttribution};
 use crate::resilient::ResilienceStats;
 
+/// The run dashboard of the telemetry layer, re-exported where the other
+/// run summaries live: counters, gauges, histogram quantiles, and top
+/// spans by self-time, with JSONL export and an FNV-1a fingerprint.
+pub use eventhit_telemetry::TelemetrySnapshot;
+
 /// One operating point on the REC–SPL plane (recall up, spillage right).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OperatingPoint {

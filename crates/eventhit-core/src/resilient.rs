@@ -20,8 +20,11 @@
 //!   (dead-letter, defer, or local-only fallback) when delivery is
 //!   impossible.
 
+use std::sync::Arc;
+
 use eventhit_rng::rngs::StdRng;
 use eventhit_rng::Rng;
+use eventhit_telemetry::{percentile, Telemetry};
 use eventhit_video::detector::StageModel;
 
 use crate::error::CoreError;
@@ -395,14 +398,9 @@ impl ResilienceStats {
     /// Latency quantile over delivered submissions (q in [0, 1]); `None`
     /// when nothing was delivered.
     pub fn latency_quantile(&self, q: f64) -> Option<f64> {
-        if self.latencies.is_empty() {
-            return None;
-        }
         let mut sorted = self.latencies.clone();
         sorted.sort_by(f64::total_cmp);
-        let n = sorted.len();
-        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
-        Some(sorted[rank - 1])
+        percentile(&sorted, q)
     }
 
     /// `(p50, p95, p99)` faulted latency; `None` when nothing delivered.
@@ -491,6 +489,36 @@ pub struct ResilientCiClient {
     pub stats: ResilienceStats,
     /// Abandoned submissions, in abandonment order.
     pub dead_letters: Vec<DeadLetter>,
+    telemetry: Option<Arc<Telemetry>>,
+}
+
+/// Stable label for a fault kind (counter label on `ci.faults`).
+fn fault_label(kind: FaultKind) -> &'static str {
+    match kind {
+        FaultKind::Transient => "transient",
+        FaultKind::Timeout => "timeout",
+        FaultKind::Throttled => "throttled",
+        FaultKind::Outage => "outage",
+    }
+}
+
+/// Stable label for a breaker state (counter label on
+/// `ci.breaker_transitions`).
+fn breaker_label(state: BreakerState) -> &'static str {
+    match state {
+        BreakerState::Closed => "closed",
+        BreakerState::Open => "open",
+        BreakerState::HalfOpen => "half_open",
+    }
+}
+
+/// Stable label for a degradation mode (counter label on `ci.degraded`).
+fn degradation_label(mode: DegradationMode) -> &'static str {
+    match mode {
+        DegradationMode::DropDeadLetter => "drop_dead_letter",
+        DegradationMode::DeferNextHorizon => "defer_next_horizon",
+        DegradationMode::LocalOnly => "local_only",
+    }
 }
 
 impl ResilientCiClient {
@@ -513,7 +541,18 @@ impl ResilientCiClient {
             jitter: StdRng::stream(seed, JITTER_STREAM_ID),
             stats: ResilienceStats::default(),
             dead_letters: Vec::new(),
+            telemetry: None,
         })
+    }
+
+    /// Attaches a telemetry recorder: each submission then records the
+    /// `ci.submissions` / `ci.delivered` / `ci.retries` counters, faults
+    /// by kind (`ci.faults{transient,…}`), breaker transitions by target
+    /// state, degradations by mode, and delivered latencies into the
+    /// `ci.latency_seconds` histogram. With a manual-clock recorder the
+    /// client also advances the clock to each submission's `now`.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.telemetry = Some(telemetry);
     }
 
     /// The configured degradation mode.
@@ -546,6 +585,61 @@ impl ResilientCiClient {
     /// ended. Zero-frame submissions deliver instantly without touching
     /// the channel.
     pub fn submit(&mut self, frames: u64, now: f64) -> SubmissionOutcome {
+        let Some(tel) = self.telemetry.clone() else {
+            return self.submit_inner(frames, now);
+        };
+        tel.set_time(now);
+        let _sub = tel.span("ci.submit");
+        // Diff the running stats around the inner pipeline rather than
+        // threading the recorder through the retry loop.
+        let faults_before = self.stats.faults;
+        let retries_before = self.stats.retries;
+        let rejections_before = self.stats.breaker_rejections;
+        let transitions_before = self.breaker.transitions.len();
+
+        let out = self.submit_inner(frames, now);
+
+        tel.add("ci.submissions", 1);
+        match out {
+            SubmissionOutcome::Delivered {
+                wasted, service, ..
+            } => {
+                tel.add("ci.delivered", 1);
+                tel.observe("ci.latency_seconds", wasted + service);
+            }
+            SubmissionOutcome::Degraded { mode, .. } => {
+                tel.add_labeled("ci.degraded", degradation_label(mode), 1);
+            }
+        }
+        for (kind, (&after, &before)) in [
+            FaultKind::Transient,
+            FaultKind::Timeout,
+            FaultKind::Throttled,
+            FaultKind::Outage,
+        ]
+        .into_iter()
+        .zip(self.stats.faults.iter().zip(&faults_before))
+        {
+            if after > before {
+                tel.add_labeled("ci.faults", fault_label(kind), after - before);
+            }
+        }
+        if self.stats.retries > retries_before {
+            tel.add("ci.retries", self.stats.retries - retries_before);
+        }
+        if self.stats.breaker_rejections > rejections_before {
+            tel.add(
+                "ci.breaker_rejections",
+                self.stats.breaker_rejections - rejections_before,
+            );
+        }
+        for &(_, state) in &self.breaker.transitions[transitions_before..] {
+            tel.add_labeled("ci.breaker_transitions", breaker_label(state), 1);
+        }
+        out
+    }
+
+    fn submit_inner(&mut self, frames: u64, now: f64) -> SubmissionOutcome {
         self.stats.submissions += 1;
         self.stats.frames_submitted += frames;
         if frames == 0 {
@@ -622,7 +716,12 @@ impl ResilientCiClient {
                     if !self.breaker.allow(now + wasted) {
                         // Mid-retry trip: stop hammering a dead service.
                         self.stats.breaker_rejections += 1;
-                        return self.degrade(frames, now + wasted, attempts, FailReason::CircuitOpen);
+                        return self.degrade(
+                            frames,
+                            now + wasted,
+                            attempts,
+                            FailReason::CircuitOpen,
+                        );
                     }
 
                     let delay = self
@@ -733,7 +832,10 @@ mod tests {
         let mut prev = p.base_delay;
         for retry in 1..12 {
             let d = p.backoff(retry, prev, &mut rng);
-            assert!(d >= p.base_delay.min(p.cap_for(retry)), "delay {d} below floor");
+            assert!(
+                d >= p.base_delay.min(p.cap_for(retry)),
+                "delay {d} below floor"
+            );
             assert!(d <= p.cap_for(retry) + 1e-12, "delay {d} above cap");
             prev = d;
         }
@@ -818,7 +920,10 @@ mod tests {
                 reason,
                 ..
             } => assert!(
-                matches!(reason, FailReason::RetriesExhausted | FailReason::CircuitOpen),
+                matches!(
+                    reason,
+                    FailReason::RetriesExhausted | FailReason::CircuitOpen
+                ),
                 "reason {reason:?}"
             ),
             o => panic!("expected degradation, got {o:?}"),
@@ -952,6 +1057,46 @@ mod tests {
             c.stats.delivered + c.stats.degraded,
             c.stats.submissions,
             "every submission accounted"
+        );
+    }
+
+    #[test]
+    fn telemetry_mirrors_resilience_stats() {
+        let mut c = client(FaultConfig::lossy(), ResilienceConfig::default());
+        let tel = Arc::new(Telemetry::with_manual_clock());
+        c.set_telemetry(Arc::clone(&tel));
+        for i in 0..100 {
+            c.submit(20, i as f64 * 50.0);
+        }
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("ci.submissions"), Some(c.stats.submissions));
+        assert_eq!(snap.counter("ci.delivered").unwrap_or(0), c.stats.delivered);
+        assert_eq!(snap.counter("ci.retries").unwrap_or(0), c.stats.retries);
+        assert_eq!(
+            snap.counter_total("ci.faults"),
+            c.stats.faults.iter().sum::<u64>()
+        );
+        assert_eq!(
+            snap.counter_labeled("ci.faults", "outage").unwrap_or(0),
+            c.stats.faults[3]
+        );
+        assert_eq!(snap.counter_total("ci.degraded"), c.stats.degraded);
+        assert_eq!(
+            snap.counter_total("ci.breaker_transitions") as usize,
+            c.breaker_transitions().len()
+        );
+        let h = snap.histogram("ci.latency_seconds").unwrap();
+        assert_eq!(h.count(), c.stats.latencies.len() as u64);
+        // Attaching telemetry must not perturb the client's own behavior:
+        // same seed without a recorder yields identical stats.
+        let mut plain = client(FaultConfig::lossy(), ResilienceConfig::default());
+        for i in 0..100 {
+            plain.submit(20, i as f64 * 50.0);
+        }
+        assert_eq!(plain.stats, c.stats);
+        assert_eq!(
+            plain.fault_trace().fingerprint(),
+            c.fault_trace().fingerprint()
         );
     }
 

@@ -7,7 +7,10 @@
 //! [`Marshaller`](crate::marshal::Marshaller), for deployments where frames
 //! arrive from a live camera rather than a stored stream.
 
+use std::sync::Arc;
+
 use eventhit_nn::matrix::Matrix;
+use eventhit_telemetry::Telemetry;
 use eventhit_video::online::WindowBuffer;
 use eventhit_video::records::{EventLabel, Record};
 
@@ -50,6 +53,9 @@ pub struct OnlinePredictor {
     horizon: u64,
     /// Frames remaining until the next prediction anchor.
     countdown: u64,
+    /// Optional recorder; `None` keeps the hot path free of telemetry
+    /// branches beyond one pointer check.
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl OnlinePredictor {
@@ -64,6 +70,7 @@ impl OnlinePredictor {
             model,
             state,
             strategy,
+            telemetry: None,
         }
     }
 
@@ -72,9 +79,20 @@ impl OnlinePredictor {
         self.strategy = strategy;
     }
 
+    /// Attaches a telemetry recorder. Every pushed frame bumps
+    /// `stream.frames`; each decision records its latency into
+    /// `stream.decision_seconds` and splits the horizon's frames into
+    /// `stream.frames_relayed` / `stream.frames_filtered`.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.telemetry = Some(telemetry);
+    }
+
     /// Feeds one frame's features. Returns a decision when this frame is a
     /// prediction anchor.
     pub fn push_frame(&mut self, features: Vec<f32>) -> Option<HorizonDecision> {
+        if let Some(t) = &self.telemetry {
+            t.add("stream.frames", 1);
+        }
         self.buffer.push(features);
         if !self.buffer.is_full() {
             return None;
@@ -85,6 +103,7 @@ impl OnlinePredictor {
         }
         self.countdown = self.horizon - 1;
 
+        let started = self.telemetry.as_deref().map(Telemetry::now);
         let anchor = self.buffer.frames_seen() - 1;
         let record = Record {
             anchor,
@@ -92,11 +111,26 @@ impl OnlinePredictor {
             labels: vec![EventLabel::absent(); self.state.num_events()],
         };
         let scored = score_records(&mut self.model, std::slice::from_ref(&record), 1);
-        Some(HorizonDecision {
+        let decision = HorizonDecision {
             anchor,
             predictions: self.state.predict(&scored[0], &self.strategy),
             degradation: DegradationTag::None,
-        })
+        };
+        if let (Some(t), Some(t0)) = (&self.telemetry, started) {
+            t.add("stream.decisions", 1);
+            t.observe("stream.decision_seconds", t.now() - t0);
+            let relayed: u64 = decision
+                .segments()
+                .iter()
+                .map(|&(_, s, e)| e.saturating_sub(s) + 1)
+                .sum();
+            t.add("stream.frames_relayed", relayed);
+            t.add(
+                "stream.frames_filtered",
+                self.horizon.saturating_sub(relayed),
+            );
+        }
+        Some(decision)
     }
 
     /// Like [`OnlinePredictor::push_frame`], but consults the resilient
@@ -197,6 +231,36 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_counts_frames_and_decisions() {
+        use eventhit_telemetry::Telemetry;
+        use std::sync::Arc;
+
+        let run = TaskRun::execute(&task("TA10").unwrap(), &ExperimentConfig::quick(61));
+        let horizon = run.horizon;
+        let window = run.window;
+        let features = run.features.clone();
+        let mut online =
+            OnlinePredictor::new(run.model, run.state, Strategy::Ehcr { c: 0.9, alpha: 0.5 });
+        let tel = Arc::new(Telemetry::new());
+        online.set_telemetry(Arc::clone(&tel));
+
+        let n = window + horizon * 2 + 1;
+        let decisions = (0..n)
+            .filter_map(|r| online.push_frame(features.row(r).to_vec()))
+            .count();
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("stream.frames"), Some(n as u64));
+        assert_eq!(snap.counter("stream.decisions"), Some(decisions as u64));
+        let h = snap.histogram("stream.decision_seconds").unwrap();
+        assert_eq!(h.count(), decisions as u64);
+        // Per decision, relayed + filtered covers at least the horizon
+        // (overlapping event segments can only push it above).
+        let relayed = snap.counter("stream.frames_relayed").unwrap_or(0);
+        let filtered = snap.counter("stream.frames_filtered").unwrap_or(0);
+        assert!(relayed + filtered >= decisions as u64 * horizon as u64);
+    }
+
+    #[test]
     fn segments_are_absolute() {
         let d = HorizonDecision {
             anchor: 100,
@@ -216,9 +280,7 @@ mod tests {
     #[test]
     fn open_breaker_tags_decisions_local_only() {
         use crate::faults::FaultConfig;
-        use crate::resilient::{
-            DegradationTag, ResilienceConfig, ResilientCiClient,
-        };
+        use crate::resilient::{DegradationTag, ResilienceConfig, ResilientCiClient};
         use eventhit_video::detector::StageModel;
 
         let run = TaskRun::execute(&task("TA10").unwrap(), &ExperimentConfig::quick(63));

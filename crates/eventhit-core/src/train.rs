@@ -14,6 +14,7 @@
 use eventhit_rng::rngs::StdRng;
 use eventhit_rng::seq::SliceRandom;
 use eventhit_rng::SeedableRng;
+use eventhit_telemetry::Telemetry;
 
 use eventhit_nn::loss::{bce_scalar, bce_scalar_grad};
 use eventhit_nn::matrix::Matrix;
@@ -160,6 +161,19 @@ fn index_pool(records: &[Record], balance: bool) -> Vec<usize> {
 
 /// Trains the model in place and returns per-epoch losses.
 pub fn train(model: &mut EventHit, records: &[Record], cfg: &TrainConfig) -> TrainReport {
+    train_instrumented(model, records, cfg, &Telemetry::disabled())
+}
+
+/// [`train`] with telemetry: a `train` span nesting one `train.epoch`
+/// span per epoch, per-step timing in `train.step_seconds`, the example
+/// throughput in `train.examples` / `train.examples_per_sec`, and the
+/// running loss in the `train.epoch_loss` gauge.
+pub fn train_instrumented(
+    model: &mut EventHit,
+    records: &[Record],
+    cfg: &TrainConfig,
+    tel: &Telemetry,
+) -> TrainReport {
     assert!(!records.is_empty(), "no training records");
     assert!(cfg.epochs > 0 && cfg.batch_size > 0);
     let horizon = model.config().horizon;
@@ -171,13 +185,18 @@ pub fn train(model: &mut EventHit, records: &[Record], cfg: &TrainConfig) -> Tra
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
     let mut step = 0usize;
 
+    let _run = tel.span("train");
     for _ in 0..cfg.epochs {
+        let _epoch = tel.span("train.epoch");
+        let epoch_start = tel.now();
         let mut pool = index_pool(records, cfg.balance_positives);
         pool.shuffle(&mut rng);
         let mut epoch_loss = 0.0f32;
         let mut batches = 0usize;
+        let mut examples = 0u64;
 
         for chunk in pool.chunks(cfg.batch_size) {
+            let step_start = tel.now();
             let batch: Vec<&Record> = chunk.iter().map(|&i| &records[i]).collect();
             model.zero_grad();
             let outputs = model.forward(&batch);
@@ -206,8 +225,17 @@ pub fn train(model: &mut EventHit, records: &[Record], cfg: &TrainConfig) -> Tra
             epoch_loss += loss;
             batches += 1;
             step += 1;
+            examples += batch.len() as u64;
+            tel.observe("train.step_seconds", tel.now() - step_start);
         }
-        epoch_losses.push(epoch_loss / batches.max(1) as f32);
+        let mean_loss = epoch_loss / batches.max(1) as f32;
+        tel.add("train.examples", examples);
+        tel.gauge_set("train.epoch_loss", mean_loss as f64);
+        let dt = tel.now() - epoch_start;
+        if dt > 0.0 {
+            tel.gauge_set("train.examples_per_sec", examples as f64 / dt);
+        }
+        epoch_losses.push(mean_loss);
     }
 
     model.set_training(false);
@@ -222,8 +250,8 @@ pub fn train(model: &mut EventHit, records: &[Record], cfg: &TrainConfig) -> Tra
 mod tests {
     use super::*;
     use crate::model::EventHitConfig;
-    use eventhit_video::records::EventLabel;
     use eventhit_rng::Rng;
+    use eventhit_video::records::EventLabel;
 
     fn labelled_record(m: usize, d: usize, fill: f32, label: EventLabel) -> Record {
         Record {
@@ -393,6 +421,78 @@ mod tests {
             "losses: {:?}",
             report.epoch_losses
         );
+    }
+
+    #[test]
+    fn instrumented_training_records_epochs_and_steps() {
+        let records: Vec<Record> = (0..40)
+            .map(|i| {
+                labelled_record(
+                    2,
+                    2,
+                    0.1 * (i % 10) as f32,
+                    if i % 2 == 0 {
+                        EventLabel {
+                            present: true,
+                            start: 1,
+                            end: 2,
+                            censored: false,
+                        }
+                    } else {
+                        EventLabel::absent()
+                    },
+                )
+            })
+            .collect();
+        let cfg = EventHitConfig {
+            input_dim: 2,
+            window: 2,
+            horizon: 4,
+            num_events: 1,
+            hidden_dim: 4,
+            shared_dim: 4,
+            dropout: 0.0,
+        };
+        let mut model = EventHit::new(cfg, 3);
+        let tcfg = TrainConfig {
+            epochs: 3,
+            batch_size: 16,
+            ..Default::default()
+        };
+        let tel = Telemetry::new();
+        let report = train_instrumented(&mut model, &records, &tcfg, &tel);
+        assert_eq!(report.epoch_losses.len(), 3);
+
+        let snap = tel.snapshot();
+        let stats = snap.span_stats();
+        let train_span = stats.iter().find(|s| s.path == "train").unwrap();
+        let epoch_span = stats
+            .iter()
+            .find(|s| s.path == "train/train.epoch")
+            .unwrap();
+        assert_eq!(train_span.calls, 1);
+        assert_eq!(epoch_span.calls, 3);
+        let steps = snap.histogram("train.step_seconds").unwrap();
+        assert!(steps.count() >= 3, "at least one step per epoch");
+        assert!(snap.counter("train.examples").unwrap() >= 40 * 3);
+        assert!(snap.gauge("train.epoch_loss").is_some());
+
+        // The uninstrumented path trains identically (telemetry never
+        // touches the RNG or the optimizer).
+        let mut model2 = EventHit::new(
+            EventHitConfig {
+                input_dim: 2,
+                window: 2,
+                horizon: 4,
+                num_events: 1,
+                hidden_dim: 4,
+                shared_dim: 4,
+                dropout: 0.0,
+            },
+            3,
+        );
+        let report2 = train(&mut model2, &records, &tcfg);
+        assert_eq!(report.epoch_losses, report2.epoch_losses);
     }
 
     #[test]

@@ -25,7 +25,12 @@ fn label() -> impl Strategy<Value = EventLabel> {
         let present: bool = rng.random();
         let iv = sample_interval(rng);
         if present {
-            EventLabel { present: true, start: iv.0, end: iv.1, censored: false }
+            EventLabel {
+                present: true,
+                start: iv.0,
+                end: iv.1,
+                censored: false,
+            }
         } else {
             EventLabel::absent()
         }
@@ -37,7 +42,11 @@ fn prediction() -> impl Strategy<Value = IntervalPrediction> {
         let present: bool = rng.random();
         let iv = sample_interval(rng);
         if present {
-            IntervalPrediction { present: true, start: iv.0, end: iv.1 }
+            IntervalPrediction {
+                present: true,
+                start: iv.0,
+                end: iv.1,
+            }
         } else {
             IntervalPrediction::absent()
         }

@@ -201,12 +201,13 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
         println!("{label:<48} (no measurement: Bencher::iter never called)");
         return;
     }
-    let min = bencher.measurements.iter().min().copied().unwrap_or_default();
-    let mean = bencher
+    let min = bencher
         .measurements
         .iter()
-        .sum::<Duration>()
-        / bencher.measurements.len() as u32;
+        .min()
+        .copied()
+        .unwrap_or_default();
+    let mean = bencher.measurements.iter().sum::<Duration>() / bencher.measurements.len() as u32;
 
     let rate = throughput.map(|t| {
         let per_sec = |count: u64| count as f64 / mean.as_secs_f64().max(1e-12);

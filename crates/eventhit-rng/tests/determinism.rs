@@ -46,7 +46,12 @@ fn matches_published_xoshiro256pp_vector() {
 fn seed_from_u64_golden_values() {
     let mut rng = StdRng::seed_from_u64(0);
     assert_eq!(
-        [rng.next_u64(), rng.next_u64(), rng.next_u64(), rng.next_u64()],
+        [
+            rng.next_u64(),
+            rng.next_u64(),
+            rng.next_u64(),
+            rng.next_u64()
+        ],
         [
             5987356902031041503,
             7051070477665621255,
@@ -56,7 +61,12 @@ fn seed_from_u64_golden_values() {
     );
     let mut rng = StdRng::seed_from_u64(42);
     assert_eq!(
-        [rng.next_u64(), rng.next_u64(), rng.next_u64(), rng.next_u64()],
+        [
+            rng.next_u64(),
+            rng.next_u64(),
+            rng.next_u64(),
+            rng.next_u64()
+        ],
         [
             15021278609987233951,
             5881210131331364753,
@@ -101,7 +111,9 @@ fn same_seed_same_sequence() {
         assert_eq!(a.next_u64(), b.next_u64());
     }
     let mut c = StdRng::seed_from_u64(124);
-    let first: Vec<u64> = (0..8).map(|_| StdRng::seed_from_u64(123).next_u64()).collect();
+    let first: Vec<u64> = (0..8)
+        .map(|_| StdRng::seed_from_u64(123).next_u64())
+        .collect();
     let other: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
     assert_ne!(first, other);
 }

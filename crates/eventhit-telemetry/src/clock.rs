@@ -1,0 +1,22 @@
+//! The two clocks telemetry can run on.
+
+/// Which clock a [`crate::Telemetry`] reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockKind {
+    /// Real elapsed seconds since the recorder was created.
+    Wall,
+    /// Simulated seconds, advanced explicitly via
+    /// [`crate::Telemetry::set_time`]. Never moves on its own, so
+    /// recordings are a pure function of the instrumented computation.
+    Manual,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_distinct() {
+        assert_ne!(ClockKind::Wall, ClockKind::Manual);
+    }
+}

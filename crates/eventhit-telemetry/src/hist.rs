@@ -1,0 +1,302 @@
+//! HDR-style log-bucketed histogram with fixed, deterministic bucket
+//! boundaries.
+//!
+//! Buckets are derived from the IEEE-754 representation of the recorded
+//! value: the binary exponent selects an octave and the top two mantissa
+//! bits split each octave into four sub-buckets, giving a worst-case
+//! relative error of 12.5% per bucket. Because bucketing is pure bit
+//! manipulation (no `ln`/`log2` calls), the same inputs always land in
+//! the same buckets on every platform, and quantiles — nearest-rank over
+//! bucket counts, reported as the bucket midpoint clamped to the observed
+//! `[min, max]` — are bit-deterministic.
+
+/// Lowest binary exponent with its own octave (values below land in the
+/// first positive bucket). `2^-30 ≈ 0.93 ns` — far below any latency the
+/// workspace measures.
+const E_MIN: i32 = -30;
+/// Highest binary exponent with its own octave (values above land in the
+/// last bucket). `2^33 ≈ 8.6e9 s` — far above any simulated horizon.
+const E_MAX: i32 = 33;
+/// Sub-buckets per octave (top two mantissa bits).
+const SUBS: usize = 4;
+/// Bucket 0 holds exact zeros (and clamped negatives); the rest cover
+/// `[2^E_MIN, 2^(E_MAX+1))` in quarter-octave steps.
+pub const NUM_BUCKETS: usize = 1 + (E_MAX - E_MIN + 1) as usize * SUBS;
+
+/// A fixed-boundary log-bucketed histogram of non-negative `f64` samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogHistogram {
+    buckets: [u64; NUM_BUCKETS],
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: [0; NUM_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The bucket index a value falls into. Negative values clamp into
+    /// the zero bucket; out-of-range magnitudes clamp into the first or
+    /// last positive bucket. Returns `None` for non-finite values, which
+    /// are never recorded.
+    pub fn bucket_index(v: f64) -> Option<usize> {
+        if !v.is_finite() {
+            return None;
+        }
+        if v <= 0.0 {
+            return Some(0);
+        }
+        let bits = v.to_bits();
+        let biased = ((bits >> 52) & 0x7FF) as i32;
+        if biased == 0 {
+            // Subnormal: below 2^E_MIN by construction.
+            return Some(1);
+        }
+        let e = biased - 1023;
+        if e < E_MIN {
+            return Some(1);
+        }
+        if e > E_MAX {
+            return Some(NUM_BUCKETS - 1);
+        }
+        let m = ((bits >> 50) & 0x3) as usize;
+        Some(1 + (e - E_MIN) as usize * SUBS + m)
+    }
+
+    /// The `[lo, hi)` boundaries of bucket `idx`. Bucket 0 is the
+    /// degenerate `[0, 0]`.
+    pub fn bucket_bounds(idx: usize) -> (f64, f64) {
+        assert!(idx < NUM_BUCKETS, "bucket {idx} out of range");
+        if idx == 0 {
+            return (0.0, 0.0);
+        }
+        let k = idx - 1;
+        let e = E_MIN + (k / SUBS) as i32;
+        let m = (k % SUBS) as f64;
+        let base = 2.0f64.powi(e);
+        (base * (1.0 + m * 0.25), base * (1.0 + (m + 1.0) * 0.25))
+    }
+
+    /// The representative (midpoint) value of bucket `idx`, used when a
+    /// quantile lands in it.
+    pub fn bucket_midpoint(idx: usize) -> f64 {
+        let (lo, hi) = Self::bucket_bounds(idx);
+        lo + (hi - lo) * 0.5
+    }
+
+    /// Records one sample. Non-finite samples are ignored.
+    pub fn observe(&mut self, v: f64) {
+        let Some(idx) = Self::bucket_index(v) else {
+            return;
+        };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample; `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of recorded samples; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Nearest-rank quantile (`q` clamped into `[0, 1]`): the midpoint of
+    /// the bucket holding the `⌈q·n⌉`-th sample, clamped to the observed
+    /// `[min, max]` so degenerate shapes (single sample, all-equal
+    /// samples, extreme quantiles) report exact values. `None` when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::bucket_midpoint(idx).clamp(self.min, self.max));
+            }
+        }
+        unreachable!("rank {rank} beyond {} recorded samples", self.count)
+    }
+
+    /// `(p50, p95, p99)`; `None` when empty.
+    pub fn percentiles(&self) -> Option<(f64, f64, f64)> {
+        Some((
+            self.quantile(0.50)?,
+            self.quantile(0.95)?,
+            self.quantile(0.99)?,
+        ))
+    }
+
+    /// The non-empty buckets as `(index, count)`, in index order —
+    /// compact form for export.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_tile_the_range() {
+        // Consecutive buckets must be contiguous: hi of k == lo of k+1.
+        for idx in 1..NUM_BUCKETS - 1 {
+            let (_, hi) = LogHistogram::bucket_bounds(idx);
+            let (lo_next, _) = LogHistogram::bucket_bounds(idx + 1);
+            assert_eq!(hi, lo_next, "gap between buckets {idx} and {}", idx + 1);
+        }
+    }
+
+    #[test]
+    fn bucket_index_matches_bounds() {
+        // Every probe value must land in a bucket whose bounds contain it.
+        for &v in &[1e-9, 0.001, 0.5, 1.0, 1.5, 2.0, 3.0, 100.0, 1e6, 8e9] {
+            let idx = LogHistogram::bucket_index(v).unwrap();
+            let (lo, hi) = LogHistogram::bucket_bounds(idx);
+            assert!(
+                lo <= v && v < hi,
+                "{v} outside [{lo}, {hi}) of bucket {idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_negative_and_nonfinite_edges() {
+        assert_eq!(LogHistogram::bucket_index(0.0), Some(0));
+        assert_eq!(LogHistogram::bucket_index(-3.0), Some(0));
+        assert_eq!(LogHistogram::bucket_index(f64::MIN_POSITIVE / 2.0), Some(1));
+        assert_eq!(LogHistogram::bucket_index(1e-40), Some(1));
+        assert_eq!(LogHistogram::bucket_index(f64::MAX), Some(NUM_BUCKETS - 1));
+        assert_eq!(LogHistogram::bucket_index(f64::NAN), None);
+        assert_eq!(LogHistogram::bucket_index(f64::INFINITY), None);
+
+        let mut h = LogHistogram::new();
+        h.observe(f64::NAN);
+        assert_eq!(h.count(), 0, "NaN is dropped");
+        h.observe(0.0);
+        assert_eq!(h.quantile(0.5), Some(0.0));
+    }
+
+    #[test]
+    fn single_sample_quantiles_are_exact() {
+        let mut h = LogHistogram::new();
+        h.observe(0.7);
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(h.quantile(q), Some(0.7), "q={q}");
+        }
+        assert_eq!(h.mean(), Some(0.7));
+        assert_eq!(h.min(), Some(0.7));
+        assert_eq!(h.max(), Some(0.7));
+    }
+
+    #[test]
+    fn golden_quantiles_uniform_1_to_100() {
+        // 1..=100 in seconds: p50 lands in the bucket of 50 = 2^5 * 1.5625
+        // → octave e=5, m=2 covers [48, 56), midpoint 52; p95 lands in the
+        // bucket of 95 → e=6, m=1 covers [80, 96), midpoint 88; p99 in the
+        // bucket of 99 → e=6, m=2 covers [96, 112), midpoint 104 clamped
+        // to the observed max 100.
+        let mut h = LogHistogram::new();
+        for v in 1..=100 {
+            h.observe(v as f64);
+        }
+        assert_eq!(h.quantile(0.50), Some(52.0));
+        assert_eq!(h.quantile(0.95), Some(88.0));
+        assert_eq!(h.quantile(0.99), Some(100.0));
+        assert_eq!(h.mean(), Some(50.5));
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let mut h = LogHistogram::new();
+        let mut x = 0.37f64;
+        for _ in 0..1000 {
+            // A deterministic scatter over several decades.
+            x = (x * 4.0).fract() + 0.01;
+            h.observe(x * x * 100.0);
+        }
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let v = h.quantile(q).unwrap();
+            assert!(v >= prev, "quantile not monotone at q={q}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn quantile_error_is_bounded_by_bucket_width() {
+        // Relative error of any quantile is at most half a bucket width
+        // (12.5%), checked against exact nearest-rank on the raw samples.
+        let samples: Vec<f64> = (1..=500).map(|i| (i as f64) * 0.013).collect();
+        let mut h = LogHistogram::new();
+        for &s in &samples {
+            h.observe(s);
+        }
+        for q in [0.1, 0.5, 0.9, 0.95, 0.99] {
+            let exact = samples[((q * 500.0f64).ceil() as usize).clamp(1, 500) - 1];
+            let approx = h.quantile(q).unwrap();
+            assert!(
+                (approx - exact).abs() / exact <= 0.125,
+                "q={q}: approx {approx} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn nonzero_buckets_round_trip_counts() {
+        let mut h = LogHistogram::new();
+        for v in [0.0, 0.0, 1.0, 1.0, 1.0, 900.0] {
+            h.observe(v);
+        }
+        let nz = h.nonzero_buckets();
+        assert_eq!(nz.iter().map(|&(_, c)| c).sum::<u64>(), h.count());
+        assert_eq!(nz[0], (0, 2), "two zeros in the zero bucket");
+    }
+}

@@ -1,12 +1,12 @@
 //! Property-based tests of the stream generator and record labelling.
 
+use eventhit_rng::rngs::StdRng;
+use eventhit_rng::{prop_assert, prop_assert_eq, prop_assume, property, SeedableRng};
 use eventhit_video::distributions::lognormal_mean_std;
 use eventhit_video::event::{EventClass, EventInstance, OccurrenceInterval};
 use eventhit_video::records::horizon_label;
 use eventhit_video::stream::{VideoStream, MIN_GAP};
 use eventhit_video::synthetic;
-use eventhit_rng::rngs::StdRng;
-use eventhit_rng::{prop_assert, prop_assert_eq, prop_assume, property, SeedableRng};
 
 fn test_stream(instances: Vec<(u64, u64)>, len: u64) -> VideoStream {
     VideoStream {

@@ -18,6 +18,8 @@
 //! * [`core`] — the EventHit model, training, strategies, metrics, tasks,
 //!   CI cost/queue simulators, marshalling, drift detection.
 //! * [`baselines`] — VQS, APP-VAE-style point process, COX adapter.
+//! * [`telemetry`] — deterministic spans, counters/gauges/histograms,
+//!   JSONL traces, and run dashboards.
 //!
 //! ## End to end in six lines
 //!
@@ -53,6 +55,7 @@ pub use eventhit_conformal as conformal;
 pub use eventhit_core as core;
 pub use eventhit_nn as nn;
 pub use eventhit_survival as survival;
+pub use eventhit_telemetry as telemetry;
 pub use eventhit_video as video;
 
 /// Commonly used items, for `use eventhit::prelude::*`.

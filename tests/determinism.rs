@@ -175,6 +175,83 @@ fn faulted_marshalling_is_reproducible_and_accounted() {
     );
 }
 
+/// Under the manual clock, the telemetry trace is a pure function of the
+/// run's inputs: replaying resilient marshalling plus an instrumented
+/// queue simulation with the same seeds yields a bit-identical JSONL
+/// export and FNV-1a fingerprint, while a different fault seed realises
+/// a different trace.
+#[test]
+fn telemetry_trace_replays_bit_identically() {
+    use std::sync::Arc;
+
+    use eventhit::core::ci::CiConfig;
+    use eventhit::core::ci_queue::{simulate_instrumented, QueueConfig, Submission};
+    use eventhit::core::faults::FaultConfig;
+    use eventhit::core::marshal::Marshaller;
+    use eventhit::core::pipeline::Strategy;
+    use eventhit::core::resilient::{ResilienceConfig, ResilientCiClient};
+    use eventhit::telemetry::Telemetry;
+    use eventhit::video::detector::StageModel;
+
+    let faults = FaultConfig {
+        transient_prob: 0.1,
+        ..FaultConfig::reliable()
+    };
+    let subs: Vec<Submission> = (0..40)
+        .map(|i| Submission {
+            arrival_frame: i * 90,
+            frames: 60,
+        })
+        .collect();
+
+    let trace = |fault_seed: u64| {
+        let run = quick_run(25);
+        let stream = run.stream.clone();
+        let features = run.features.clone();
+        let from = run.window as u64;
+        let to = stream.len;
+
+        let tel = Arc::new(Telemetry::with_manual_clock());
+        let mut m = Marshaller::new(
+            run.model,
+            run.state,
+            Strategy::Ehcr { c: 0.9, alpha: 0.5 },
+            run.window,
+            run.horizon,
+            CiConfig::default(),
+        );
+        m.set_telemetry(Arc::clone(&tel));
+        let mut client = ResilientCiClient::new(
+            faults.clone(),
+            ResilienceConfig::default(),
+            StageModel::new("ci", 1000.0),
+            fault_seed,
+        )
+        .unwrap();
+        client.set_telemetry(Arc::clone(&tel));
+        m.run_resilient(&stream, &features, from, to, 30.0, &mut client)
+            .unwrap();
+        simulate_instrumented(&subs, &QueueConfig::default(), Some(&tel)).unwrap();
+
+        let snap = tel.snapshot();
+        (snap.to_jsonl(), snap.fingerprint())
+    };
+
+    let (jsonl_a, fp_a) = trace(24);
+    let (jsonl_b, fp_b) = trace(24);
+    assert_eq!(
+        jsonl_a, jsonl_b,
+        "telemetry JSONL must replay bit-identically"
+    );
+    assert_eq!(fp_a, fp_b);
+    assert!(jsonl_a.contains("\"clock\":\"manual\""));
+    assert!(jsonl_a.contains("marshal.run_resilient"));
+    assert!(jsonl_a.contains("ciq.latency_seconds"));
+
+    let (_, fp_c) = trace(26);
+    assert_ne!(fp_a, fp_c, "a different fault seed must change the trace");
+}
+
 /// Evaluation outcomes are a pure function of the run: two identically
 /// seeded runs agree on every reported metric.
 #[test]
