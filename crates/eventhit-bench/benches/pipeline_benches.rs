@@ -25,7 +25,7 @@ fn quick_run() -> TaskRun {
 }
 
 fn bench_inference(c: &mut Criterion) {
-    let mut run = quick_run();
+    let run = quick_run();
     let records = run.test_records.clone();
     let mut group = c.benchmark_group("eventhit_inference");
     group.sample_size(20);
@@ -33,7 +33,7 @@ fn bench_inference(c: &mut Criterion) {
         records.len() as u64
     ));
     group.bench_function("score_records_batch128", |b| {
-        b.iter(|| black_box(score_records(&mut run.model, &records, 128)))
+        b.iter(|| black_box(score_records(&run.model, &records, 128)))
     });
     group.finish();
 }

@@ -137,8 +137,8 @@ fn ablation_shared_encoder(args: &CommonArgs) {
         tc.seed = cfg.seed.wrapping_add(950 + k as u64);
         train(&mut model, &train_k, &tc);
         per_event_params += model.param_count();
-        let calib_scored = score_records(&mut model, &calib_k, 128);
-        let test_scored = score_records(&mut model, &test_k, 128);
+        let calib_scored = score_records(&model, &calib_k, 128);
+        let test_scored = score_records(&model, &test_k, 128);
         let state = ConformalState::fit(&calib_scored, 1, 0.5, shared.horizon);
         for (i, rec) in test_scored.iter().enumerate() {
             merged_preds[i].push(state.predict(rec, &Strategy::Ehcr { c: 0.9, alpha: 0.6 })[0]);

@@ -26,7 +26,7 @@ fn main() {
     for task in args.tasks_or(&["TA1", "TA10", "TA13"]) {
         let cfg = args.config(0);
         let t0 = Instant::now();
-        let mut run = TaskRun::execute(&task, &cfg);
+        let run = TaskRun::execute(&task, &cfg);
         let train_seconds = t0.elapsed().as_secs_f64();
 
         let params = run.model.param_count();
@@ -36,7 +36,7 @@ fn main() {
         // Measured inference latency over the test split.
         let records = run.test_records.clone();
         let t0 = Instant::now();
-        let _ = score_records(&mut run.model, &records, 128);
+        let _ = score_records(&run.model, &records, 128);
         let secs = t0.elapsed().as_secs_f64();
         let per_record_us = secs / records.len().max(1) as f64 * 1e6;
 

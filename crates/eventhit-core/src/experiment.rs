@@ -6,6 +6,7 @@
 use std::time::Instant;
 
 use eventhit_nn::matrix::Matrix;
+use eventhit_parallel::Pool;
 use eventhit_video::dataset::{Dataset, SplitSpec};
 use eventhit_video::features::{extract, FeatureConfig};
 use eventhit_video::normalize::Standardizer;
@@ -216,9 +217,9 @@ impl TaskRun {
         train_cfg.seed = cfg.seed.wrapping_mul(43).wrapping_add(4);
         let train_report = train(&mut model, &dataset.train, &train_cfg);
 
-        let calib = score_records(&mut model, &dataset.calib, 128);
+        let calib = score_records(&model, &dataset.calib, 128);
         let t0 = Instant::now();
-        let test = score_records(&mut model, &dataset.test, 128);
+        let test = score_records(&model, &dataset.test, 128);
         let predictor_seconds_per_record =
             t0.elapsed().as_secs_f64() / dataset.test.len().max(1) as f64;
 
@@ -256,9 +257,19 @@ impl TaskRun {
         evaluate(&self.predictions(strategy), &self.test, self.horizon as u32)
     }
 
-    /// Evaluates many strategies (sweeps share the scored records).
+    /// Evaluates many strategies (sweeps share the scored records), one
+    /// grid cell per task on the ambient [`Pool::current`].
     pub fn sweep(&self, strategies: &[Strategy]) -> Vec<(Strategy, EvalOutcome)> {
-        strategies.iter().map(|s| (*s, self.evaluate(s))).collect()
+        self.sweep_with(strategies, &Pool::current())
+    }
+
+    /// [`TaskRun::sweep`] on an explicit [`Pool`]. Each cell is a pure
+    /// function of the already-scored splits, so the grid evaluates in
+    /// parallel with bit-identical results, returned in grid order.
+    pub fn sweep_with(&self, strategies: &[Strategy], pool: &Pool) -> Vec<(Strategy, EvalOutcome)> {
+        pool.map_chunked(strategies.len(), 1, |i| {
+            (strategies[i], self.evaluate(&strategies[i]))
+        })
     }
 
     /// The OPT oracle: relays exactly the true occurrence intervals.

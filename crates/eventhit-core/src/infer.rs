@@ -1,5 +1,6 @@
 //! Inference-time scoring and the plain EHO decision rule (Eqs. 4–6).
 
+use eventhit_parallel::{DeterministicReduce, Pool};
 use eventhit_video::records::{EventLabel, Record};
 
 use crate::model::EventHit;
@@ -30,33 +31,55 @@ pub struct ScoredRecord {
 }
 
 /// Runs the model over `records` in minibatches and collects scores.
-pub fn score_records(
-    model: &mut EventHit,
+///
+/// Batches score in parallel on the ambient [`Pool::current`]; every
+/// record's scores come out of the same forward arithmetic on the same
+/// batch as the sequential path, so the result is bit-identical for any
+/// worker count.
+pub fn score_records(model: &EventHit, records: &[Record], batch_size: usize) -> Vec<ScoredRecord> {
+    score_records_with(model, records, batch_size, &Pool::current())
+}
+
+/// [`score_records`] on an explicit [`Pool`] (one task per minibatch,
+/// merged in record order).
+pub fn score_records_with(
+    model: &EventHit,
     records: &[Record],
     batch_size: usize,
+    pool: &Pool,
 ) -> Vec<ScoredRecord> {
     assert!(batch_size > 0);
-    let mut out = Vec::with_capacity(records.len());
-    for chunk in records.chunks(batch_size) {
+    let chunks: Vec<&[Record]> = records.chunks(batch_size).collect();
+    let reduce = DeterministicReduce::with_capacity(chunks.len());
+    pool.run_tasks(chunks, |ci, chunk| {
         let batch: Vec<&Record> = chunk.iter().collect();
         let outputs = model.forward_inference(&batch);
-        for (i, record) in chunk.iter().enumerate() {
-            let scores = outputs
-                .iter()
-                .map(|head| {
-                    let row = head.row(i);
-                    EventScores {
-                        b: row[0] as f64,
-                        theta: row[1..].to_vec(),
-                    }
-                })
-                .collect();
-            out.push(ScoredRecord {
-                anchor: record.anchor,
-                scores,
-                labels: record.labels.clone(),
-            });
-        }
+        let scored: Vec<ScoredRecord> = chunk
+            .iter()
+            .enumerate()
+            .map(|(i, record)| {
+                let scores = outputs
+                    .iter()
+                    .map(|head| {
+                        let row = head.row(i);
+                        EventScores {
+                            b: row[0] as f64,
+                            theta: row[1..].to_vec(),
+                        }
+                    })
+                    .collect();
+                ScoredRecord {
+                    anchor: record.anchor,
+                    scores,
+                    labels: record.labels.clone(),
+                }
+            })
+            .collect();
+        reduce.submit(ci, scored);
+    });
+    let mut out = Vec::with_capacity(records.len());
+    for part in reduce.into_ordered() {
+        out.extend(part);
     }
     out
 }
@@ -198,7 +221,7 @@ mod tests {
             shared_dim: 4,
             dropout: 0.0,
         };
-        let mut model = EventHit::new(cfg, 0);
+        let model = EventHit::new(cfg, 0);
         let records: Vec<Record> = (0..5)
             .map(|i| Record {
                 anchor: i,
@@ -206,7 +229,7 @@ mod tests {
                 labels: vec![EventLabel::absent(); 2],
             })
             .collect();
-        let scored = score_records(&mut model, &records, 2);
+        let scored = score_records(&model, &records, 2);
         assert_eq!(scored.len(), 5);
         for (s, r) in scored.iter().zip(&records) {
             assert_eq!(s.anchor, r.anchor);
@@ -215,7 +238,7 @@ mod tests {
             assert!((0.0..=1.0).contains(&s.scores[0].b));
         }
         // Batching must not change results.
-        let scored_full = score_records(&mut model, &records, 64);
+        let scored_full = score_records(&model, &records, 64);
         for (a, b) in scored.iter().zip(&scored_full) {
             assert_eq!(a.scores, b.scores);
         }

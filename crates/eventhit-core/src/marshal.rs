@@ -211,7 +211,7 @@ impl Marshaller {
         while anchor + self.horizon as u64 <= to {
             horizons += 1;
             let record = extract_record(stream, features, anchor, self.window, self.horizon);
-            let scored = score_records(&mut self.model, std::slice::from_ref(&record), 1);
+            let scored = score_records(&self.model, std::slice::from_ref(&record), 1);
             let preds = self.state.predict(&scored[0], &self.strategy);
 
             // A relayed frame is paid for once even when several events'
@@ -316,7 +316,7 @@ impl Marshaller {
         while anchor + self.horizon as u64 <= to {
             horizons += 1;
             let record = extract_record(stream, features, anchor, self.window, self.horizon);
-            let scored = score_records(&mut self.model, std::slice::from_ref(&record), 1);
+            let scored = score_records(&self.model, std::slice::from_ref(&record), 1);
             let preds = self.state.predict(&scored[0], &self.strategy);
 
             for (k, label) in record.labels.iter().enumerate() {

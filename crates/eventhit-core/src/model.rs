@@ -75,6 +75,7 @@ pub enum EncoderKind {
 }
 
 /// The recurrent encoder, dispatching on [`EncoderKind`].
+#[derive(Clone)]
 enum Encoder {
     Lstm(Lstm),
     Gru(Gru),
@@ -88,7 +89,7 @@ impl Encoder {
         }
     }
 
-    fn forward_inference(&mut self, xs: &[Matrix]) -> Matrix {
+    fn forward_inference(&self, xs: &[Matrix]) -> Matrix {
         match self {
             Encoder::Lstm(l) => l.forward_inference(xs),
             Encoder::Gru(g) => g.forward_inference(xs),
@@ -136,6 +137,11 @@ impl Encoder {
 }
 
 /// The EventHit network.
+///
+/// Cloning copies the full parameter set plus training state (RNG,
+/// caches); multi-stream lanes clone a trained model so each lane can
+/// score independently on its own thread.
+#[derive(Clone)]
 pub struct EventHit {
     config: EventHitConfig,
     encoder: Encoder,
@@ -262,23 +268,20 @@ impl EventHit {
         outputs
     }
 
-    /// Inference-only forward pass (dropout off regardless of mode, no
-    /// caching of the training graph).
-    pub fn forward_inference(&mut self, records: &[&Record]) -> Vec<Matrix> {
+    /// Inference-only forward pass (dropout is never applied, no caching
+    /// of the training graph). Pure `&self`, so one trained model can be
+    /// shared across threads to score batches in parallel; the arithmetic
+    /// matches [`EventHit::forward`] with dropout off, bit for bit.
+    pub fn forward_inference(&self, records: &[&Record]) -> Vec<Matrix> {
         assert!(!records.is_empty(), "empty batch");
-        let was_training = self.dropout.is_training();
-        self.dropout.set_training(false);
         let xs = self.batch_sequence(records);
         let h = self.encoder.forward_inference(&xs);
         let z = self.shared_fc.forward_inference(&h);
         let concat = z.hcat(&xs[self.config.window - 1]);
-        let outputs = self
-            .heads
-            .iter_mut()
+        self.heads
+            .iter()
             .map(|head| head.forward_inference(&concat))
-            .collect();
-        self.dropout.set_training(was_training);
-        outputs
+            .collect()
     }
 
     /// Backward pass: `grads[k]` is dL/d(output of head `k`). Accumulates

@@ -169,7 +169,7 @@ mod tests {
 
         let mut buf = Vec::new();
         save(&mut model, &mut buf).unwrap();
-        let mut restored = load(&mut buf.as_slice()).unwrap();
+        let restored = load(&mut buf.as_slice()).unwrap();
         let after = restored.forward_inference(&[&rec]);
 
         assert_eq!(before, after, "loaded model must predict identically");
@@ -181,7 +181,7 @@ mod tests {
         let mut model = tiny_model(2);
         let path = std::env::temp_dir().join("eventhit_model_io_test.evht");
         save_to_path(&mut model, &path).unwrap();
-        let mut restored = load_from_path(&path).unwrap();
+        let restored = load_from_path(&path).unwrap();
         let rec = probe_record();
         assert_eq!(
             model.forward_inference(&[&rec]),
@@ -232,7 +232,7 @@ mod tests {
         let before = model.forward_inference(&[&rec]);
         let mut buf = Vec::new();
         save(&mut model, &mut buf).unwrap();
-        let mut restored = load(&mut buf.as_slice()).unwrap();
+        let restored = load(&mut buf.as_slice()).unwrap();
         assert_eq!(restored.encoder_kind(), EncoderKind::Gru);
         assert_eq!(before, restored.forward_inference(&[&rec]));
     }

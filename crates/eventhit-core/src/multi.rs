@@ -1,5 +1,5 @@
 //! Multiple event instances per time horizon — the paper's footnote 1
-//! extension.
+//! extension — and multi-stream marshalling lanes.
 //!
 //! §II simplifies to "at most one instance per horizon" but notes the
 //! framework handles the general case by letting each event sub-network
@@ -7,12 +7,21 @@
 //! truth as a *set* of intervals per horizon, θ-run splitting at inference
 //! time (instead of Eq. 6's single min/max span), per-run conformal
 //! widening, and frame-level metrics over interval sets.
+//!
+//! It also hosts the multi-*stream* execution path: a deployment
+//! marshalling several cameras runs one [`StreamLane`] per stream, each
+//! an independent [`OnlinePredictor`] over its own feature matrix.
+//! [`run_lanes`] scores the lanes in parallel and merges their decisions
+//! into one deterministic timeline ordered by `(anchor, stream_id)` —
+//! the order a sequential loop interleaving the streams would produce.
 
 use eventhit_conformal::regress::IntervalCalibration;
-
+use eventhit_nn::matrix::Matrix;
+use eventhit_parallel::{DeterministicReduce, Pool};
 use eventhit_video::stream::VideoStream;
 
 use crate::infer::EventScores;
+use crate::streaming::{HorizonDecision, OnlinePredictor};
 
 /// Ground truth of one (horizon, event) pair in the multi-instance
 /// setting: every instance interval clipped to `[1, H]` offsets.
@@ -134,6 +143,56 @@ pub fn merge_overlapping(mut intervals: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
         }
     }
     out
+}
+
+/// One logical lane of a multi-stream deployment: a predictor bound to
+/// one stream's feature matrix. Lanes are independent by construction —
+/// each owns its predictor (clone a trained model per lane) — which is
+/// what lets [`run_lanes`] score them on separate threads with no shared
+/// mutable state.
+pub struct StreamLane {
+    /// Stable identifier of the stream; ties in the merged timeline break
+    /// on it.
+    pub stream_id: usize,
+    /// The lane's predictor (owns its model and conformal state).
+    pub predictor: OnlinePredictor,
+    /// Per-frame feature matrix of this stream.
+    pub features: Matrix,
+    /// First feature row to feed.
+    pub from: usize,
+}
+
+/// A [`HorizonDecision`] attributed to the stream that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneDecision {
+    /// The lane's [`StreamLane::stream_id`].
+    pub stream_id: usize,
+    /// The decision, with anchors relative to that lane's stream.
+    pub decision: HorizonDecision,
+}
+
+/// Runs every lane to completion — one pool task per lane — and merges
+/// the decisions into a single timeline sorted by `(anchor, stream_id)`.
+///
+/// Each lane's arithmetic is untouched by the parallelism (the lane owns
+/// all its state), and the merge key is a total order over decisions, so
+/// the output is bit-identical for any worker count.
+pub fn run_lanes(lanes: Vec<StreamLane>, pool: &Pool) -> Vec<LaneDecision> {
+    let reduce = DeterministicReduce::with_capacity(lanes.len());
+    pool.run_tasks(lanes, |i, mut lane| {
+        let decisions = lane.predictor.run_over(&lane.features, lane.from);
+        let tagged: Vec<LaneDecision> = decisions
+            .into_iter()
+            .map(|decision| LaneDecision {
+                stream_id: lane.stream_id,
+                decision,
+            })
+            .collect();
+        reduce.submit(i, tagged);
+    });
+    let mut all: Vec<LaneDecision> = reduce.into_ordered().into_iter().flatten().collect();
+    all.sort_by_key(|d| (d.decision.anchor, d.stream_id));
+    all
 }
 
 /// Frame-level evaluation over interval sets.

@@ -110,7 +110,7 @@ impl OnlinePredictor {
             covariates: self.buffer.covariates(),
             labels: vec![EventLabel::absent(); self.state.num_events()],
         };
-        let scored = score_records(&mut self.model, std::slice::from_ref(&record), 1);
+        let scored = score_records(&self.model, std::slice::from_ref(&record), 1);
         let decision = HorizonDecision {
             anchor,
             predictions: self.state.predict(&scored[0], &self.strategy),

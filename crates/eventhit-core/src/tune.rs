@@ -7,8 +7,9 @@
 //! the plain EHO decision on a held-out validation split (never the test
 //! split).
 
+use eventhit_parallel::Pool;
 use eventhit_rng::rngs::StdRng;
-use eventhit_rng::{Rng, SeedableRng};
+use eventhit_rng::{mix64, Rng, SeedableRng};
 
 use eventhit_video::records::Record;
 
@@ -147,7 +148,7 @@ pub fn evaluate_candidate(
     };
     train(&mut model, train_records, &tc);
 
-    let scored = score_records(&mut model, val_records, 128);
+    let scored = score_records(&model, val_records, 128);
     let preds: Vec<_> = scored
         .iter()
         .map(|r| {
@@ -165,8 +166,17 @@ pub fn evaluate_candidate(
     }
 }
 
-/// Runs a search over explicit candidates; returns results sorted best
-/// first.
+/// The model/training seed of grid cell `index` under master seed
+/// `seed`: a SplitMix64 substream. Deriving the seed from the cell's
+/// *position* (never from evaluation order or shared RNG state) is what
+/// lets cells train in parallel and still reproduce the sequential
+/// search bit for bit.
+pub fn substream_seed(seed: u64, index: usize) -> u64 {
+    mix64(seed ^ mix64(index as u64 + 1))
+}
+
+/// Runs a search over explicit candidates on the ambient
+/// [`Pool::current`]; returns results sorted best first.
 pub fn search(
     candidates: &[Candidate],
     model_cfg: &EventHitConfig,
@@ -175,12 +185,42 @@ pub fn search(
     seed: u64,
     objective: Objective,
 ) -> Vec<TrialResult> {
+    search_with(
+        candidates,
+        model_cfg,
+        train_records,
+        val_records,
+        seed,
+        objective,
+        &Pool::current(),
+    )
+}
+
+/// [`search`] on an explicit [`Pool`]: one task per candidate, each
+/// training its model on its own [`substream_seed`]. The final ranking
+/// sorts by score with a stable tiebreak on grid order, so it is
+/// deterministic for any worker count.
+pub fn search_with(
+    candidates: &[Candidate],
+    model_cfg: &EventHitConfig,
+    train_records: &[Record],
+    val_records: &[Record],
+    seed: u64,
+    objective: Objective,
+    pool: &Pool,
+) -> Vec<TrialResult> {
     assert!(!candidates.is_empty(), "no candidates to search");
     assert!(!train_records.is_empty() && !val_records.is_empty());
-    let mut results: Vec<TrialResult> = candidates
-        .iter()
-        .map(|c| evaluate_candidate(c, model_cfg, train_records, val_records, seed, &objective))
-        .collect();
+    let mut results: Vec<TrialResult> = pool.map_chunked(candidates.len(), 1, |i| {
+        evaluate_candidate(
+            &candidates[i],
+            model_cfg,
+            train_records,
+            val_records,
+            substream_seed(seed, i),
+            &objective,
+        )
+    });
     results.sort_by(|a, b| b.score.total_cmp(&a.score));
     results
 }

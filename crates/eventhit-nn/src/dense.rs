@@ -83,25 +83,30 @@ impl Dense {
         self.w.len() + self.b.len()
     }
 
+    /// Pre-activation `x W^T + b`.
+    fn affine(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.input_dim(), "dense input dim mismatch");
+        let mut pre = x.matmul_t(&self.w);
+        pre.add_row_broadcast(self.b.as_slice());
+        pre
+    }
+
     /// Forward pass over a batch (`x: batch x in`), caching intermediates
     /// for a subsequent [`Dense::backward`] call.
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
-        let out = self.forward_inference(x);
+        let pre = self.affine(x);
+        let out = self.act.apply(&pre);
         self.cache_x = Some(x.clone());
+        self.cache_pre = Some(pre);
         self.cache_out = Some(out.clone());
         out
     }
 
-    /// Forward pass without caching (no backprop possible). `cache_pre` is
-    /// still stored by [`Dense::forward`]; this variant allocates less and
-    /// is used at inference time.
-    pub fn forward_inference(&mut self, x: &Matrix) -> Matrix {
-        assert_eq!(x.cols(), self.input_dim(), "dense input dim mismatch");
-        let mut pre = x.matmul_t(&self.w);
-        pre.add_row_broadcast(self.b.as_slice());
-        let out = self.act.apply(&pre);
-        self.cache_pre = Some(pre);
-        out
+    /// Forward pass without caching (no backprop possible). Pure `&self`,
+    /// so a trained layer can be shared across threads for parallel
+    /// inference; the arithmetic is identical to [`Dense::forward`].
+    pub fn forward_inference(&self, x: &Matrix) -> Matrix {
+        self.act.apply(&self.affine(x))
     }
 
     /// Backward pass. `grad_out` is dL/d(output), shape `batch x out`.

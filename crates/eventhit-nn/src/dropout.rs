@@ -9,6 +9,7 @@ use eventhit_rng::Rng;
 use crate::matrix::Matrix;
 
 /// Inverted dropout layer.
+#[derive(Clone)]
 pub struct Dropout {
     p: f32,
     training: bool,

@@ -21,6 +21,7 @@ use crate::matrix::Matrix;
 use crate::optimizer::ParamMut;
 
 /// Per-timestep forward cache needed by BPTT.
+#[derive(Clone)]
 struct StepCache {
     x: Matrix,
     h_prev: Matrix,
@@ -32,6 +33,7 @@ struct StepCache {
 }
 
 /// A GRU layer processing sequences of feature vectors.
+#[derive(Clone)]
 pub struct Gru {
     input_dim: usize,
     hidden_dim: usize,
@@ -98,15 +100,6 @@ impl Gru {
     /// Runs the GRU over a sequence, caching for BPTT; returns the final
     /// hidden state.
     pub fn forward(&mut self, xs: &[Matrix]) -> Matrix {
-        self.forward_impl(xs, true)
-    }
-
-    /// Inference-only forward (no caching).
-    pub fn forward_inference(&mut self, xs: &[Matrix]) -> Matrix {
-        self.forward_impl(xs, false)
-    }
-
-    fn forward_impl(&mut self, xs: &[Matrix], cache: bool) -> Matrix {
         assert!(!xs.is_empty(), "GRU requires at least one timestep");
         let batch = xs[0].rows();
         let hd = self.hidden_dim;
@@ -114,42 +107,61 @@ impl Gru {
         let mut h = Matrix::zeros(batch, hd);
 
         for x in xs {
-            assert_eq!(x.cols(), self.input_dim, "GRU input dim mismatch");
-            let mut px = x.matmul_t(&self.wx);
-            px.add_row_broadcast(self.bx.as_slice());
-            let mut ph = h.matmul_t(&self.wh);
-            ph.add_row_broadcast(self.bh.as_slice());
-
-            let mut r_pre = col_block(&px, 0, hd);
-            r_pre.add_assign(&col_block(&ph, 0, hd));
-            let r = r_pre.map(sigmoid);
-
-            let mut z_pre = col_block(&px, hd, hd);
-            z_pre.add_assign(&col_block(&ph, hd, hd));
-            let z = z_pre.map(sigmoid);
-
-            let hn_pre = col_block(&ph, 2 * hd, hd);
-            let mut n_pre = col_block(&px, 2 * hd, hd);
-            n_pre.add_assign(&r.hadamard(&hn_pre));
-            let n = n_pre.map(tanh);
-
-            // h_new = (1 - z) ⊙ n + z ⊙ h_prev
-            let mut h_new = z.map(|v| 1.0 - v).hadamard(&n);
-            h_new.add_assign(&z.hadamard(&h));
-
-            if cache {
-                self.cache.push(StepCache {
-                    x: x.clone(),
-                    h_prev: h,
-                    r,
-                    z,
-                    n,
-                    hn_pre,
-                });
-            }
+            let (r, z, n, hn_pre, h_new) = self.step(x, &h);
+            self.cache.push(StepCache {
+                x: x.clone(),
+                h_prev: h,
+                r,
+                z,
+                n,
+                hn_pre,
+            });
             h = h_new;
         }
         h
+    }
+
+    /// Inference-only forward (no caching). Pure `&self`, so a trained
+    /// layer can be shared across threads for parallel inference; the
+    /// step arithmetic is shared with [`Gru::forward`], so the two are
+    /// bit-identical.
+    pub fn forward_inference(&self, xs: &[Matrix]) -> Matrix {
+        assert!(!xs.is_empty(), "GRU requires at least one timestep");
+        let batch = xs[0].rows();
+        let mut h = Matrix::zeros(batch, self.hidden_dim);
+        for x in xs {
+            h = self.step(x, &h).4;
+        }
+        h
+    }
+
+    /// One timestep of gate arithmetic: returns `(r, z, n, hn_pre, h_new)`.
+    #[allow(clippy::type_complexity)]
+    fn step(&self, x: &Matrix, h: &Matrix) -> (Matrix, Matrix, Matrix, Matrix, Matrix) {
+        let hd = self.hidden_dim;
+        assert_eq!(x.cols(), self.input_dim, "GRU input dim mismatch");
+        let mut px = x.matmul_t(&self.wx);
+        px.add_row_broadcast(self.bx.as_slice());
+        let mut ph = h.matmul_t(&self.wh);
+        ph.add_row_broadcast(self.bh.as_slice());
+
+        let mut r_pre = col_block(&px, 0, hd);
+        r_pre.add_assign(&col_block(&ph, 0, hd));
+        let r = r_pre.map(sigmoid);
+
+        let mut z_pre = col_block(&px, hd, hd);
+        z_pre.add_assign(&col_block(&ph, hd, hd));
+        let z = z_pre.map(sigmoid);
+
+        let hn_pre = col_block(&ph, 2 * hd, hd);
+        let mut n_pre = col_block(&px, 2 * hd, hd);
+        n_pre.add_assign(&r.hadamard(&hn_pre));
+        let n = n_pre.map(tanh);
+
+        // h_new = (1 - z) ⊙ n + z ⊙ h_prev
+        let mut h_new = z.map(|v| 1.0 - v).hadamard(&n);
+        h_new.add_assign(&z.hadamard(h));
+        (r, z, n, hn_pre, h_new)
     }
 
     /// BPTT from the gradient of the loss w.r.t. the final hidden state;

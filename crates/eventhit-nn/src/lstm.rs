@@ -14,6 +14,7 @@ use crate::matrix::Matrix;
 use crate::optimizer::ParamMut;
 
 /// Per-timestep forward cache needed by BPTT.
+#[derive(Clone)]
 struct StepCache {
     x: Matrix,
     h_prev: Matrix,
@@ -26,6 +27,7 @@ struct StepCache {
 }
 
 /// An LSTM layer processing sequences of feature vectors.
+#[derive(Clone)]
 pub struct Lstm {
     input_dim: usize,
     hidden_dim: usize,
@@ -99,15 +101,6 @@ impl Lstm {
     /// intermediates for BPTT, and returns the final hidden state
     /// (`batch x hidden_dim`).
     pub fn forward(&mut self, xs: &[Matrix]) -> Matrix {
-        self.forward_impl(xs, true)
-    }
-
-    /// Runs the LSTM without caching (inference only).
-    pub fn forward_inference(&mut self, xs: &[Matrix]) -> Matrix {
-        self.forward_impl(xs, false)
-    }
-
-    fn forward_impl(&mut self, xs: &[Matrix], cache: bool) -> Matrix {
         assert!(!xs.is_empty(), "LSTM requires at least one timestep");
         let batch = xs[0].rows();
         let hd = self.hidden_dim;
@@ -117,38 +110,70 @@ impl Lstm {
         let mut c = Matrix::zeros(batch, hd);
 
         for x in xs {
-            assert_eq!(x.cols(), self.input_dim, "LSTM input dim mismatch");
-            assert_eq!(x.rows(), batch, "LSTM batch size changed mid-sequence");
-            let mut pre = x.matmul_t(&self.wx);
-            pre.add_assign(&h.matmul_t(&self.wh));
-            pre.add_row_broadcast(self.b.as_slice());
-
-            let i = col_block(&pre, 0, hd).map(sigmoid);
-            let f = col_block(&pre, hd, hd).map(sigmoid);
-            let g = col_block(&pre, 2 * hd, hd).map(tanh);
-            let o = col_block(&pre, 3 * hd, hd).map(sigmoid);
-
-            let mut c_new = f.hadamard(&c);
-            c_new.add_assign(&i.hadamard(&g));
+            let (i, f, g, o, c_new) = self.step(x, &h, &c, batch);
             let tanh_c = c_new.map(tanh);
             let h_new = o.hadamard(&tanh_c);
-
-            if cache {
-                self.cache.push(StepCache {
-                    x: x.clone(),
-                    h_prev: h,
-                    c_prev: c,
-                    i,
-                    f,
-                    g,
-                    o,
-                    tanh_c,
-                });
-            }
+            self.cache.push(StepCache {
+                x: x.clone(),
+                h_prev: h,
+                c_prev: c,
+                i,
+                f,
+                g,
+                o,
+                tanh_c,
+            });
             h = h_new;
             c = c_new;
         }
         h
+    }
+
+    /// Runs the LSTM without caching. Pure `&self`, so a trained layer
+    /// can be shared across threads for parallel inference; the step
+    /// arithmetic is shared with [`Lstm::forward`], so the two are
+    /// bit-identical.
+    pub fn forward_inference(&self, xs: &[Matrix]) -> Matrix {
+        assert!(!xs.is_empty(), "LSTM requires at least one timestep");
+        let batch = xs[0].rows();
+        let hd = self.hidden_dim;
+
+        let mut h = Matrix::zeros(batch, hd);
+        let mut c = Matrix::zeros(batch, hd);
+
+        for x in xs {
+            let (_, _, _, o, c_new) = self.step(x, &h, &c, batch);
+            let tanh_c = c_new.map(tanh);
+            h = o.hadamard(&tanh_c);
+            c = c_new;
+        }
+        h
+    }
+
+    /// One timestep of gate arithmetic: returns `(i, f, g, o, c_new)`.
+    #[allow(clippy::type_complexity)]
+    fn step(
+        &self,
+        x: &Matrix,
+        h: &Matrix,
+        c: &Matrix,
+        batch: usize,
+    ) -> (Matrix, Matrix, Matrix, Matrix, Matrix) {
+        let hd = self.hidden_dim;
+        assert_eq!(x.cols(), self.input_dim, "LSTM input dim mismatch");
+        assert_eq!(x.rows(), batch, "LSTM batch size changed mid-sequence");
+        let mut pre = x.matmul_t(&self.wx);
+        pre.add_assign(&h.matmul_t(&self.wh));
+        pre.add_row_broadcast(self.b.as_slice());
+
+        let i = col_block(&pre, 0, hd).map(sigmoid);
+        let f = col_block(&pre, hd, hd).map(sigmoid);
+        let g = col_block(&pre, 2 * hd, hd).map(tanh);
+        let o = col_block(&pre, 3 * hd, hd).map(sigmoid);
+
+        let mut c_new = f.hadamard(c);
+        c_new.add_assign(&i.hadamard(&g));
+        (i, f, g, o, c_new)
     }
 
     /// BPTT given the gradient of the loss w.r.t. the *final* hidden state.

@@ -8,7 +8,16 @@
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
+use eventhit_parallel::Pool;
 use eventhit_rng::Rng;
+
+/// Multiply–add count below which the product kernels stay sequential.
+///
+/// Row-blocking a product costs a scoped-thread spawn per region (tens of
+/// microseconds); a 2^20-flop product (~128×64·64×128) is where that
+/// overhead drops comfortably below the arithmetic. Below the threshold
+/// the kernels never even resolve a [`Pool`].
+pub const PAR_THRESHOLD: usize = 1 << 20;
 
 /// A dense row-major matrix of `f32` values.
 #[derive(Clone, PartialEq)]
@@ -149,86 +158,153 @@ impl Matrix {
         self.row_mut(r).copy_from_slice(src);
     }
 
+    /// The pool the product kernels use for a product of `flops`
+    /// multiply–adds: sequential below [`PAR_THRESHOLD`], the ambient
+    /// [`Pool::current`] above it.
+    fn product_pool(flops: usize) -> Pool {
+        if flops < PAR_THRESHOLD {
+            Pool::sequential()
+        } else {
+            Pool::current()
+        }
+    }
+
+    /// The row-block length (in output rows) for splitting an
+    /// `out_rows`-row product across `pool`: ~4 blocks per worker so
+    /// stealing can rebalance, and the whole matrix in one block when the
+    /// pool is sequential.
+    fn row_block(out_rows: usize, pool: &Pool) -> usize {
+        out_rows.div_ceil(pool.workers() * 4).max(1)
+    }
+
     /// Matrix product `self * rhs`.
     ///
     /// Uses `ikj` loop ordering so the innermost loop walks both the output
-    /// row and the `rhs` row contiguously.
+    /// row and the `rhs` row contiguously. Products of at least
+    /// [`PAR_THRESHOLD`] multiply–adds are row-blocked across
+    /// [`Pool::current`]; the result is bit-identical either way (each
+    /// output row's accumulation order never changes).
     ///
     /// # Panics
     /// Panics if `self.cols != rhs.rows`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        self.matmul_with(rhs, &Matrix::product_pool(self.rows * self.cols * rhs.cols))
+    }
+
+    /// [`Matrix::matmul`] on an explicit [`Pool`] (no size threshold).
+    pub fn matmul_with(&self, rhs: &Matrix, pool: &Pool) -> Matrix {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul shape mismatch: {}x{} * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = rhs.row(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        let out_cols = rhs.cols;
+        let mut out = Matrix::zeros(self.rows, out_cols);
+        if out.data.is_empty() {
+            return out;
+        }
+        let block = Matrix::row_block(self.rows, pool);
+        pool.for_each_chunk_mut(&mut out.data, block * out_cols, |_, offset, chunk| {
+            let row0 = offset / out_cols;
+            for (local, out_row) in chunk.chunks_mut(out_cols).enumerate() {
+                let a_row = self.row(row0 + local);
+                for (k, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = rhs.row(k);
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
-        }
+        });
         out
     }
 
     /// Matrix product `self^T * rhs` without materializing the transpose.
     ///
+    /// Large products parallelize like [`Matrix::matmul`]; each output
+    /// row accumulates over `k` in ascending order in both the sequential
+    /// and the row-blocked kernel, so the bits never depend on the pool.
+    ///
     /// # Panics
     /// Panics if `self.rows != rhs.rows`.
     pub fn t_matmul(&self, rhs: &Matrix) -> Matrix {
+        self.t_matmul_with(rhs, &Matrix::product_pool(self.rows * self.cols * rhs.cols))
+    }
+
+    /// [`Matrix::t_matmul`] on an explicit [`Pool`] (no size threshold).
+    pub fn t_matmul_with(&self, rhs: &Matrix, pool: &Pool) -> Matrix {
         assert_eq!(
             self.rows, rhs.rows,
             "t_matmul shape mismatch: ({}x{})^T * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.cols, rhs.cols);
-        for k in 0..self.rows {
-            let a_row = self.row(k);
-            let b_row = rhs.row(k);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = out.row_mut(i);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        let out_cols = rhs.cols;
+        let mut out = Matrix::zeros(self.cols, out_cols);
+        if out.data.is_empty() {
+            return out;
+        }
+        let block = Matrix::row_block(self.cols, pool);
+        pool.for_each_chunk_mut(&mut out.data, block * out_cols, |_, offset, chunk| {
+            let row0 = offset / out_cols;
+            for (local, out_row) in chunk.chunks_mut(out_cols).enumerate() {
+                let i = row0 + local;
+                for k in 0..self.rows {
+                    let a = self.data[k * self.cols + i];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = rhs.row(k);
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
-        }
+        });
         out
     }
 
     /// Matrix product `self * rhs^T` without materializing the transpose.
     ///
+    /// Large products parallelize like [`Matrix::matmul`]; every output
+    /// element is an independent dot product, so the bits never depend on
+    /// the pool.
+    ///
     /// # Panics
     /// Panics if `self.cols != rhs.cols`.
     pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
+        self.matmul_t_with(rhs, &Matrix::product_pool(self.rows * self.cols * rhs.rows))
+    }
+
+    /// [`Matrix::matmul_t`] on an explicit [`Pool`] (no size threshold).
+    pub fn matmul_t_with(&self, rhs: &Matrix, pool: &Pool) -> Matrix {
         assert_eq!(
             self.cols, rhs.cols,
             "matmul_t shape mismatch: {}x{} * ({}x{})^T",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = rhs.row(j);
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                *o = acc;
-            }
+        let out_cols = rhs.rows;
+        let mut out = Matrix::zeros(self.rows, out_cols);
+        if out.data.is_empty() {
+            return out;
         }
+        let block = Matrix::row_block(self.rows, pool);
+        pool.for_each_chunk_mut(&mut out.data, block * out_cols, |_, offset, chunk| {
+            let row0 = offset / out_cols;
+            for (local, out_row) in chunk.chunks_mut(out_cols).enumerate() {
+                let a_row = self.row(row0 + local);
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let b_row = rhs.row(j);
+                    let mut acc = 0.0f32;
+                    for (&a, &b) in a_row.iter().zip(b_row) {
+                        acc += a * b;
+                    }
+                    *o = acc;
+                }
+            }
+        });
         out
     }
 
@@ -567,6 +643,53 @@ mod tests {
         let a = Matrix::from_vec(1, 2, vec![3.0, -4.0]);
         assert!((a.norm() - 5.0).abs() < 1e-6);
         assert_eq!(a.max_abs(), 4.0);
+    }
+
+    #[test]
+    fn product_kernels_are_pool_invariant_to_the_bit() {
+        // Big enough that a 4-worker pool actually splits the rows; odd
+        // shapes so the blocks are uneven.
+        let a = sample(67, 41, 10);
+        let b = sample(41, 53, 11);
+        let c = sample(67, 53, 12);
+        let seq = Pool::sequential();
+        let base_mm = a.matmul_with(&b, &seq);
+        let base_t = a.t_matmul_with(&c, &seq);
+        let base_mt = a.matmul_t_with(&b.transpose(), &seq);
+        for workers in [2, 3, 4, 8] {
+            let pool = Pool::new(workers);
+            assert_eq!(
+                a.matmul_with(&b, &pool),
+                base_mm,
+                "matmul workers={workers}"
+            );
+            assert_eq!(
+                a.t_matmul_with(&c, &pool),
+                base_t,
+                "t_matmul workers={workers}"
+            );
+            assert_eq!(
+                a.matmul_t_with(&b.transpose(), &pool),
+                base_mt,
+                "matmul_t workers={workers}"
+            );
+        }
+        // The auto-threshold entry points agree with the explicit ones.
+        assert_eq!(a.matmul(&b), base_mm);
+        assert_eq!(a.t_matmul(&c), base_t);
+    }
+
+    #[test]
+    fn parallel_kernels_handle_degenerate_shapes() {
+        let pool = Pool::new(4);
+        let a = Matrix::zeros(0, 5);
+        let b = Matrix::zeros(5, 0);
+        assert_eq!(a.matmul_with(&b, &pool).shape(), (0, 0));
+        let c = sample(3, 5, 13);
+        assert_eq!(c.matmul_with(&b, &pool).shape(), (3, 0));
+        let one = sample(1, 4, 14);
+        let d = sample(4, 1, 15);
+        assert_eq!(one.matmul_with(&d, &pool).shape(), (1, 1));
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! Ordered reduction of parallel partial results.
+//!
+//! Workers finish in scheduling order, which varies run to run; the
+//! merge must not. [`DeterministicReduce`] collects `(index, value)`
+//! pairs from any thread and releases them strictly by submission index,
+//! so folding parallel partials is bit-identical to folding the
+//! sequential ones.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Collects partial results from parallel tasks and yields them in
+/// submission-index order, regardless of completion order.
+///
+/// Each task submits exactly one value under its submission index;
+/// duplicate indices are a caller bug and panic at
+/// [`into_ordered`](DeterministicReduce::into_ordered) /
+/// [`fold`](DeterministicReduce::fold) time.
+#[derive(Debug, Default)]
+pub struct DeterministicReduce<T> {
+    parts: Mutex<Vec<(usize, T)>>,
+}
+
+impl<T> DeterministicReduce<T> {
+    /// An empty collector.
+    pub fn new() -> Self {
+        DeterministicReduce {
+            parts: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// An empty collector pre-sized for `n` submissions.
+    pub fn with_capacity(n: usize) -> Self {
+        DeterministicReduce {
+            parts: Mutex::new(Vec::with_capacity(n)),
+        }
+    }
+
+    /// Records the partial result of task `index`. Callable from any
+    /// thread; submission order across threads is irrelevant.
+    pub fn submit(&self, index: usize, value: T) {
+        lock(&self.parts).push((index, value));
+    }
+
+    /// Number of partials submitted so far.
+    pub fn len(&self) -> usize {
+        lock(&self.parts).len()
+    }
+
+    /// Whether no partials have been submitted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Consumes the collector and returns the values sorted by
+    /// submission index. Panics if two submissions shared an index.
+    pub fn into_ordered(self) -> Vec<T> {
+        let mut parts = self
+            .parts
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
+        parts.sort_by_key(|(i, _)| *i);
+        for pair in parts.windows(2) {
+            assert!(
+                pair[0].0 != pair[1].0,
+                "DeterministicReduce: duplicate submission index {}",
+                pair[0].0
+            );
+        }
+        parts.into_iter().map(|(_, v)| v).collect()
+    }
+
+    /// Folds the values in submission-index order — the parallel
+    /// equivalent of `partials.into_iter().fold(init, f)` over the
+    /// sequential results.
+    pub fn fold<A>(self, init: A, mut f: impl FnMut(A, T) -> A) -> A {
+        self.into_ordered().into_iter().fold(init, &mut f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_index_not_submission_time() {
+        let r = DeterministicReduce::new();
+        r.submit(2, "c");
+        r.submit(0, "a");
+        r.submit(1, "b");
+        assert_eq!(r.into_ordered(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn fold_matches_sequential_fold() {
+        let r = DeterministicReduce::with_capacity(4);
+        for i in (0..4).rev() {
+            r.submit(i, (i + 1) as f64);
+        }
+        // Out-of-order submission, in-order fold: ((0.1+1)+2)+3)+4.
+        let got = r.fold(0.1f64, |acc, v| acc + v);
+        let want = [1.0f64, 2.0, 3.0, 4.0].iter().fold(0.1f64, |a, v| a + v);
+        assert_eq!(got.to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn len_and_is_empty_track_submissions() {
+        let r = DeterministicReduce::new();
+        assert!(r.is_empty());
+        r.submit(0, 1u8);
+        assert_eq!(r.len(), 1);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate submission index")]
+    fn duplicate_index_panics() {
+        let r = DeterministicReduce::new();
+        r.submit(3, 1);
+        r.submit(3, 2);
+        r.into_ordered();
+    }
+}

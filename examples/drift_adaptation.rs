@@ -46,7 +46,7 @@ fn main() {
         seed: 21,
         ..Default::default()
     };
-    let mut run = TaskRun::execute(&t, &cfg);
+    let run = TaskRun::execute(&t, &cfg);
 
     // Phase 1: stationary operation — p-values of positives behave.
     let mut detector = DriftDetector::new(0.2, 0.01);
@@ -77,7 +77,7 @@ fn main() {
     detector.reset();
     println!("\n-- scene change: detector gain drops --");
     let drifted_records = corrupt(&run.test_records);
-    let drifted = score_records(&mut run.model, &drifted_records, 128);
+    let drifted = score_records(&run.model, &drifted_records, 128);
     let mut recalibrator = Recalibrator::new(400, 1, 0.5, run.horizon);
     let mut alarm_at = None;
     let mut phase2_miss = (0, 0);

@@ -139,12 +139,12 @@ fn load_context(args: &Args) -> (TaskRun, Strategy) {
     let mut run = TaskRun::execute(&t, &config(args));
     // Replace the freshly trained model with the persisted one and
     // recalibrate against the calibration split.
-    let mut model = model_io::load_from_path(&model_path).unwrap_or_else(|e| {
+    let model = model_io::load_from_path(&model_path).unwrap_or_else(|e| {
         eprintln!("failed to read {model_path}: {e}");
         exit(1)
     });
-    let calib = score_records(&mut model, &run.calib_records, 128);
-    let test = score_records(&mut model, &run.test_records, 128);
+    let calib = score_records(&model, &run.calib_records, 128);
+    let test = score_records(&model, &run.test_records, 128);
     run.state = ConformalState::fit(&calib, t.num_events(), 0.5, run.horizon);
     run.calib = calib;
     run.test = test;

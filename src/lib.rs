@@ -20,6 +20,9 @@
 //! * [`baselines`] — VQS, APP-VAE-style point process, COX adapter.
 //! * [`telemetry`] — deterministic spans, counters/gauges/histograms,
 //!   JSONL traces, and run dashboards.
+//! * [`parallel`] — scoped thread pool plus order-preserving reduction;
+//!   every parallel path in the workspace is bit-identical for any worker
+//!   count (set `EVENTHIT_WORKERS`, or `with_workers` in-process).
 //!
 //! ## End to end in six lines
 //!
@@ -54,6 +57,7 @@ pub use eventhit_baselines as baselines;
 pub use eventhit_conformal as conformal;
 pub use eventhit_core as core;
 pub use eventhit_nn as nn;
+pub use eventhit_parallel as parallel;
 pub use eventhit_survival as survival;
 pub use eventhit_telemetry as telemetry;
 pub use eventhit_video as video;

@@ -1,0 +1,69 @@
+//! Golden end-to-end fingerprint: a quickstart-like pipeline run under
+//! the manual telemetry clock is pinned to a constant FNV-1a fingerprint
+//! of its JSONL trace. Any change to the RNG, training order, scoring
+//! arithmetic, marshalling decisions, or telemetry emission shows up
+//! here as a one-number diff — and because every parallel path folds in
+//! submission order, the constant holds for any worker count.
+
+use std::sync::Arc;
+
+use eventhit::core::ci::CiConfig;
+use eventhit::core::experiment::{ExperimentConfig, TaskRun};
+use eventhit::core::marshal::Marshaller;
+use eventhit::core::pipeline::Strategy;
+use eventhit::core::tasks::task;
+use eventhit::parallel::with_workers;
+use eventhit::telemetry::Telemetry;
+
+/// Pinned against the in-repo xoshiro256++ generator and the manual
+/// telemetry clock. Recompute only for a deliberate pipeline change, and
+/// call the change out in review.
+const GOLDEN_FINGERPRINT: u64 = 0x578f_f497_86f2_f4c6;
+
+fn pipeline_trace() -> (String, u64) {
+    let cfg = ExperimentConfig {
+        scale: 0.08,
+        ..ExperimentConfig::quick(40)
+    };
+    let run = TaskRun::execute(&task("TA10").unwrap(), &cfg);
+    let stream = run.stream.clone();
+    let features = run.features.clone();
+    let from = run.window as u64;
+    let to = stream.len;
+
+    let tel = Arc::new(Telemetry::with_manual_clock());
+    let mut m = Marshaller::new(
+        run.model,
+        run.state,
+        Strategy::Ehcr { c: 0.9, alpha: 0.5 },
+        run.window,
+        run.horizon,
+        CiConfig::default(),
+    );
+    m.set_telemetry(Arc::clone(&tel));
+    m.run(&stream, &features, from, to);
+
+    let snap = tel.snapshot();
+    (snap.to_jsonl(), snap.fingerprint())
+}
+
+#[test]
+fn pipeline_fingerprint_matches_golden_constant() {
+    let (jsonl, fp) = pipeline_trace();
+    assert!(jsonl.contains("\"clock\":\"manual\""));
+    assert_eq!(
+        fp, GOLDEN_FINGERPRINT,
+        "pipeline trace fingerprint drifted: got {fp:#018x}"
+    );
+}
+
+#[test]
+fn pipeline_fingerprint_replays_identically_across_worker_counts() {
+    let (jsonl_1, fp_1) = with_workers(1, pipeline_trace);
+    assert_eq!(fp_1, GOLDEN_FINGERPRINT, "got {fp_1:#018x}");
+    for w in [2usize, 4, 8] {
+        let (jsonl_w, fp_w) = with_workers(w, pipeline_trace);
+        assert_eq!(jsonl_w, jsonl_1, "trace diverged at {w} workers");
+        assert_eq!(fp_w, GOLDEN_FINGERPRINT);
+    }
+}

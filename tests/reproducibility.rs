@@ -53,10 +53,10 @@ fn stream_and_features_are_pure_functions_of_seed() {
 fn scored_records_are_deterministic_across_batch_sizes() {
     let cfg = ExperimentConfig::quick(80);
     let t = task("TA12").unwrap();
-    let mut run = TaskRun::execute(&t, &cfg);
+    let run = TaskRun::execute(&t, &cfg);
     use eventhit::core::infer::score_records;
-    let small = score_records(&mut run.model, &run.test_records, 3);
-    let large = score_records(&mut run.model, &run.test_records, 1024);
+    let small = score_records(&run.model, &run.test_records, 3);
+    let large = score_records(&run.model, &run.test_records, 1024);
     for (a, b) in small.iter().zip(&large) {
         assert_eq!(a.scores, b.scores);
     }
