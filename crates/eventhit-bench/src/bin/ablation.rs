@@ -1,4 +1,4 @@
-//! Ablation studies for the design decisions called out in DESIGN.md §8:
+//! Ablation studies for the design decisions called out in DESIGN.md §12:
 //!
 //! 1. **L1-only vs L1+L2 training** — dropping the per-frame occurrence
 //!    loss (γ = 0) should leave existence prediction roughly intact but
@@ -34,7 +34,7 @@ use eventhit_video::records::Record;
 
 fn main() {
     let args = CommonArgs::parse();
-    println!("# Ablation studies (DESIGN.md §8)");
+    println!("# Ablation studies (DESIGN.md §12)");
     println!("# scale={} seed={}", args.scale, args.seed);
 
     ablation_l2_loss(&args);

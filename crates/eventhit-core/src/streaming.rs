@@ -79,6 +79,13 @@ impl OnlinePredictor {
         self.strategy = strategy;
     }
 
+    /// Feature dimensionality each pushed frame must have — used by
+    /// serving frontends to validate submissions before feeding the
+    /// window buffer.
+    pub fn input_dim(&self) -> usize {
+        self.model.config().input_dim
+    }
+
     /// Attaches a telemetry recorder. Every pushed frame bumps
     /// `stream.frames`; each decision records its latency into
     /// `stream.decision_seconds` and splits the horizon's frames into

@@ -35,6 +35,27 @@
 //! variable → `available_parallelism()` capped at 8. A pool with one
 //! worker runs every task inline on the calling thread — the sequential
 //! baseline is the exact same code path.
+//!
+//! ## Example
+//!
+//! A parallel map whose output is the same `Vec` at any worker count:
+//!
+//! ```
+//! use eventhit_parallel::{DeterministicReduce, Pool};
+//!
+//! let inputs: Vec<u64> = (0..100).collect();
+//! let square_sum = |pool: &Pool| {
+//!     let chunks: Vec<&[u64]> = inputs.chunks(7).collect();
+//!     let reduce = DeterministicReduce::with_capacity(chunks.len());
+//!     pool.run_tasks(chunks, |i, chunk| {
+//!         reduce.submit(i, chunk.iter().map(|&x| x * x).sum::<u64>());
+//!     });
+//!     reduce.into_ordered()
+//! };
+//! assert_eq!(square_sum(&Pool::new(1)), square_sum(&Pool::new(4)));
+//! ```
+
+#![deny(missing_docs)]
 
 pub mod pool;
 pub mod reduce;

@@ -96,6 +96,15 @@ struct WorkerLog {
 /// Cheap to construct (two words); the threads live only for the duration
 /// of each parallel region. See the crate docs for the determinism
 /// argument and [`Pool::current`] for worker-count resolution.
+///
+/// ```
+/// use eventhit_parallel::Pool;
+///
+/// // map() preserves input order no matter which worker computes what.
+/// let doubled = Pool::new(4).map(5, |i| i * 2);
+/// assert_eq!(doubled, vec![0, 2, 4, 6, 8]);
+/// assert_eq!(doubled, Pool::sequential().map(5, |i| i * 2));
+/// ```
 #[derive(Clone, Debug, Default)]
 pub struct Pool {
     workers: usize,

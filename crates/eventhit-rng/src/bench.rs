@@ -12,7 +12,7 @@
 //!   milliseconds (default 300).
 //! * `EVENTHIT_BENCH_SAMPLES` — number of timed samples (default 10).
 //!
-//! Declare targets with [`bench_group!`] + [`bench_main!`] and
+//! Declare targets with [`bench_group!`](crate::bench_group) + [`bench_main!`](crate::bench_main) and
 //! `harness = false` in the manifest, as with criterion.
 
 use std::fmt::Display;

@@ -28,7 +28,7 @@
 //! ## Test and bench harness
 //!
 //! [`testkit`] replaces `proptest` with a property-test macro
-//! ([`property!`]) with shrinking-lite, and [`bench`] replaces `criterion`
+//! ([`property!`]) with shrinking-lite, and [`bench`](mod@bench) replaces `criterion`
 //! with a wall-clock micro-bench timer behind a criterion-shaped API.
 
 pub mod bench;

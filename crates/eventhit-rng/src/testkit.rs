@@ -3,7 +3,7 @@
 //!
 //! A [`Strategy`] samples values from a seeded [`StdRng`] and optionally
 //! proposes smaller failing candidates ([`Strategy::shrink`]). The
-//! [`property!`] macro wraps each property in a `#[test]` that runs a fixed
+//! [`property!`](crate::property) macro wraps each property in a `#[test]` that runs a fixed
 //! number of cases (default 64, override with `EVENTHIT_PT_CASES`) from a
 //! seed derived from the test's name, so failures replay deterministically.
 //!
@@ -65,7 +65,7 @@ pub trait Strategy {
     }
 }
 
-/// See [`Strategy::map`].
+/// See [`Strategy::prop_map()`].
 pub struct Map<S, F> {
     inner: S,
     f: F,
@@ -256,7 +256,7 @@ pub fn vec<S: Strategy, L: IntoSizeRange>(elem: S, len: L) -> VecStrategy<S> {
     }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 pub struct VecStrategy<S> {
     elem: S,
     min_len: usize,
@@ -363,7 +363,7 @@ fn name_seed(name: &str) -> u64 {
     h
 }
 
-/// Runs a property to completion; called by the [`property!`] macro.
+/// Runs a property to completion; called by the [`property!`](crate::property) macro.
 ///
 /// Panics (failing the enclosing `#[test]`) with the shrunk counterexample
 /// on the first failing case.
@@ -425,7 +425,7 @@ fn shrink_failure<S: Strategy>(
 /// Declares property-based `#[test]`s (the in-repo `proptest!`).
 ///
 /// Each argument is `pattern in strategy`; the body may use
-/// [`prop_assert!`], [`prop_assert_eq!`], and [`prop_assume!`].
+/// [`prop_assert!`](crate::prop_assert), [`prop_assert_eq!`](crate::prop_assert_eq), and [`prop_assume!`](crate::prop_assume).
 #[macro_export]
 macro_rules! property {
     ($(
@@ -445,7 +445,7 @@ macro_rules! property {
     )*};
 }
 
-/// Asserts a condition inside a [`property!`] body.
+/// Asserts a condition inside a [`property!`](crate::property) body.
 #[macro_export]
 macro_rules! prop_assert {
     ($cond:expr $(,)?) => {
@@ -465,7 +465,7 @@ macro_rules! prop_assert {
     };
 }
 
-/// Asserts equality inside a [`property!`] body.
+/// Asserts equality inside a [`property!`](crate::property) body.
 #[macro_export]
 macro_rules! prop_assert_eq {
     ($left:expr, $right:expr $(,)?) => {{

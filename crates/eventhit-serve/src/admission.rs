@@ -1,0 +1,207 @@
+//! Admission control and per-stream ingest bounds.
+//!
+//! Two mechanisms keep the server's memory proportional to its
+//! configuration instead of its traffic:
+//!
+//! 1. [`AdmissionController`] — a server-wide cap on concurrently open
+//!    streams. `OpenStream` beyond the cap is rejected with
+//!    `TooManyStreams` and a retry-after hint; slots are released on
+//!    `CloseStream` *and* when a session dies mid-stream, so a crashed
+//!    client can never leak capacity.
+//! 2. [`FrameQueue`] — a bounded per-stream staging buffer between the
+//!    socket and the predictor. A batch that does not fit is rejected
+//!    whole with `QueueFull` (explicit backpressure: the client holds the
+//!    data and retries after the hint), never buffered unboundedly.
+//!
+//! Both are plain counters — no clocks, no threads — so the admission
+//! decisions a test observes are a pure function of the request sequence.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Server-wide admission state: the open-stream cap plus lifetime totals
+/// served by `Health` queries.
+///
+/// All methods take `&self`; the controller is shared across session
+/// threads behind an `Arc`.
+#[derive(Debug)]
+pub struct AdmissionController {
+    max_streams: u32,
+    active: AtomicU32,
+    sessions: AtomicU64,
+    frames: AtomicU64,
+    decisions: AtomicU64,
+}
+
+impl AdmissionController {
+    /// A controller admitting at most `max_streams` concurrent streams.
+    pub fn new(max_streams: u32) -> Self {
+        AdmissionController {
+            max_streams,
+            active: AtomicU32::new(0),
+            sessions: AtomicU64::new(0),
+            frames: AtomicU64::new(0),
+            decisions: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured stream cap.
+    pub fn max_streams(&self) -> u32 {
+        self.max_streams
+    }
+
+    /// Tries to claim one stream slot. Returns `false` when the server is
+    /// at capacity; on `true` the caller owes a matching [`release`].
+    ///
+    /// [`release`]: AdmissionController::release
+    pub fn try_admit(&self) -> bool {
+        let mut cur = self.active.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.max_streams {
+                return false;
+            }
+            match self.active.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Returns one stream slot claimed by [`try_admit`].
+    ///
+    /// [`try_admit`]: AdmissionController::try_admit
+    pub fn release(&self) {
+        let prev = self.active.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "release without a matching admit");
+    }
+
+    /// Streams currently open across all sessions.
+    pub fn active(&self) -> u32 {
+        self.active.load(Ordering::Acquire)
+    }
+
+    /// Records the start of a session; returns the new session total.
+    pub fn session_started(&self) -> u64 {
+        self.sessions.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Adds to the lifetime frame total.
+    pub fn add_frames(&self, n: u64) {
+        self.frames.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds to the lifetime decision total.
+    pub fn add_decisions(&self, n: u64) {
+        self.decisions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Lifetime totals `(sessions, frames, decisions)`.
+    pub fn totals(&self) -> (u64, u64, u64) {
+        (
+            self.sessions.load(Ordering::Relaxed),
+            self.frames.load(Ordering::Relaxed),
+            self.decisions.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// A bounded FIFO of feature rows between the wire and one stream's
+/// predictor. Batches are admitted whole or not at all, so a rejected
+/// client never has to guess how much of its batch survived.
+#[derive(Debug)]
+pub struct FrameQueue {
+    rows: VecDeque<Vec<f32>>,
+    capacity: usize,
+}
+
+impl FrameQueue {
+    /// A queue holding at most `capacity` frames.
+    pub fn new(capacity: usize) -> Self {
+        FrameQueue {
+            rows: VecDeque::new(),
+            capacity,
+        }
+    }
+
+    /// Frames the queue can still accept.
+    pub fn free(&self) -> usize {
+        self.capacity - self.rows.len()
+    }
+
+    /// Frames currently queued.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Enqueues a whole batch of rows, or rejects it untouched when it
+    /// does not fit; the error is the number of frames that would not fit.
+    pub fn try_enqueue(&mut self, batch: Vec<Vec<f32>>) -> Result<(), usize> {
+        if batch.len() > self.free() {
+            return Err(batch.len() - self.free());
+        }
+        self.rows.extend(batch);
+        Ok(())
+    }
+
+    /// Dequeues the oldest frame.
+    pub fn pop(&mut self) -> Option<Vec<f32>> {
+        self.rows.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admission_caps_and_releases() {
+        let a = AdmissionController::new(2);
+        assert!(a.try_admit());
+        assert!(a.try_admit());
+        assert!(!a.try_admit(), "third stream must be refused");
+        assert_eq!(a.active(), 2);
+        a.release();
+        assert!(a.try_admit(), "released slot must be reusable");
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let a = AdmissionController::new(1);
+        assert_eq!(a.session_started(), 1);
+        assert_eq!(a.session_started(), 2);
+        a.add_frames(10);
+        a.add_decisions(3);
+        a.add_frames(5);
+        assert_eq!(a.totals(), (2, 15, 3));
+    }
+
+    #[test]
+    fn queue_admits_whole_batches_only() {
+        let mut q = FrameQueue::new(4);
+        assert!(q.try_enqueue(vec![vec![1.0]; 3]).is_ok());
+        assert_eq!(q.free(), 1);
+        // A 2-frame batch overflows by 1 and must leave the queue alone.
+        assert_eq!(q.try_enqueue(vec![vec![2.0]; 2]), Err(1));
+        assert_eq!(q.len(), 3);
+        assert!(q.try_enqueue(vec![vec![3.0]]).is_ok());
+        assert_eq!(q.free(), 0);
+        // Draining restores capacity.
+        let mut n = 0;
+        while q.pop().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 4);
+        assert!(q.is_empty());
+        assert_eq!(q.free(), 4);
+    }
+}

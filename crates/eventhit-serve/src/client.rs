@@ -1,0 +1,257 @@
+//! The matching client library: a blocking, request/response view of one
+//! serving session.
+//!
+//! [`ServeClient::connect`] performs the `Hello`/`HelloAck` handshake and
+//! exposes the negotiated limits; every call then maps one request to one
+//! reply. Server rejections are ordinary values ([`Response::Rejected`]),
+//! not errors — backpressure (`QueueFull`, `TooManyStreams`) is part of
+//! the protocol, and the caller decides whether to wait out the
+//! `retry_after_ms` hint or give up. Only transport failures and protocol
+//! violations surface as `io::Error`.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{
+    read_message, write_message, Message, RejectCode, StreamSummary, WireDecision, PROTOCOL_MAJOR,
+    PROTOCOL_MINOR,
+};
+
+/// The admission limits granted by the server at handshake time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Negotiated {
+    /// Protocol minor version both ends agreed on.
+    pub minor: u16,
+    /// Server-wide cap on concurrently open streams.
+    pub max_streams: u32,
+    /// Largest batch one `SubmitFrames` may carry, in frames.
+    pub max_batch_frames: u32,
+    /// Per-stream ingest-queue bound, in frames.
+    pub max_queue_frames: u32,
+}
+
+/// A server rejection, carried through [`Response::Rejected`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rejection {
+    /// Why the request was refused.
+    pub code: RejectCode,
+    /// Backpressure hint: milliseconds to wait before retrying (0 when a
+    /// retry cannot succeed).
+    pub retry_after_ms: u32,
+    /// Human-readable detail from the server.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Rejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rejected ({}): {} [retry after {} ms]",
+            self.code.label(),
+            self.detail,
+            self.retry_after_ms
+        )
+    }
+}
+
+/// Either the requested result or an in-protocol rejection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response<T> {
+    /// The request was served.
+    Ok(T),
+    /// The server refused the request; the session remains usable for
+    /// non-fatal codes.
+    Rejected(Rejection),
+}
+
+impl<T> Response<T> {
+    /// Unwraps the served value, panicking on a rejection — convenient in
+    /// tests and examples where a rejection is a bug.
+    pub fn expect_ok(self, what: &str) -> T {
+        match self {
+            Response::Ok(v) => v,
+            Response::Rejected(r) => panic!("{what}: {r}"),
+        }
+    }
+}
+
+/// The server's answer to a `Health` probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthInfo {
+    /// Streams currently open across all sessions.
+    pub active_streams: u32,
+    /// Sessions served so far.
+    pub sessions: u64,
+    /// Frames consumed so far, all streams.
+    pub frames: u64,
+    /// Decisions emitted so far, all streams.
+    pub decisions: u64,
+}
+
+/// One blocking client session.
+pub struct ServeClient {
+    sock: TcpStream,
+    negotiated: Negotiated,
+}
+
+impl ServeClient {
+    /// Connects and performs the handshake. Fails with
+    /// `io::ErrorKind::ConnectionRefused` if the server rejects the
+    /// protocol version.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<ServeClient> {
+        let sock = TcpStream::connect(addr)?;
+        let mut chan = &sock;
+        write_message(
+            &mut chan,
+            &Message::Hello {
+                major: PROTOCOL_MAJOR,
+                minor: PROTOCOL_MINOR,
+            },
+        )?;
+        match read_message(&mut chan)? {
+            Some(Message::HelloAck {
+                minor,
+                max_streams,
+                max_batch_frames,
+                max_queue_frames,
+                ..
+            }) => {
+                let negotiated = Negotiated {
+                    minor,
+                    max_streams,
+                    max_batch_frames,
+                    max_queue_frames,
+                };
+                Ok(ServeClient { sock, negotiated })
+            }
+            Some(Message::Rejected { code, detail, .. }) => Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("handshake rejected ({}): {detail}", code.label()),
+            )),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// The limits granted at handshake time.
+    pub fn negotiated(&self) -> Negotiated {
+        self.negotiated
+    }
+
+    /// One request, one reply.
+    fn call(&mut self, msg: &Message) -> io::Result<Message> {
+        let mut chan = &self.sock;
+        write_message(&mut chan, msg)?;
+        match read_message(&mut chan)? {
+            Some(reply) => Ok(reply),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the session mid-request",
+            )),
+        }
+    }
+
+    /// Opens a stream under a client-chosen id.
+    pub fn open_stream(&mut self, stream_id: u32) -> io::Result<Response<()>> {
+        match self.call(&Message::OpenStream { stream_id })? {
+            Message::StreamOpened { stream_id: sid } if sid == stream_id => Ok(Response::Ok(())),
+            Message::Rejected {
+                code,
+                retry_after_ms,
+                detail,
+            } => Ok(Response::Rejected(Rejection {
+                code,
+                retry_after_ms,
+                detail,
+            })),
+            other => Err(unexpected(Some(other))),
+        }
+    }
+
+    /// Submits a row-major batch of feature rows (`data.len()` must be a
+    /// multiple of `dim`) and returns the decisions it produced — possibly
+    /// none, since decisions fire once per horizon.
+    pub fn submit(
+        &mut self,
+        stream_id: u32,
+        dim: u32,
+        data: Vec<f32>,
+    ) -> io::Result<Response<Vec<WireDecision>>> {
+        match self.call(&Message::SubmitFrames {
+            stream_id,
+            dim,
+            data,
+        })? {
+            Message::Decisions {
+                stream_id: sid,
+                decisions,
+            } if sid == stream_id => Ok(Response::Ok(decisions)),
+            Message::Rejected {
+                code,
+                retry_after_ms,
+                detail,
+            } => Ok(Response::Rejected(Rejection {
+                code,
+                retry_after_ms,
+                detail,
+            })),
+            other => Err(unexpected(Some(other))),
+        }
+    }
+
+    /// Closes a stream, returning its lifetime totals.
+    pub fn close_stream(&mut self, stream_id: u32) -> io::Result<Response<StreamSummary>> {
+        match self.call(&Message::CloseStream { stream_id })? {
+            Message::StreamClosed {
+                stream_id: sid,
+                summary,
+            } if sid == stream_id => Ok(Response::Ok(summary)),
+            Message::Rejected {
+                code,
+                retry_after_ms,
+                detail,
+            } => Ok(Response::Rejected(Rejection {
+                code,
+                retry_after_ms,
+                detail,
+            })),
+            other => Err(unexpected(Some(other))),
+        }
+    }
+
+    /// Probes server liveness and load.
+    pub fn health(&mut self) -> io::Result<HealthInfo> {
+        match self.call(&Message::Health)? {
+            Message::HealthReport {
+                active_streams,
+                sessions,
+                frames,
+                decisions,
+            } => Ok(HealthInfo {
+                active_streams,
+                sessions,
+                frames,
+                decisions,
+            }),
+            other => Err(unexpected(Some(other))),
+        }
+    }
+
+    /// Fetches the server's telemetry snapshot as canonical JSONL (empty
+    /// when the server runs without a recorder).
+    pub fn telemetry_jsonl(&mut self) -> io::Result<String> {
+        match self.call(&Message::TelemetryQuery)? {
+            Message::TelemetryReport { jsonl } => Ok(jsonl),
+            other => Err(unexpected(Some(other))),
+        }
+    }
+}
+
+fn unexpected(msg: Option<Message>) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        match msg {
+            Some(m) => format!("unexpected reply tag 0x{:02x}", m.tag()),
+            None => "connection closed during handshake".into(),
+        },
+    )
+}

@@ -1,0 +1,102 @@
+//! Lossless mapping between `eventhit-core` decision types and their wire
+//! images.
+//!
+//! The wire types in [`crate::protocol`] deliberately do not depend on
+//! `eventhit-core`, so the codec stays a pure, self-contained layer; this
+//! module is the single place where the two vocabularies meet. Both
+//! directions are total and inverse to each other — the loopback soak
+//! test round-trips every decision through them and compares against the
+//! in-process `run_lanes` output for bit-identity.
+
+use eventhit_core::infer::IntervalPrediction;
+use eventhit_core::resilient::DegradationTag;
+use eventhit_core::streaming::HorizonDecision;
+
+use crate::protocol::{WireDecision, WireDegradation, WirePrediction};
+
+/// Converts a core degradation tag to its wire image.
+pub fn degradation_to_wire(tag: DegradationTag) -> WireDegradation {
+    match tag {
+        DegradationTag::None => WireDegradation::None,
+        DegradationTag::Retried { retries } => WireDegradation::Retried(retries),
+        DegradationTag::Dropped => WireDegradation::Dropped,
+        DegradationTag::Deferred => WireDegradation::Deferred,
+        DegradationTag::LocalOnly => WireDegradation::LocalOnly,
+    }
+}
+
+/// Converts a wire degradation back to the core tag.
+pub fn degradation_from_wire(tag: WireDegradation) -> DegradationTag {
+    match tag {
+        WireDegradation::None => DegradationTag::None,
+        WireDegradation::Retried(retries) => DegradationTag::Retried { retries },
+        WireDegradation::Dropped => DegradationTag::Dropped,
+        WireDegradation::Deferred => DegradationTag::Deferred,
+        WireDegradation::LocalOnly => DegradationTag::LocalOnly,
+    }
+}
+
+/// Converts a relay decision to its wire image.
+pub fn decision_to_wire(d: &HorizonDecision) -> WireDecision {
+    WireDecision {
+        anchor: d.anchor,
+        degradation: degradation_to_wire(d.degradation),
+        predictions: d
+            .predictions
+            .iter()
+            .map(|p| WirePrediction {
+                present: p.present,
+                start: p.start,
+                end: p.end,
+            })
+            .collect(),
+    }
+}
+
+/// Reconstructs a relay decision from its wire image.
+pub fn decision_from_wire(d: &WireDecision) -> HorizonDecision {
+    HorizonDecision {
+        anchor: d.anchor,
+        degradation: degradation_from_wire(d.degradation),
+        predictions: d
+            .predictions
+            .iter()
+            .map(|p| IntervalPrediction {
+                present: p.present,
+                start: p.start,
+                end: p.end,
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_round_trip_through_the_wire_image() {
+        let all_tags = [
+            DegradationTag::None,
+            DegradationTag::Retried { retries: 3 },
+            DegradationTag::Dropped,
+            DegradationTag::Deferred,
+            DegradationTag::LocalOnly,
+        ];
+        for (i, tag) in all_tags.into_iter().enumerate() {
+            let d = HorizonDecision {
+                anchor: 1000 + i as u64,
+                degradation: tag,
+                predictions: vec![
+                    IntervalPrediction {
+                        present: true,
+                        start: 2,
+                        end: 9,
+                    },
+                    IntervalPrediction::absent(),
+                ],
+            };
+            assert_eq!(decision_from_wire(&decision_to_wire(&d)), d);
+        }
+    }
+}

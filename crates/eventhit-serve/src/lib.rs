@@ -1,0 +1,42 @@
+//! EventHit's stream-serving frontend: the system boundary where external
+//! clients feed frames in and get marshalling decisions out.
+//!
+//! The in-process pipeline marshals streams it already owns; deployment
+//! needs a *serving* boundary — admission, bounded queues, explicit
+//! backpressure, a versioned wire format — because that boundary is where
+//! filter-before-cloud systems win or lose their cost advantage. This
+//! crate provides it with nothing beyond `std::net` and the workspace's
+//! own crates:
+//!
+//! - [`protocol`] — the length-prefixed, versioned binary wire format and
+//!   its pure codec. Deterministic byte-for-byte; `f32` features and
+//!   scores cross the wire bit-exactly.
+//! - [`admission`] — the server-wide stream cap and the bounded per-stream
+//!   ingest queues behind the reject-with-retry-after backpressure policy.
+//! - [`server`] — the TCP frontend: sessions multiplexed onto an
+//!   `eventhit-parallel` [`Pool`](eventhit_parallel::Pool), one
+//!   `OnlinePredictor` lane per admitted stream, optional resilient-CI
+//!   wiring so degradation tags reach clients, `serve.*` telemetry.
+//! - [`client`] — the matching blocking client library used by the CLI's
+//!   `bench-client` and the loopback tests.
+//! - [`convert`] — lossless mapping between core decisions and their wire
+//!   images.
+//!
+//! Decisions served over the wire are bit-identical to the in-process
+//! `run_lanes` path for the same model, state, and frames, at any worker
+//! count — see the determinism notes on [`server`] and the loopback soak
+//! test in the workspace's `tests/serve.rs`.
+//!
+//! The wire format is specified in `docs/PROTOCOL.md`.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod admission;
+pub mod client;
+pub mod convert;
+pub mod protocol;
+pub mod server;
+
+pub use client::{HealthInfo, Negotiated, Rejection, Response, ServeClient};
+pub use server::{LaneFactory, ResilienceSpec, ServeConfig, Server};

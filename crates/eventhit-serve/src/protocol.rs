@@ -1,0 +1,991 @@
+//! The EventHit wire protocol: a length-prefixed, versioned binary
+//! framing with a pure, deterministic codec.
+//!
+//! Every message travels as one *frame*:
+//!
+//! ```text
+//! +----------------+---------+------------------------+
+//! | length: u32 LE | tag: u8 | body (length - 1 bytes)|
+//! +----------------+---------+------------------------+
+//! ```
+//!
+//! `length` counts the tag byte plus the body, never itself. All
+//! integers are little-endian; `f32`/`f64` travel as their IEEE-754 bit
+//! patterns via `to_le_bytes`, so feature values and scores survive the
+//! wire bit-exactly — the property the loopback soak test relies on when
+//! it compares served decisions against the in-process
+//! `run_lanes` output.
+//!
+//! The codec here is *pure*: [`encode`] and [`try_decode`] touch no
+//! sockets, no clocks, and no global state, so round-tripping is
+//! deterministic and testable byte-for-byte. The blocking I/O helpers
+//! [`write_message`] / [`read_message`] are thin wrappers that move whole
+//! frames through any `Write`/`Read`.
+//!
+//! The full grammar, the version-negotiation rules, and a worked hex
+//! example live in `docs/PROTOCOL.md`.
+//!
+//! # Round-trip example
+//!
+//! ```
+//! use eventhit_serve::protocol::{encode, try_decode, Message};
+//!
+//! let msg = Message::SubmitFrames {
+//!     stream_id: 7,
+//!     dim: 2,
+//!     data: vec![1.0, -0.5, 0.25, 3.5],
+//! };
+//! let bytes = encode(&msg);
+//! let (decoded, consumed) = try_decode(&bytes).unwrap().unwrap();
+//! assert_eq!(decoded, msg);
+//! assert_eq!(consumed, bytes.len());
+//!
+//! // A truncated frame is "not yet", never an error:
+//! assert!(try_decode(&bytes[..bytes.len() - 1]).unwrap().is_none());
+//! ```
+
+use std::io::{Read, Write};
+
+/// Protocol major version. A server rejects any `Hello` whose major
+/// version differs from its own: majors gate incompatible framing.
+pub const PROTOCOL_MAJOR: u16 = 1;
+
+/// Protocol minor version. Minors are negotiated down: the session runs
+/// at `min(client_minor, server_minor)` of a shared major.
+pub const PROTOCOL_MINOR: u16 = 0;
+
+/// Hard cap on a single frame's payload (tag + body), in bytes. The
+/// decoder refuses larger length prefixes outright instead of trusting a
+/// corrupt or hostile peer with an allocation.
+pub const MAX_FRAME_BYTES: usize = 1 << 24;
+
+/// Everything that can go wrong while decoding a frame.
+///
+/// Note that an *incomplete* frame is not an error — [`try_decode`]
+/// returns `Ok(None)` for those, because more bytes may still arrive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The frame's tag byte does not name any known message.
+    UnknownTag(u8),
+    /// The body ended before the fields the tag promises were read.
+    Truncated {
+        /// Tag of the message being decoded.
+        tag: u8,
+        /// Bytes the decoder still needed when the body ran out.
+        needed: usize,
+    },
+    /// The body is longer than the fields the tag defines.
+    TrailingBytes {
+        /// Tag of the message being decoded.
+        tag: u8,
+        /// Bytes left over after all fields were read.
+        extra: usize,
+    },
+    /// The length prefix exceeds [`MAX_FRAME_BYTES`].
+    Oversized {
+        /// The offending length-prefix value.
+        declared: usize,
+    },
+    /// A declared length of zero (a frame must carry at least a tag).
+    EmptyFrame,
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// A field value outside its domain (e.g. an unknown enum code).
+    BadValue(&'static str),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::UnknownTag(t) => write!(f, "unknown message tag 0x{t:02x}"),
+            ProtocolError::Truncated { tag, needed } => {
+                write!(
+                    f,
+                    "truncated body for tag 0x{tag:02x}: {needed} bytes short"
+                )
+            }
+            ProtocolError::TrailingBytes { tag, extra } => {
+                write!(f, "{extra} trailing bytes after tag 0x{tag:02x} body")
+            }
+            ProtocolError::Oversized { declared } => write!(
+                f,
+                "declared frame of {declared} bytes exceeds cap {MAX_FRAME_BYTES}"
+            ),
+            ProtocolError::EmptyFrame => write!(f, "zero-length frame (no tag byte)"),
+            ProtocolError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            ProtocolError::BadValue(what) => write!(f, "field out of domain: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Why the server refused a request, carried on [`Message::Rejected`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum RejectCode {
+    /// The client's protocol major version is not served here.
+    VersionUnsupported = 0,
+    /// Admission control: the server is at its stream capacity.
+    TooManyStreams = 1,
+    /// The submitted batch exceeds the negotiated `max_batch_frames`.
+    BatchTooLarge = 2,
+    /// The stream's bounded ingest queue cannot take the batch.
+    QueueFull = 3,
+    /// The referenced stream id was never opened (or already closed).
+    UnknownStream = 4,
+    /// The stream id is already open in this session.
+    DuplicateStream = 5,
+    /// The peer broke the protocol (bad frame, wrong state).
+    Malformed = 6,
+    /// A request arrived before the `Hello`/`HelloAck` handshake.
+    NotReady = 7,
+}
+
+impl RejectCode {
+    /// Decodes a wire byte back into a code.
+    pub fn from_u8(v: u8) -> Result<Self, ProtocolError> {
+        Ok(match v {
+            0 => RejectCode::VersionUnsupported,
+            1 => RejectCode::TooManyStreams,
+            2 => RejectCode::BatchTooLarge,
+            3 => RejectCode::QueueFull,
+            4 => RejectCode::UnknownStream,
+            5 => RejectCode::DuplicateStream,
+            6 => RejectCode::Malformed,
+            7 => RejectCode::NotReady,
+            _ => return Err(ProtocolError::BadValue("reject code")),
+        })
+    }
+
+    /// Stable lower-snake label (used as a telemetry counter label).
+    pub fn label(&self) -> &'static str {
+        match self {
+            RejectCode::VersionUnsupported => "version_unsupported",
+            RejectCode::TooManyStreams => "too_many_streams",
+            RejectCode::BatchTooLarge => "batch_too_large",
+            RejectCode::QueueFull => "queue_full",
+            RejectCode::UnknownStream => "unknown_stream",
+            RejectCode::DuplicateStream => "duplicate_stream",
+            RejectCode::Malformed => "malformed",
+            RejectCode::NotReady => "not_ready",
+        }
+    }
+}
+
+/// How (if at all) a served decision was degraded by the cloud path —
+/// the wire image of `eventhit-core`'s `DegradationTag`, kept separate
+/// so the codec stays dependency-free and field layouts stay explicit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireDegradation {
+    /// Clean decision: the CI path was healthy (or not consulted).
+    #[default]
+    None,
+    /// Delivered after this many retries.
+    Retried(u32),
+    /// The submission was dropped to the dead-letter queue.
+    Dropped,
+    /// The submission was deferred to the next horizon.
+    Deferred,
+    /// Served from the local predictor only; the CI was unreachable.
+    LocalOnly,
+}
+
+/// One predicted interval of one event, as served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WirePrediction {
+    /// True iff the event is predicted to occur in the horizon.
+    pub present: bool,
+    /// Predicted start offset in `[1, H]` (0 when absent).
+    pub start: u32,
+    /// Predicted end offset in `[1, H]` (0 when absent).
+    pub end: u32,
+}
+
+/// One relay decision for one stream at one anchor, as served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireDecision {
+    /// Anchor frame (0-based index of the last window frame).
+    pub anchor: u64,
+    /// Degradation status of the decision.
+    pub degradation: WireDegradation,
+    /// Per-event predictions, in event order.
+    pub predictions: Vec<WirePrediction>,
+}
+
+/// A summary returned when a stream closes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamSummary {
+    /// Frames the server consumed on this stream.
+    pub frames: u64,
+    /// Decisions the server emitted on this stream.
+    pub decisions: u64,
+}
+
+/// Every message of protocol major 1.
+///
+/// Client → server: `Hello`, `OpenStream`, `SubmitFrames`, `CloseStream`,
+/// `Health`, `TelemetryQuery`. Server → client: everything else.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Client handshake: the protocol version the client speaks.
+    Hello {
+        /// Client protocol major version.
+        major: u16,
+        /// Client protocol minor version.
+        minor: u16,
+    },
+    /// Server handshake reply: the negotiated version plus the admission
+    /// limits the client must respect.
+    HelloAck {
+        /// Negotiated major version (equals the client's).
+        major: u16,
+        /// Negotiated minor version (`min(client, server)`).
+        minor: u16,
+        /// Server-wide cap on concurrently open streams.
+        max_streams: u32,
+        /// Largest number of frames accepted in one `SubmitFrames`.
+        max_batch_frames: u32,
+        /// Per-stream ingest-queue bound, in frames.
+        max_queue_frames: u32,
+    },
+    /// Opens a stream lane under a client-chosen id.
+    OpenStream {
+        /// Client-chosen stream identifier, unique within the session.
+        stream_id: u32,
+    },
+    /// Server confirmation that the lane is admitted and running.
+    StreamOpened {
+        /// Echo of the admitted stream id.
+        stream_id: u32,
+    },
+    /// A batch of per-frame feature rows for one stream, row-major.
+    SubmitFrames {
+        /// Target stream id.
+        stream_id: u32,
+        /// Feature dimensionality of each row.
+        dim: u32,
+        /// `rows * dim` feature values, row-major. `rows` is implied
+        /// (`data.len() / dim`) and checked on decode.
+        data: Vec<f32>,
+    },
+    /// Decisions produced by the batch that was just consumed (possibly
+    /// empty — decisions only fire once per horizon).
+    Decisions {
+        /// Stream the decisions belong to.
+        stream_id: u32,
+        /// The decisions, in anchor order.
+        decisions: Vec<WireDecision>,
+    },
+    /// Closes a stream lane.
+    CloseStream {
+        /// Stream id to close.
+        stream_id: u32,
+    },
+    /// Server confirmation of a close, with lifetime totals.
+    StreamClosed {
+        /// Echo of the closed stream id.
+        stream_id: u32,
+        /// Totals for the stream's lifetime.
+        summary: StreamSummary,
+    },
+    /// Liveness / load probe.
+    Health,
+    /// Reply to [`Message::Health`].
+    HealthReport {
+        /// Streams currently open across all sessions.
+        active_streams: u32,
+        /// Sessions served so far (including the asking one).
+        sessions: u64,
+        /// Frames consumed so far, all streams.
+        frames: u64,
+        /// Decisions emitted so far, all streams.
+        decisions: u64,
+    },
+    /// Asks the server for its telemetry snapshot.
+    TelemetryQuery,
+    /// Reply to [`Message::TelemetryQuery`]: the canonical JSONL export
+    /// of the server's recorder (empty when none is attached).
+    TelemetryReport {
+        /// `TelemetrySnapshot::to_jsonl()` bytes, UTF-8.
+        jsonl: String,
+    },
+    /// The server refused a request; the session stays usable unless the
+    /// code is fatal ([`RejectCode::VersionUnsupported`],
+    /// [`RejectCode::Malformed`]).
+    Rejected {
+        /// Why the request was refused.
+        code: RejectCode,
+        /// Backpressure hint: milliseconds to wait before retrying
+        /// (0 when retrying cannot help, e.g. version mismatch).
+        retry_after_ms: u32,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+// Wire tags. Changing any of these is a major-version break.
+const TAG_HELLO: u8 = 0x01;
+const TAG_HELLO_ACK: u8 = 0x02;
+const TAG_OPEN_STREAM: u8 = 0x03;
+const TAG_STREAM_OPENED: u8 = 0x04;
+const TAG_SUBMIT_FRAMES: u8 = 0x05;
+const TAG_DECISIONS: u8 = 0x06;
+const TAG_CLOSE_STREAM: u8 = 0x07;
+const TAG_STREAM_CLOSED: u8 = 0x08;
+const TAG_HEALTH: u8 = 0x09;
+const TAG_HEALTH_REPORT: u8 = 0x0A;
+const TAG_TELEMETRY_QUERY: u8 = 0x0B;
+const TAG_TELEMETRY_REPORT: u8 = 0x0C;
+const TAG_REJECTED: u8 = 0x0D;
+
+impl Message {
+    /// The message's wire tag byte.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Message::Hello { .. } => TAG_HELLO,
+            Message::HelloAck { .. } => TAG_HELLO_ACK,
+            Message::OpenStream { .. } => TAG_OPEN_STREAM,
+            Message::StreamOpened { .. } => TAG_STREAM_OPENED,
+            Message::SubmitFrames { .. } => TAG_SUBMIT_FRAMES,
+            Message::Decisions { .. } => TAG_DECISIONS,
+            Message::CloseStream { .. } => TAG_CLOSE_STREAM,
+            Message::StreamClosed { .. } => TAG_STREAM_CLOSED,
+            Message::Health => TAG_HEALTH,
+            Message::HealthReport { .. } => TAG_HEALTH_REPORT,
+            Message::TelemetryQuery => TAG_TELEMETRY_QUERY,
+            Message::TelemetryReport { .. } => TAG_TELEMETRY_REPORT,
+            Message::Rejected { .. } => TAG_REJECTED,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_f32(out: &mut Vec<u8>, v: f32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_degradation(out: &mut Vec<u8>, d: WireDegradation) {
+    match d {
+        WireDegradation::None => out.push(0),
+        WireDegradation::Retried(r) => {
+            out.push(1);
+            put_u32(out, r);
+        }
+        WireDegradation::Dropped => out.push(2),
+        WireDegradation::Deferred => out.push(3),
+        WireDegradation::LocalOnly => out.push(4),
+    }
+}
+
+fn put_decision(out: &mut Vec<u8>, d: &WireDecision) {
+    put_u64(out, d.anchor);
+    put_degradation(out, d.degradation);
+    put_u32(out, d.predictions.len() as u32);
+    for p in &d.predictions {
+        out.push(p.present as u8);
+        put_u32(out, p.start);
+        put_u32(out, p.end);
+    }
+}
+
+/// Encodes `msg` into one complete frame (length prefix included).
+///
+/// Deterministic: the same message always yields the same bytes, which is
+/// what lets tests fingerprint served traffic.
+pub fn encode(msg: &Message) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(16);
+    payload.push(msg.tag());
+    match msg {
+        Message::Hello { major, minor } => {
+            put_u16(&mut payload, *major);
+            put_u16(&mut payload, *minor);
+        }
+        Message::HelloAck {
+            major,
+            minor,
+            max_streams,
+            max_batch_frames,
+            max_queue_frames,
+        } => {
+            put_u16(&mut payload, *major);
+            put_u16(&mut payload, *minor);
+            put_u32(&mut payload, *max_streams);
+            put_u32(&mut payload, *max_batch_frames);
+            put_u32(&mut payload, *max_queue_frames);
+        }
+        Message::OpenStream { stream_id }
+        | Message::StreamOpened { stream_id }
+        | Message::CloseStream { stream_id } => put_u32(&mut payload, *stream_id),
+        Message::SubmitFrames {
+            stream_id,
+            dim,
+            data,
+        } => {
+            put_u32(&mut payload, *stream_id);
+            put_u32(&mut payload, *dim);
+            put_u32(&mut payload, data.len() as u32);
+            payload.reserve(data.len() * 4);
+            for &v in data {
+                put_f32(&mut payload, v);
+            }
+        }
+        Message::Decisions {
+            stream_id,
+            decisions,
+        } => {
+            put_u32(&mut payload, *stream_id);
+            put_u32(&mut payload, decisions.len() as u32);
+            for d in decisions {
+                put_decision(&mut payload, d);
+            }
+        }
+        Message::StreamClosed { stream_id, summary } => {
+            put_u32(&mut payload, *stream_id);
+            put_u64(&mut payload, summary.frames);
+            put_u64(&mut payload, summary.decisions);
+        }
+        Message::Health | Message::TelemetryQuery => {}
+        Message::HealthReport {
+            active_streams,
+            sessions,
+            frames,
+            decisions,
+        } => {
+            put_u32(&mut payload, *active_streams);
+            put_u64(&mut payload, *sessions);
+            put_u64(&mut payload, *frames);
+            put_u64(&mut payload, *decisions);
+        }
+        Message::TelemetryReport { jsonl } => put_str(&mut payload, jsonl),
+        Message::Rejected {
+            code,
+            retry_after_ms,
+            detail,
+        } => {
+            payload.push(*code as u8);
+            put_u32(&mut payload, *retry_after_ms);
+            put_str(&mut payload, detail);
+        }
+    }
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// A bounds-checked cursor over one frame's body.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    tag: u8,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtocolError> {
+        if self.pos + n > self.buf.len() {
+            return Err(ProtocolError::Truncated {
+                tag: self.tag,
+                needed: self.pos + n - self.buf.len(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, ProtocolError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, ProtocolError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, ProtocolError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, ProtocolError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f32(&mut self) -> Result<f32, ProtocolError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn string(&mut self) -> Result<String, ProtocolError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ProtocolError::BadUtf8)
+    }
+    fn degradation(&mut self) -> Result<WireDegradation, ProtocolError> {
+        Ok(match self.u8()? {
+            0 => WireDegradation::None,
+            1 => WireDegradation::Retried(self.u32()?),
+            2 => WireDegradation::Dropped,
+            3 => WireDegradation::Deferred,
+            4 => WireDegradation::LocalOnly,
+            _ => return Err(ProtocolError::BadValue("degradation tag")),
+        })
+    }
+    fn decision(&mut self) -> Result<WireDecision, ProtocolError> {
+        let anchor = self.u64()?;
+        let degradation = self.degradation()?;
+        let n = self.u32()? as usize;
+        let mut predictions = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            let present = match self.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(ProtocolError::BadValue("prediction presence")),
+            };
+            let start = self.u32()?;
+            let end = self.u32()?;
+            predictions.push(WirePrediction {
+                present,
+                start,
+                end,
+            });
+        }
+        Ok(WireDecision {
+            anchor,
+            degradation,
+            predictions,
+        })
+    }
+    fn finish(self) -> Result<(), ProtocolError> {
+        if self.pos != self.buf.len() {
+            return Err(ProtocolError::TrailingBytes {
+                tag: self.tag,
+                extra: self.buf.len() - self.pos,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Decodes one frame's payload (tag byte + body, no length prefix).
+pub fn decode_payload(payload: &[u8]) -> Result<Message, ProtocolError> {
+    let Some((&tag, body)) = payload.split_first() else {
+        return Err(ProtocolError::EmptyFrame);
+    };
+    let mut c = Cursor {
+        buf: body,
+        pos: 0,
+        tag,
+    };
+    let msg = match tag {
+        TAG_HELLO => Message::Hello {
+            major: c.u16()?,
+            minor: c.u16()?,
+        },
+        TAG_HELLO_ACK => Message::HelloAck {
+            major: c.u16()?,
+            minor: c.u16()?,
+            max_streams: c.u32()?,
+            max_batch_frames: c.u32()?,
+            max_queue_frames: c.u32()?,
+        },
+        TAG_OPEN_STREAM => Message::OpenStream {
+            stream_id: c.u32()?,
+        },
+        TAG_STREAM_OPENED => Message::StreamOpened {
+            stream_id: c.u32()?,
+        },
+        TAG_SUBMIT_FRAMES => {
+            let stream_id = c.u32()?;
+            let dim = c.u32()?;
+            let len = c.u32()? as usize;
+            if dim > 0 && !len.is_multiple_of(dim as usize) {
+                return Err(ProtocolError::BadValue("data length not a multiple of dim"));
+            }
+            let mut data = Vec::with_capacity(len);
+            for _ in 0..len {
+                data.push(c.f32()?);
+            }
+            Message::SubmitFrames {
+                stream_id,
+                dim,
+                data,
+            }
+        }
+        TAG_DECISIONS => {
+            let stream_id = c.u32()?;
+            let n = c.u32()? as usize;
+            let mut decisions = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                decisions.push(c.decision()?);
+            }
+            Message::Decisions {
+                stream_id,
+                decisions,
+            }
+        }
+        TAG_CLOSE_STREAM => Message::CloseStream {
+            stream_id: c.u32()?,
+        },
+        TAG_STREAM_CLOSED => Message::StreamClosed {
+            stream_id: c.u32()?,
+            summary: StreamSummary {
+                frames: c.u64()?,
+                decisions: c.u64()?,
+            },
+        },
+        TAG_HEALTH => Message::Health,
+        TAG_HEALTH_REPORT => Message::HealthReport {
+            active_streams: c.u32()?,
+            sessions: c.u64()?,
+            frames: c.u64()?,
+            decisions: c.u64()?,
+        },
+        TAG_TELEMETRY_QUERY => Message::TelemetryQuery,
+        TAG_TELEMETRY_REPORT => Message::TelemetryReport { jsonl: c.string()? },
+        TAG_REJECTED => Message::Rejected {
+            code: RejectCode::from_u8(c.u8()?)?,
+            retry_after_ms: c.u32()?,
+            detail: c.string()?,
+        },
+        other => return Err(ProtocolError::UnknownTag(other)),
+    };
+    c.finish()?;
+    Ok(msg)
+}
+
+/// Attempts to decode one frame from the front of `buf`.
+///
+/// Returns `Ok(None)` when `buf` does not yet hold a complete frame
+/// (keep reading), or `Ok(Some((message, consumed)))` where `consumed`
+/// bytes should be drained from the front of the buffer.
+pub fn try_decode(buf: &[u8]) -> Result<Option<(Message, usize)>, ProtocolError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let declared = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+    if declared == 0 {
+        return Err(ProtocolError::EmptyFrame);
+    }
+    if declared > MAX_FRAME_BYTES {
+        return Err(ProtocolError::Oversized { declared });
+    }
+    if buf.len() < 4 + declared {
+        return Ok(None);
+    }
+    let msg = decode_payload(&buf[4..4 + declared])?;
+    Ok(Some((msg, 4 + declared)))
+}
+
+// ---------------------------------------------------------------------------
+// Blocking I/O helpers
+// ---------------------------------------------------------------------------
+
+/// Writes one complete frame for `msg` to `w` and flushes.
+pub fn write_message(w: &mut impl Write, msg: &Message) -> std::io::Result<()> {
+    w.write_all(&encode(msg))?;
+    w.flush()
+}
+
+/// Reads exactly one frame from `r` and decodes it.
+///
+/// Returns `Ok(None)` on a clean EOF at a frame boundary (the peer hung
+/// up between messages); mid-frame EOF and protocol violations surface
+/// as `io::Error` (`UnexpectedEof` / `InvalidData`).
+pub fn read_message(r: &mut impl Read) -> std::io::Result<Option<Message>> {
+    let mut len = [0u8; 4];
+    // A clean EOF before any length byte is a normal disconnect.
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "EOF inside a frame length prefix",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let declared = u32::from_le_bytes(len) as usize;
+    if declared == 0 || declared > MAX_FRAME_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            ProtocolError::Oversized { declared },
+        ));
+    }
+    let mut payload = vec![0u8; declared];
+    r.read_exact(&mut payload)?;
+    decode_payload(&payload)
+        .map(Some)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_messages() -> Vec<Message> {
+        vec![
+            Message::Hello {
+                major: PROTOCOL_MAJOR,
+                minor: PROTOCOL_MINOR,
+            },
+            Message::HelloAck {
+                major: 1,
+                minor: 0,
+                max_streams: 64,
+                max_batch_frames: 4096,
+                max_queue_frames: 8192,
+            },
+            Message::OpenStream { stream_id: 3 },
+            Message::StreamOpened { stream_id: 3 },
+            Message::SubmitFrames {
+                stream_id: 3,
+                dim: 3,
+                data: vec![0.0, -1.5, f32::MAX, f32::MIN_POSITIVE, 2.5e-7, 1.0],
+            },
+            Message::Decisions {
+                stream_id: 3,
+                decisions: vec![
+                    WireDecision {
+                        anchor: 99,
+                        degradation: WireDegradation::None,
+                        predictions: vec![
+                            WirePrediction {
+                                present: true,
+                                start: 4,
+                                end: 17,
+                            },
+                            WirePrediction {
+                                present: false,
+                                start: 0,
+                                end: 0,
+                            },
+                        ],
+                    },
+                    WireDecision {
+                        anchor: 199,
+                        degradation: WireDegradation::Retried(2),
+                        predictions: vec![],
+                    },
+                    WireDecision {
+                        anchor: 299,
+                        degradation: WireDegradation::LocalOnly,
+                        predictions: vec![WirePrediction {
+                            present: true,
+                            start: 1,
+                            end: 1,
+                        }],
+                    },
+                ],
+            },
+            Message::CloseStream { stream_id: 3 },
+            Message::StreamClosed {
+                stream_id: 3,
+                summary: StreamSummary {
+                    frames: 1_000_000,
+                    decisions: 2_000,
+                },
+            },
+            Message::Health,
+            Message::HealthReport {
+                active_streams: 5,
+                sessions: 17,
+                frames: 123_456,
+                decisions: 789,
+            },
+            Message::TelemetryQuery,
+            Message::TelemetryReport {
+                jsonl: "{\"k\":\"serve.frames\",\"v\":1}\n".into(),
+            },
+            Message::Rejected {
+                code: RejectCode::QueueFull,
+                retry_after_ms: 250,
+                detail: "stream 3 queue at 8192/8192 frames".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_message_round_trips() {
+        for msg in all_messages() {
+            let bytes = encode(&msg);
+            let (decoded, consumed) = try_decode(&bytes)
+                .unwrap_or_else(|e| panic!("{msg:?}: {e}"))
+                .expect("complete frame");
+            assert_eq!(decoded, msg);
+            assert_eq!(consumed, bytes.len());
+        }
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        for msg in all_messages() {
+            assert_eq!(encode(&msg), encode(&msg));
+        }
+    }
+
+    #[test]
+    fn f32_bits_survive_the_wire() {
+        let data = vec![f32::NAN, -0.0, 1.0 + f32::EPSILON, 3.5e-39];
+        let msg = Message::SubmitFrames {
+            stream_id: 0,
+            dim: 1,
+            data: data.clone(),
+        };
+        let (decoded, _) = try_decode(&encode(&msg)).unwrap().unwrap();
+        let Message::SubmitFrames { data: got, .. } = decoded else {
+            panic!("wrong variant");
+        };
+        for (a, b) in data.iter().zip(&got) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_incomplete_not_error() {
+        // Chopping a complete frame anywhere must yield Ok(None): the
+        // decoder can never misread a prefix as a shorter valid frame.
+        for msg in all_messages() {
+            let bytes = encode(&msg);
+            for cut in 0..bytes.len() {
+                assert_eq!(
+                    try_decode(&bytes[..cut]).unwrap_or_else(|e| panic!("{msg:?}@{cut}: {e}")),
+                    None,
+                    "{msg:?} cut at {cut}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_payload_inside_frame_is_an_error() {
+        // A frame whose declared length is too short for its fields.
+        let mut bytes = encode(&Message::OpenStream { stream_id: 9 });
+        // Shrink the declared payload to tag + 2 bytes (body needs 4).
+        bytes[0] = 3;
+        bytes.truncate(4 + 3);
+        let err = try_decode(&bytes).unwrap_err();
+        assert!(matches!(err, ProtocolError::Truncated { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        let frame = [1u8, 0, 0, 0, 0xEE];
+        assert_eq!(
+            try_decode(&frame).unwrap_err(),
+            ProtocolError::UnknownTag(0xEE)
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode(&Message::Health);
+        // Declare one extra byte and append it.
+        bytes[0] = 2;
+        bytes.push(0xFF);
+        let err = try_decode(&bytes).unwrap_err();
+        assert_eq!(
+            err,
+            ProtocolError::TrailingBytes {
+                tag: TAG_HEALTH,
+                extra: 1
+            }
+        );
+    }
+
+    #[test]
+    fn oversized_and_empty_frames_are_rejected() {
+        let huge = (MAX_FRAME_BYTES as u32 + 1).to_le_bytes();
+        assert!(matches!(
+            try_decode(&huge).unwrap_err(),
+            ProtocolError::Oversized { .. }
+        ));
+        assert_eq!(
+            try_decode(&[0, 0, 0, 0]).unwrap_err(),
+            ProtocolError::EmptyFrame
+        );
+    }
+
+    #[test]
+    fn bad_enum_codes_are_rejected() {
+        let mut bytes = encode(&Message::Rejected {
+            code: RejectCode::Malformed,
+            retry_after_ms: 0,
+            detail: String::new(),
+        });
+        bytes[5] = 99; // first body byte = reject code
+        assert_eq!(
+            try_decode(&bytes).unwrap_err(),
+            ProtocolError::BadValue("reject code")
+        );
+    }
+
+    #[test]
+    fn submit_dim_mismatch_is_rejected() {
+        let mut payload = vec![TAG_SUBMIT_FRAMES];
+        payload.extend_from_slice(&7u32.to_le_bytes()); // stream
+        payload.extend_from_slice(&3u32.to_le_bytes()); // dim
+        payload.extend_from_slice(&4u32.to_le_bytes()); // len not divisible by 3
+        payload.extend_from_slice(&[0u8; 16]);
+        assert_eq!(
+            decode_payload(&payload).unwrap_err(),
+            ProtocolError::BadValue("data length not a multiple of dim")
+        );
+    }
+
+    #[test]
+    fn io_helpers_move_frames_and_signal_clean_eof() {
+        let mut wire = Vec::new();
+        for msg in all_messages() {
+            write_message(&mut wire, &msg).unwrap();
+        }
+        let mut r = wire.as_slice();
+        for msg in all_messages() {
+            assert_eq!(read_message(&mut r).unwrap(), Some(msg));
+        }
+        assert_eq!(read_message(&mut r).unwrap(), None, "clean EOF");
+
+        // Mid-frame EOF is an error, not a clean end.
+        let partial = &encode(&Message::Health)[..2];
+        let mut r = partial;
+        assert!(read_message(&mut r).is_err());
+    }
+
+    #[test]
+    fn back_to_back_frames_decode_in_sequence() {
+        let a = Message::OpenStream { stream_id: 1 };
+        let b = Message::Health;
+        let mut buf = encode(&a);
+        buf.extend_from_slice(&encode(&b));
+        let (first, used) = try_decode(&buf).unwrap().unwrap();
+        assert_eq!(first, a);
+        let (second, used2) = try_decode(&buf[used..]).unwrap().unwrap();
+        assert_eq!(second, b);
+        assert_eq!(used + used2, buf.len());
+    }
+
+    #[test]
+    fn reject_codes_round_trip() {
+        for v in 0u8..8 {
+            let code = RejectCode::from_u8(v).unwrap();
+            assert_eq!(code as u8, v);
+            assert!(!code.label().is_empty());
+        }
+        assert!(RejectCode::from_u8(8).is_err());
+    }
+}

@@ -1,0 +1,527 @@
+//! The TCP serving frontend: sessions multiplexed onto a [`Pool`], one
+//! `OnlinePredictor` lane per admitted stream.
+//!
+//! # Determinism
+//!
+//! Each admitted stream gets its own predictor from the [`LaneFactory`]
+//! and its own bounded queue — no state is shared between streams, and a
+//! session drains each accepted batch through the lane synchronously
+//! before replying. A stream's decision sequence is therefore a pure
+//! function of its own frame sequence, exactly as in the in-process
+//! `run_lanes` path, regardless of how many sessions run concurrently or
+//! how many workers the pool has. The loopback soak test in
+//! `tests/serve.rs` checks this bit-for-bit.
+//!
+//! # Backpressure
+//!
+//! The server never buffers without bound. Streams beyond
+//! [`ServeConfig::max_streams`] are refused (`TooManyStreams`), batches
+//! beyond [`ServeConfig::max_batch_frames`] are refused (`BatchTooLarge`),
+//! and batches that do not fit the per-stream queue are refused whole
+//! (`QueueFull`) with a `retry_after_ms` hint — the client keeps the data
+//! and retries; the server's memory stays bounded by its configuration.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+
+use eventhit_core::faults::FaultConfig;
+use eventhit_core::resilient::{DegradationTag, ResilienceConfig, ResilientCiClient};
+use eventhit_core::streaming::OnlinePredictor;
+use eventhit_parallel::Pool;
+use eventhit_telemetry::Telemetry;
+use eventhit_video::detector::StageModel;
+
+use crate::admission::{AdmissionController, FrameQueue};
+use crate::convert::decision_to_wire;
+use crate::protocol::{
+    read_message, write_message, Message, RejectCode, StreamSummary, PROTOCOL_MAJOR, PROTOCOL_MINOR,
+};
+
+/// Per-stream resilient-CI wiring: when set, every decision's relayed
+/// frames are submitted through a [`ResilientCiClient`] (seeded
+/// `seed + stream_id`, so streams draw independent fault sequences) and
+/// the resulting degradation tag travels to the client on the wire.
+#[derive(Debug, Clone)]
+pub struct ResilienceSpec {
+    /// Fault profile of the simulated CI channel.
+    pub faults: FaultConfig,
+    /// Retry / breaker / degradation policy.
+    pub resilience: ResilienceConfig,
+    /// CI service throughput rating, frames per second.
+    pub ci_fps: f64,
+    /// Stream frame rate, used to convert anchors to submission times.
+    pub stream_fps: f64,
+    /// Base seed; stream `s` uses `seed + s`.
+    pub seed: u64,
+}
+
+/// Server configuration: bind address plus the admission limits echoed to
+/// every client in `HelloAck`.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind (`"127.0.0.1:0"` picks a free port).
+    pub addr: String,
+    /// Cap on concurrently open streams, across all sessions.
+    pub max_streams: u32,
+    /// Largest accepted `SubmitFrames` batch, in frames.
+    pub max_batch_frames: u32,
+    /// Per-stream ingest-queue bound, in frames.
+    pub max_queue_frames: u32,
+    /// Backpressure hint attached to `TooManyStreams` / `QueueFull`
+    /// rejections, in milliseconds.
+    pub retry_after_ms: u32,
+    /// Optional resilient-CI wiring (see [`ResilienceSpec`]). `None`
+    /// serves every decision untagged, which is what the determinism
+    /// soak test uses.
+    pub resilience: Option<ResilienceSpec>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            max_streams: 16,
+            max_batch_frames: 4096,
+            max_queue_frames: 8192,
+            retry_after_ms: 100,
+            resilience: None,
+        }
+    }
+}
+
+/// Builds one lane's predictor for an admitted stream id. The factory is
+/// called once per `OpenStream`; cloning one trained model and conformal
+/// state per lane (as `run_lanes` does) keeps lanes independent.
+pub type LaneFactory = dyn Fn(u32) -> OnlinePredictor + Send + Sync;
+
+/// One admitted stream inside a session.
+struct Lane {
+    predictor: OnlinePredictor,
+    queue: FrameQueue,
+    resilient: Option<ResilientCiClient>,
+    stream_fps: f64,
+    frames: u64,
+    decisions: u64,
+}
+
+struct Shared {
+    listener: TcpListener,
+    cfg: ServeConfig,
+    factory: Box<LaneFactory>,
+    admission: AdmissionController,
+    telemetry: Arc<Telemetry>,
+}
+
+/// The serving frontend. Bind once, then push session-serving work onto
+/// a [`Pool`] with [`Server::serve_sessions`] or [`Server::serve_forever`].
+pub struct Server {
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listener and prepares shared state; telemetry disabled.
+    pub fn bind(cfg: ServeConfig, factory: Box<LaneFactory>) -> io::Result<Server> {
+        Self::bind_with_telemetry(cfg, factory, Arc::new(Telemetry::disabled()))
+    }
+
+    /// [`Server::bind`] with a telemetry recorder: sessions, stream
+    /// opens/closes, frames, decisions, rejections (labelled by reject
+    /// code), an `serve.active_streams` gauge, and a `serve.session`
+    /// span per connection.
+    pub fn bind_with_telemetry(
+        cfg: ServeConfig,
+        factory: Box<LaneFactory>,
+        telemetry: Arc<Telemetry>,
+    ) -> io::Result<Server> {
+        let addrs: Vec<SocketAddr> = cfg.addr.to_socket_addrs()?.collect();
+        let listener = TcpListener::bind(&addrs[..])?;
+        let admission = AdmissionController::new(cfg.max_streams);
+        Ok(Server {
+            shared: Arc::new(Shared {
+                listener,
+                cfg,
+                factory,
+                admission,
+                telemetry,
+            }),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.shared.listener.local_addr()
+    }
+
+    /// Accepts and serves exactly `n` sessions, multiplexed onto `pool`
+    /// (up to `pool.workers()` concurrently). Returns when all `n`
+    /// sessions have ended.
+    pub fn serve_sessions(&self, n: usize, pool: &Pool) {
+        let shared = &self.shared;
+        pool.run_tasks(vec![(); n], |_i, ()| {
+            if let Ok((sock, _peer)) = shared.listener.accept() {
+                serve_session(shared, sock);
+            }
+        });
+    }
+
+    /// Serves sessions until the process exits: every pool worker loops
+    /// on accept. Intended for the `eventhit-cli serve` command; tests
+    /// use [`Server::serve_sessions`] so the server can wind down.
+    pub fn serve_forever(&self, pool: &Pool) {
+        let shared = &self.shared;
+        pool.run_tasks(vec![(); pool.workers().max(1)], |_i, ()| loop {
+            match shared.listener.accept() {
+                Ok((sock, _peer)) => serve_session(shared, sock),
+                Err(_) => return,
+            }
+        });
+    }
+}
+
+/// Serves one connection to completion. Any I/O error or protocol
+/// violation ends the session; cleanup releases every stream slot the
+/// session still holds, so lanes freed by a mid-session disconnect are
+/// immediately reusable by new sessions.
+fn serve_session(shared: &Shared, sock: TcpStream) {
+    let t = &shared.telemetry;
+    let _span = t.span("serve.session");
+    shared.admission.session_started();
+    t.add("serve.sessions", 1);
+
+    let mut lanes: BTreeMap<u32, Lane> = BTreeMap::new();
+    let outcome = session_loop(shared, &sock, &mut lanes);
+
+    // Cleanup: whatever the session still holds goes back to the pool.
+    for (_id, _lane) in lanes.iter() {
+        shared.admission.release();
+        t.add("serve.streams_aborted", 1);
+    }
+    t.gauge_set("serve.active_streams", shared.admission.active() as f64);
+    if outcome.is_err() {
+        t.add("serve.session_errors", 1);
+    }
+}
+
+/// Runs the handshake and then the request loop. `Ok(())` is a clean
+/// disconnect (EOF between frames); `Err` is an I/O failure or a fatal
+/// protocol violation after which the socket is abandoned.
+fn session_loop(
+    shared: &Shared,
+    sock: &TcpStream,
+    lanes: &mut BTreeMap<u32, Lane>,
+) -> io::Result<()> {
+    let cfg = &shared.cfg;
+    let t = &shared.telemetry;
+    let mut chan = sock;
+
+    // --- Handshake: the first frame must be a version-compatible Hello.
+    let hello = match read_message(&mut chan)? {
+        Some(m) => m,
+        None => return Ok(()), // connected and left; fine
+    };
+    match hello {
+        Message::Hello { major, minor } if major == PROTOCOL_MAJOR => {
+            write_message(
+                &mut chan,
+                // Minor negotiation: run at min(client, server). With
+                // PROTOCOL_MINOR = 0 the min is degenerate today, but the
+                // rule must survive the first minor bump.
+                #[allow(clippy::unnecessary_min_or_max)]
+                &Message::HelloAck {
+                    major: PROTOCOL_MAJOR,
+                    minor: minor.min(PROTOCOL_MINOR),
+                    max_streams: cfg.max_streams,
+                    max_batch_frames: cfg.max_batch_frames,
+                    max_queue_frames: cfg.max_queue_frames,
+                },
+            )?;
+        }
+        Message::Hello { major, .. } => {
+            reject(
+                &mut chan,
+                t,
+                RejectCode::VersionUnsupported,
+                0,
+                format!("server speaks major {PROTOCOL_MAJOR}, client sent {major}"),
+            )?;
+            return Ok(());
+        }
+        other => {
+            reject(
+                &mut chan,
+                t,
+                RejectCode::NotReady,
+                0,
+                format!("expected Hello, got tag 0x{:02x}", other.tag()),
+            )?;
+            return Ok(());
+        }
+    }
+
+    // --- Request loop.
+    loop {
+        let msg = match read_message(&mut chan) {
+            Ok(Some(m)) => m,
+            Ok(None) => return Ok(()), // clean disconnect
+            Err(e) => return Err(e),
+        };
+        match msg {
+            Message::OpenStream { stream_id } => {
+                if lanes.contains_key(&stream_id) {
+                    reject(
+                        &mut chan,
+                        t,
+                        RejectCode::DuplicateStream,
+                        0,
+                        format!("stream {stream_id} is already open in this session"),
+                    )?;
+                    continue;
+                }
+                if !shared.admission.try_admit() {
+                    reject(
+                        &mut chan,
+                        t,
+                        RejectCode::TooManyStreams,
+                        cfg.retry_after_ms,
+                        format!(
+                            "at capacity: {} of {} streams open",
+                            shared.admission.active(),
+                            cfg.max_streams
+                        ),
+                    )?;
+                    continue;
+                }
+                let predictor = (shared.factory)(stream_id);
+                let resilient = match &cfg.resilience {
+                    None => None,
+                    Some(spec) => {
+                        let client = ResilientCiClient::new(
+                            spec.faults.clone(),
+                            spec.resilience.clone(),
+                            StageModel::new("ci", spec.ci_fps),
+                            spec.seed.wrapping_add(stream_id as u64),
+                        )
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+                        Some(client)
+                    }
+                };
+                lanes.insert(
+                    stream_id,
+                    Lane {
+                        predictor,
+                        queue: FrameQueue::new(cfg.max_queue_frames as usize),
+                        resilient,
+                        stream_fps: cfg
+                            .resilience
+                            .as_ref()
+                            .map(|s| s.stream_fps)
+                            .unwrap_or(30.0),
+                        frames: 0,
+                        decisions: 0,
+                    },
+                );
+                t.add("serve.streams_opened", 1);
+                t.gauge_set("serve.active_streams", shared.admission.active() as f64);
+                write_message(&mut chan, &Message::StreamOpened { stream_id })?;
+            }
+
+            Message::SubmitFrames {
+                stream_id,
+                dim,
+                data,
+            } => {
+                let Some(lane) = lanes.get_mut(&stream_id) else {
+                    reject(
+                        &mut chan,
+                        t,
+                        RejectCode::UnknownStream,
+                        0,
+                        format!("stream {stream_id} is not open"),
+                    )?;
+                    continue;
+                };
+                let expected = lane.predictor.input_dim() as u32;
+                if dim != expected {
+                    // Fatal: the peer disagrees about the feature space.
+                    reject(
+                        &mut chan,
+                        t,
+                        RejectCode::Malformed,
+                        0,
+                        format!("stream {stream_id} expects dim {expected}, got {dim}"),
+                    )?;
+                    return Ok(());
+                }
+                let rows = if dim == 0 {
+                    0
+                } else {
+                    data.len() / dim as usize
+                };
+                if rows as u32 > cfg.max_batch_frames {
+                    reject(
+                        &mut chan,
+                        t,
+                        RejectCode::BatchTooLarge,
+                        0,
+                        format!(
+                            "batch of {rows} frames exceeds the {} cap; split it",
+                            cfg.max_batch_frames
+                        ),
+                    )?;
+                    continue;
+                }
+                if rows > lane.queue.free() {
+                    reject(
+                        &mut chan,
+                        t,
+                        RejectCode::QueueFull,
+                        cfg.retry_after_ms,
+                        format!(
+                            "stream {stream_id} queue has {} of {} frames free",
+                            lane.queue.free(),
+                            cfg.max_queue_frames
+                        ),
+                    )?;
+                    continue;
+                }
+                let batch: Vec<Vec<f32>> = data
+                    .chunks(dim.max(1) as usize)
+                    .map(<[f32]>::to_vec)
+                    .collect();
+                lane.queue
+                    .try_enqueue(batch)
+                    .expect("free space was checked");
+                let mut decisions = Vec::new();
+                while let Some(row) = lane.queue.pop() {
+                    if let Some(d) = lane.push(row) {
+                        decisions.push(decision_to_wire(&d));
+                    }
+                }
+                lane.frames += rows as u64;
+                lane.decisions += decisions.len() as u64;
+                shared.admission.add_frames(rows as u64);
+                shared.admission.add_decisions(decisions.len() as u64);
+                t.add("serve.frames", rows as u64);
+                t.add("serve.decisions", decisions.len() as u64);
+                write_message(
+                    &mut chan,
+                    &Message::Decisions {
+                        stream_id,
+                        decisions,
+                    },
+                )?;
+            }
+
+            Message::CloseStream { stream_id } => {
+                let Some(lane) = lanes.remove(&stream_id) else {
+                    reject(
+                        &mut chan,
+                        t,
+                        RejectCode::UnknownStream,
+                        0,
+                        format!("stream {stream_id} is not open"),
+                    )?;
+                    continue;
+                };
+                shared.admission.release();
+                t.add("serve.streams_closed", 1);
+                t.gauge_set("serve.active_streams", shared.admission.active() as f64);
+                write_message(
+                    &mut chan,
+                    &Message::StreamClosed {
+                        stream_id,
+                        summary: StreamSummary {
+                            frames: lane.frames,
+                            decisions: lane.decisions,
+                        },
+                    },
+                )?;
+            }
+
+            Message::Health => {
+                let (sessions, frames, decisions) = shared.admission.totals();
+                write_message(
+                    &mut chan,
+                    &Message::HealthReport {
+                        active_streams: shared.admission.active(),
+                        sessions,
+                        frames,
+                        decisions,
+                    },
+                )?;
+            }
+
+            Message::TelemetryQuery => {
+                let jsonl = if t.is_enabled() {
+                    t.snapshot().to_jsonl()
+                } else {
+                    String::new()
+                };
+                write_message(&mut chan, &Message::TelemetryReport { jsonl })?;
+            }
+
+            other => {
+                // Server-bound sessions must not receive server-to-client
+                // messages (or a second Hello); that is a fatal violation.
+                reject(
+                    &mut chan,
+                    t,
+                    RejectCode::Malformed,
+                    0,
+                    format!("unexpected message tag 0x{:02x}", other.tag()),
+                )?;
+                return Ok(());
+            }
+        }
+    }
+}
+
+impl Lane {
+    /// Feeds one frame through the lane's predictor; with resilient
+    /// wiring, relayed segments are submitted through the CI client and
+    /// the submission's degradation tag replaces the decision's.
+    fn push(&mut self, row: Vec<f32>) -> Option<eventhit_core::streaming::HorizonDecision> {
+        match &mut self.resilient {
+            None => self.predictor.push_frame(row),
+            Some(client) => {
+                let mut d = self
+                    .predictor
+                    .push_frame_resilient(row, client, self.stream_fps)?;
+                if d.degradation == DegradationTag::None {
+                    let relayed: u64 = d
+                        .segments()
+                        .iter()
+                        .map(|&(_, s, e)| e.saturating_sub(s) + 1)
+                        .sum();
+                    if relayed > 0 {
+                        let now = d.anchor as f64 / self.stream_fps.max(f64::MIN_POSITIVE);
+                        d.degradation = client.submit(relayed, now).tag();
+                    }
+                }
+                Some(d)
+            }
+        }
+    }
+}
+
+/// Writes a `Rejected` reply and counts it under `serve.rejected` with
+/// the code's stable label.
+fn reject(
+    io: &mut impl io::Write,
+    t: &Telemetry,
+    code: RejectCode,
+    retry_after_ms: u32,
+    detail: String,
+) -> io::Result<()> {
+    t.add_labeled("serve.rejected", code.label(), 1);
+    write_message(
+        io,
+        &Message::Rejected {
+            code,
+            retry_after_ms,
+            detail,
+        },
+    )
+}

@@ -39,6 +39,8 @@
 //! assert_eq!(snap.fingerprint(), tel.snapshot().fingerprint());
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod clock;
 pub mod hist;
 pub mod percentile;

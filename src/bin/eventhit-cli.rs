@@ -7,11 +7,16 @@
 //!                       [--c 0.95] [--alpha 0.9]
 //! eventhit-cli marshal  --task TA10 --scale 0.3 --seed 7 --model model.evht \
 //!                       [--c 0.95] [--alpha 0.9]
+//! eventhit-cli serve        --task TA10 --scale 0.1 --seed 7 --addr 127.0.0.1:7077
+//! eventhit-cli bench-client --task TA10 --scale 0.1 --seed 7 --addr 127.0.0.1:7077 \
+//!                           [--streams 2] [--batch 64] [--frames 2000]
 //! ```
 //!
 //! The synthetic stream is a pure function of `(task, scale, seed)`, so
 //! `evaluate`/`marshal` regenerate exactly the stream the model was trained
-//! against and calibrate on its calibration split.
+//! against and calibrate on its calibration split. The same property makes
+//! `bench-client` self-sufficient: given the server's `(task, scale, seed)`
+//! it regenerates bit-identical feature rows to feed over the wire.
 
 use std::process::exit;
 
@@ -21,7 +26,10 @@ use eventhit::core::infer::score_records;
 use eventhit::core::marshal::Marshaller;
 use eventhit::core::model_io;
 use eventhit::core::pipeline::{ConformalState, Strategy};
+use eventhit::core::streaming::OnlinePredictor;
 use eventhit::core::tasks::{all_tasks, task};
+use eventhit::parallel::Pool;
+use eventhit::serve::{Response, ServeClient, ServeConfig, Server};
 
 #[derive(Debug, Clone)]
 struct Args {
@@ -32,6 +40,11 @@ struct Args {
     out: Option<String>,
     c: f64,
     alpha: f64,
+    addr: String,
+    streams: u32,
+    batch: usize,
+    frames: usize,
+    sessions: usize,
 }
 
 impl Default for Args {
@@ -44,15 +57,21 @@ impl Default for Args {
             out: None,
             c: 0.95,
             alpha: 0.9,
+            addr: "127.0.0.1:7077".into(),
+            streams: 2,
+            batch: 64,
+            frames: 0,
+            sessions: 0,
         }
     }
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: eventhit-cli <tasks|train|evaluate|marshal> \
+        "usage: eventhit-cli <tasks|train|evaluate|marshal|serve|bench-client> \
          [--task TAi] [--scale F] [--seed N] [--model PATH] [--out PATH] \
-         [--c F] [--alpha F]"
+         [--c F] [--alpha F] [--addr HOST:PORT] [--streams N] [--batch N] \
+         [--frames N] [--sessions N]"
     );
     exit(2)
 }
@@ -69,6 +88,11 @@ fn parse(mut it: impl Iterator<Item = String>) -> Args {
             "--out" => args.out = Some(value()),
             "--c" => args.c = value().parse().unwrap_or_else(|_| usage()),
             "--alpha" => args.alpha = value().parse().unwrap_or_else(|_| usage()),
+            "--addr" => args.addr = value(),
+            "--streams" => args.streams = value().parse().unwrap_or_else(|_| usage()),
+            "--batch" => args.batch = value().parse().unwrap_or_else(|_| usage()),
+            "--frames" => args.frames = value().parse().unwrap_or_else(|_| usage()),
+            "--sessions" => args.sessions = value().parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
     }
@@ -201,6 +225,155 @@ fn cmd_marshal(args: &Args) {
     );
 }
 
+/// Trains (or loads) a model and serves it over TCP: one stream lane per
+/// admitted client stream, every lane cloning the same trained model and
+/// conformal state.
+fn cmd_serve(args: &Args) {
+    let t = task(&args.task).unwrap_or_else(|| {
+        eprintln!("unknown task {}", args.task);
+        exit(2)
+    });
+    eprintln!(
+        "training {} at scale {} (seed {}) before serving ...",
+        t.id, args.scale, args.seed
+    );
+    let mut run = TaskRun::execute(&t, &config(args));
+    if let Some(path) = &args.model {
+        // Serve the persisted weights, recalibrated against this run's
+        // calibration split — pairing a loaded model with another
+        // model's conformal state would void the coverage guarantees.
+        let model = model_io::load_from_path(path).unwrap_or_else(|e| {
+            eprintln!("failed to read {path}: {e}");
+            exit(1)
+        });
+        let calib = score_records(&model, &run.calib_records, 128);
+        run.state = ConformalState::fit(&calib, t.num_events(), 0.5, run.horizon);
+        run.model = model;
+    }
+    let (model, state) = (run.model, run.state);
+    let strategy = Strategy::Ehcr {
+        c: args.c,
+        alpha: args.alpha,
+    };
+    let cfg = ServeConfig {
+        addr: args.addr.clone(),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(
+        cfg,
+        Box::new(move |_stream_id| OnlinePredictor::new(model.clone(), state.clone(), strategy)),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("failed to bind {}: {e}", args.addr);
+        exit(1)
+    });
+    let addr = server.local_addr().expect("bound listener has an address");
+    println!("serving {} on {addr} (dim {})", t.id, run.features.cols());
+    let pool = Pool::current();
+    if args.sessions == 0 {
+        server.serve_forever(&pool);
+    } else {
+        server.serve_sessions(args.sessions, &pool);
+    }
+}
+
+/// Feeds deterministically regenerated feature rows to a running server
+/// over one session with `--streams` interleaved streams, honouring
+/// retry-after backpressure, and prints totals.
+fn cmd_bench_client(args: &Args) {
+    use eventhit::video::features::{extract, FeatureConfig};
+    use eventhit::video::stream::VideoStream;
+
+    let t = task(&args.task).unwrap_or_else(|| {
+        eprintln!("unknown task {}", args.task);
+        exit(2)
+    });
+    // The same sub-seed derivation as TaskRun::execute, so the rows match
+    // the stream the server trained on without training anything here.
+    let profile = t.profile().scaled(args.scale);
+    let stream = VideoStream::generate(&profile, args.seed.wrapping_mul(31).wrapping_add(1));
+    let features = extract(
+        &stream,
+        &FeatureConfig::default(),
+        args.seed.wrapping_mul(37).wrapping_add(2),
+    );
+    let dim = features.cols() as u32;
+    let rows = if args.frames == 0 {
+        features.rows()
+    } else {
+        args.frames.min(features.rows())
+    };
+
+    let mut client = ServeClient::connect(&args.addr).unwrap_or_else(|e| {
+        eprintln!("failed to connect to {}: {e}", args.addr);
+        exit(1)
+    });
+    let limits = client.negotiated();
+    eprintln!(
+        "connected to {} (batch cap {}, queue cap {})",
+        args.addr, limits.max_batch_frames, limits.max_queue_frames
+    );
+    for s in 0..args.streams {
+        client
+            .open_stream(s)
+            .expect("open_stream I/O")
+            .expect_ok("open_stream");
+    }
+
+    let started = std::time::Instant::now();
+    let mut decisions = 0u64;
+    let mut retries = 0u64;
+    let batch = args.batch.max(1).min(limits.max_batch_frames as usize);
+    let mut at = 0usize;
+    while at < rows {
+        let hi = (at + batch).min(rows);
+        let mut data = Vec::with_capacity((hi - at) * dim as usize);
+        for r in at..hi {
+            data.extend_from_slice(features.row(r));
+        }
+        for s in 0..args.streams {
+            loop {
+                match client.submit(s, dim, data.clone()).expect("submit I/O") {
+                    Response::Ok(ds) => {
+                        decisions += ds.len() as u64;
+                        break;
+                    }
+                    Response::Rejected(r) => {
+                        retries += 1;
+                        std::thread::sleep(std::time::Duration::from_millis(
+                            r.retry_after_ms.max(1) as u64,
+                        ));
+                    }
+                }
+            }
+        }
+        at = hi;
+    }
+    let health = client.health().expect("health I/O");
+    for s in 0..args.streams {
+        let summary = client
+            .close_stream(s)
+            .expect("close_stream I/O")
+            .expect_ok("close_stream");
+        println!(
+            "stream {s}: {} frames in, {} decisions out",
+            summary.frames, summary.decisions
+        );
+    }
+    let secs = started.elapsed().as_secs_f64();
+    println!(
+        "fed {} frames x {} streams in {secs:.2}s ({:.0} frames/s), \
+         {decisions} decisions, {retries} backpressure retries",
+        rows,
+        args.streams,
+        (rows as f64 * args.streams as f64) / secs.max(1e-9),
+    );
+    println!(
+        "server totals: {} sessions, {} frames, {} decisions",
+        health.sessions, health.frames, health.decisions
+    );
+}
+
 fn main() {
     let mut argv = std::env::args().skip(1);
     let Some(cmd) = argv.next() else { usage() };
@@ -209,6 +382,8 @@ fn main() {
         "train" => cmd_train(&parse(argv)),
         "evaluate" => cmd_evaluate(&parse(argv)),
         "marshal" => cmd_marshal(&parse(argv)),
+        "serve" => cmd_serve(&parse(argv)),
+        "bench-client" => cmd_bench_client(&parse(argv)),
         "--help" | "-h" | "help" => usage(),
         _ => usage(),
     }

@@ -23,6 +23,9 @@
 //! * [`parallel`] — scoped thread pool plus order-preserving reduction;
 //!   every parallel path in the workspace is bit-identical for any worker
 //!   count (set `EVENTHIT_WORKERS`, or `with_workers` in-process).
+//! * [`serve`] — the stream-serving frontend: a versioned binary wire
+//!   protocol, a TCP server with admission control and bounded queues, and
+//!   the matching client library (`docs/PROTOCOL.md` for the wire spec).
 //!
 //! ## End to end in six lines
 //!
@@ -58,6 +61,7 @@ pub use eventhit_conformal as conformal;
 pub use eventhit_core as core;
 pub use eventhit_nn as nn;
 pub use eventhit_parallel as parallel;
+pub use eventhit_serve as serve;
 pub use eventhit_survival as survival;
 pub use eventhit_telemetry as telemetry;
 pub use eventhit_video as video;

@@ -1,0 +1,408 @@
+//! Loopback tests of the serving frontend: the soak test proving wire
+//! decisions are bit-identical to the in-process `run_lanes` path, plus
+//! admission, backpressure, disconnect-recovery, version negotiation,
+//! and degradation-tag propagation over a real TCP socket.
+
+use std::net::{SocketAddr, TcpStream};
+use std::sync::OnceLock;
+use std::thread::JoinHandle;
+
+use eventhit::core::experiment::{ExperimentConfig, TaskRun};
+use eventhit::core::model::EventHit;
+use eventhit::core::multi::{run_lanes, LaneDecision, StreamLane};
+use eventhit::core::pipeline::{ConformalState, Strategy};
+use eventhit::core::streaming::OnlinePredictor;
+use eventhit::core::tasks::task;
+use eventhit::nn::matrix::Matrix;
+use eventhit::parallel::{with_workers, Pool};
+use eventhit::serve::convert::decision_from_wire;
+use eventhit::serve::protocol::{read_message, write_message, Message, RejectCode, PROTOCOL_MAJOR};
+use eventhit::serve::{Response, ServeClient, ServeConfig, Server};
+
+/// One quick training run shared by every test in this file.
+struct Trained {
+    model: EventHit,
+    state: ConformalState,
+    features: Matrix,
+}
+
+fn trained() -> &'static Trained {
+    static RUN: OnceLock<Trained> = OnceLock::new();
+    RUN.get_or_init(|| {
+        let run = TaskRun::execute(&task("TA10").unwrap(), &ExperimentConfig::quick(77));
+        Trained {
+            model: run.model,
+            state: run.state,
+            features: run.features,
+        }
+    })
+}
+
+const STRATEGY: Strategy = Strategy::Ehcr { c: 0.9, alpha: 0.5 };
+
+fn predictor() -> OnlinePredictor {
+    let t = trained();
+    OnlinePredictor::new(t.model.clone(), t.state.clone(), STRATEGY)
+}
+
+/// Binds a server on a free port and serves exactly `sessions` sessions
+/// on a background thread.
+fn spawn_server(
+    cfg: ServeConfig,
+    factory: Box<dyn Fn(u32) -> OnlinePredictor + Send + Sync>,
+    sessions: usize,
+) -> (SocketAddr, JoinHandle<()>) {
+    let server = Server::bind(cfg, factory).expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let handle = std::thread::spawn(move || {
+        server.serve_sessions(sessions, &Pool::new(1));
+    });
+    (addr, handle)
+}
+
+#[test]
+fn loopback_soak_bit_identical_to_run_lanes_at_1_and_4_workers() {
+    let t = trained();
+    let dim = t.features.cols() as u32;
+    // Three streams over the same stream's features at different start
+    // offsets, so every lane produces a distinct decision sequence.
+    let froms = [0usize, 7, 19];
+
+    // In-process baseline, at both worker counts (which must agree).
+    let lanes = |_| -> Vec<StreamLane> {
+        froms
+            .iter()
+            .enumerate()
+            .map(|(i, &from)| StreamLane {
+                stream_id: i,
+                predictor: predictor(),
+                features: t.features.clone(),
+                from,
+            })
+            .collect()
+    };
+    let baseline1 = with_workers(1, || run_lanes(lanes(()), &Pool::current()));
+    let baseline4 = with_workers(4, || run_lanes(lanes(()), &Pool::current()));
+    assert_eq!(baseline1, baseline4, "run_lanes must be worker-invariant");
+    assert!(!baseline1.is_empty(), "soak baseline produced no decisions");
+
+    // Served path: one session, three interleaved streams, batched rows.
+    let (addr, handle) = spawn_server(ServeConfig::default(), Box::new(|_| predictor()), 1);
+    let mut client = ServeClient::connect(addr).expect("connect");
+    for s in 0..froms.len() as u32 {
+        client
+            .open_stream(s)
+            .expect("open I/O")
+            .expect_ok("open_stream");
+    }
+    let mut served: Vec<LaneDecision> = Vec::new();
+    let rows = t.features.rows();
+    let batch = 97; // deliberately unaligned with window/horizon
+    let mut cursors = froms;
+    loop {
+        let mut progressed = false;
+        for (i, cursor) in cursors.iter_mut().enumerate() {
+            if *cursor >= rows {
+                continue;
+            }
+            progressed = true;
+            let hi = (*cursor + batch).min(rows);
+            let mut data = Vec::with_capacity((hi - *cursor) * dim as usize);
+            for r in *cursor..hi {
+                data.extend_from_slice(t.features.row(r));
+            }
+            let decisions = client
+                .submit(i as u32, dim, data)
+                .expect("submit I/O")
+                .expect_ok("submit");
+            served.extend(decisions.iter().map(|d| LaneDecision {
+                stream_id: i,
+                decision: decision_from_wire(d),
+            }));
+            *cursor = hi;
+        }
+        if !progressed {
+            break;
+        }
+    }
+    for s in 0..froms.len() as u32 {
+        client
+            .close_stream(s)
+            .expect("close I/O")
+            .expect_ok("close_stream");
+    }
+    drop(client);
+    handle.join().expect("server thread");
+
+    // Same merge key as run_lanes, then bit-for-bit equality.
+    served.sort_by_key(|d| (d.decision.anchor, d.stream_id));
+    assert_eq!(served, baseline1);
+}
+
+#[test]
+fn admission_caps_streams_and_recovers_on_close() {
+    let cfg = ServeConfig {
+        max_streams: 2,
+        retry_after_ms: 250,
+        ..ServeConfig::default()
+    };
+    let (addr, handle) = spawn_server(cfg, Box::new(|_| predictor()), 1);
+    let mut client = ServeClient::connect(addr).expect("connect");
+    assert_eq!(client.negotiated().max_streams, 2);
+
+    client.open_stream(0).unwrap().expect_ok("first");
+    client.open_stream(1).unwrap().expect_ok("second");
+    match client.open_stream(2).unwrap() {
+        Response::Rejected(r) => {
+            assert_eq!(r.code, RejectCode::TooManyStreams);
+            assert_eq!(r.retry_after_ms, 250, "retry-after hint must propagate");
+        }
+        Response::Ok(()) => panic!("third stream must be refused"),
+    }
+    // Duplicate ids are refused without consuming a slot.
+    match client.open_stream(1).unwrap() {
+        Response::Rejected(r) => assert_eq!(r.code, RejectCode::DuplicateStream),
+        Response::Ok(()) => panic!("duplicate stream must be refused"),
+    }
+    // Closing frees the slot for the previously refused stream.
+    client.close_stream(1).unwrap().expect_ok("close");
+    client.open_stream(2).unwrap().expect_ok("after release");
+    drop(client);
+    handle.join().unwrap();
+}
+
+#[test]
+fn queue_full_and_batch_too_large_backpressure() {
+    let t = trained();
+    let dim = t.features.cols() as u32;
+    let cfg = ServeConfig {
+        max_batch_frames: 64,
+        max_queue_frames: 8,
+        retry_after_ms: 40,
+        ..ServeConfig::default()
+    };
+    let (addr, handle) = spawn_server(cfg, Box::new(|_| predictor()), 1);
+    let mut client = ServeClient::connect(addr).expect("connect");
+    client.open_stream(0).unwrap().expect_ok("open");
+
+    let rows_of = |n: usize| {
+        let mut data = Vec::with_capacity(n * dim as usize);
+        for r in 0..n {
+            data.extend_from_slice(t.features.row(r));
+        }
+        data
+    };
+    // Over the batch cap: permanent rejection (retry cannot help).
+    match client.submit(0, dim, rows_of(65)).unwrap() {
+        Response::Rejected(r) => {
+            assert_eq!(r.code, RejectCode::BatchTooLarge);
+            assert_eq!(r.retry_after_ms, 0);
+        }
+        Response::Ok(_) => panic!("oversized batch must be refused"),
+    }
+    // Under the batch cap but over the queue bound: backpressure with a
+    // retry hint, batch untouched.
+    match client.submit(0, dim, rows_of(16)).unwrap() {
+        Response::Rejected(r) => {
+            assert_eq!(r.code, RejectCode::QueueFull);
+            assert_eq!(r.retry_after_ms, 40);
+        }
+        Response::Ok(_) => panic!("overflowing batch must be refused"),
+    }
+    // A fitting batch sails through on the same stream afterwards.
+    client
+        .submit(0, dim, rows_of(8))
+        .unwrap()
+        .expect_ok("fitting batch");
+    // Submitting to a stream that was never opened is refused.
+    match client.submit(9, dim, rows_of(1)).unwrap() {
+        Response::Rejected(r) => assert_eq!(r.code, RejectCode::UnknownStream),
+        Response::Ok(_) => panic!("unknown stream must be refused"),
+    }
+    drop(client);
+    handle.join().unwrap();
+}
+
+#[test]
+fn mid_session_disconnect_leaves_lanes_reusable() {
+    let t = trained();
+    let dim = t.features.cols() as u32;
+    let cfg = ServeConfig {
+        max_streams: 1,
+        ..ServeConfig::default()
+    };
+    // Two sequential sessions on a 1-worker pool: the second accept only
+    // happens after the first session's cleanup ran.
+    let (addr, handle) = spawn_server(cfg, Box::new(|_| predictor()), 2);
+
+    // Session A claims the only slot, feeds some frames, then vanishes
+    // without closing the stream.
+    {
+        let mut a = ServeClient::connect(addr).expect("connect A");
+        a.open_stream(0).unwrap().expect_ok("A open");
+        let mut data = Vec::new();
+        for r in 0..10 {
+            data.extend_from_slice(t.features.row(r));
+        }
+        a.submit(0, dim, data).unwrap().expect_ok("A submit");
+    } // dropped: TCP FIN mid-session
+
+    // Session B must get the slot back.
+    let mut b = ServeClient::connect(addr).expect("connect B");
+    b.open_stream(0).unwrap().expect_ok("B open after A died");
+    let health = b.health().expect("health");
+    assert_eq!(health.active_streams, 1, "only B's stream may be open");
+    assert_eq!(health.sessions, 2);
+    drop(b);
+    handle.join().unwrap();
+}
+
+#[test]
+fn version_mismatch_and_premature_requests_are_rejected() {
+    // Two raw sessions: one with a wrong major version, one skipping the
+    // handshake entirely.
+    let (addr, handle) = spawn_server(ServeConfig::default(), Box::new(|_| predictor()), 2);
+
+    let sock = TcpStream::connect(addr).expect("connect");
+    let mut chan = &sock;
+    write_message(
+        &mut chan,
+        &Message::Hello {
+            major: PROTOCOL_MAJOR + 1,
+            minor: 0,
+        },
+    )
+    .unwrap();
+    match read_message(&mut chan).unwrap() {
+        Some(Message::Rejected {
+            code,
+            retry_after_ms,
+            ..
+        }) => {
+            assert_eq!(code, RejectCode::VersionUnsupported);
+            assert_eq!(retry_after_ms, 0);
+        }
+        other => panic!("expected version rejection, got {other:?}"),
+    }
+    assert_eq!(read_message(&mut chan).unwrap(), None, "server hangs up");
+    drop(sock);
+
+    let sock = TcpStream::connect(addr).expect("connect");
+    let mut chan = &sock;
+    write_message(&mut chan, &Message::Health).unwrap();
+    match read_message(&mut chan).unwrap() {
+        Some(Message::Rejected { code, .. }) => assert_eq!(code, RejectCode::NotReady),
+        other => panic!("expected NotReady, got {other:?}"),
+    }
+    drop(sock);
+    handle.join().unwrap();
+}
+
+#[test]
+fn degradation_tags_propagate_to_clients_over_the_wire() {
+    use eventhit::core::faults::FaultConfig;
+    use eventhit::core::resilient::{DegradationTag, ResilienceConfig};
+    use eventhit::serve::ResilienceSpec;
+
+    let t = trained();
+    let dim = t.features.cols() as u32;
+    // A dead CI channel: every submission fails, so early decisions come
+    // back Dropped (dead-lettered) and, once the breaker trips, LocalOnly.
+    let cfg = ServeConfig {
+        resilience: Some(ResilienceSpec {
+            faults: FaultConfig {
+                p_good_to_bad: 1.0,
+                p_bad_to_good: 0.0,
+                bad_loss: 1.0,
+                ..FaultConfig::reliable()
+            },
+            resilience: ResilienceConfig::default(),
+            ci_fps: 100.0,
+            stream_fps: 30.0,
+            seed: 7,
+        }),
+        ..ServeConfig::default()
+    };
+    // A strategy that always relays guarantees every decision submits.
+    let factory = Box::new(|_| {
+        let t = trained();
+        OnlinePredictor::new(
+            t.model.clone(),
+            t.state.clone(),
+            Strategy::Eho { tau1: 0.0 },
+        )
+    });
+    let (addr, handle) = spawn_server(cfg, factory, 1);
+    let mut client = ServeClient::connect(addr).expect("connect");
+    client.open_stream(0).unwrap().expect_ok("open");
+
+    let mut tags = Vec::new();
+    let rows = t.features.rows().min(4000);
+    let mut at = 0;
+    while at < rows {
+        let hi = (at + 500).min(rows);
+        let mut data = Vec::with_capacity((hi - at) * dim as usize);
+        for r in at..hi {
+            data.extend_from_slice(t.features.row(r));
+        }
+        let decisions = client.submit(0, dim, data).unwrap().expect_ok("submit");
+        tags.extend(decisions.iter().map(|d| decision_from_wire(d).degradation));
+        at = hi;
+    }
+    drop(client);
+    handle.join().unwrap();
+
+    assert!(!tags.is_empty(), "no decisions produced");
+    assert!(
+        tags.iter().all(|&tag| tag != DegradationTag::None),
+        "a dead CI channel must degrade every relaying decision: {tags:?}"
+    );
+    assert!(
+        tags.contains(&DegradationTag::LocalOnly),
+        "the open breaker must force local-only decisions: {tags:?}"
+    );
+}
+
+#[test]
+fn health_and_telemetry_travel_the_wire() {
+    use eventhit::telemetry::Telemetry;
+    use std::sync::Arc;
+
+    let t = trained();
+    let dim = t.features.cols() as u32;
+    let telemetry = Arc::new(Telemetry::new());
+    let server = Server::bind_with_telemetry(
+        ServeConfig::default(),
+        Box::new(|_| predictor()),
+        Arc::clone(&telemetry),
+    )
+    .expect("bind");
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.serve_sessions(1, &Pool::new(1)));
+
+    let mut client = ServeClient::connect(addr).expect("connect");
+    client.open_stream(0).unwrap().expect_ok("open");
+    let mut data = Vec::new();
+    for r in 0..200 {
+        data.extend_from_slice(t.features.row(r));
+    }
+    client.submit(0, dim, data).unwrap().expect_ok("submit");
+
+    let health = client.health().expect("health");
+    assert_eq!(health.active_streams, 1);
+    assert_eq!(health.sessions, 1);
+    assert_eq!(health.frames, 200);
+
+    let jsonl = client.telemetry_jsonl().expect("telemetry");
+    assert!(jsonl.contains("serve.frames"), "snapshot: {jsonl}");
+    assert!(jsonl.contains("serve.streams_opened"), "snapshot: {jsonl}");
+    drop(client);
+    handle.join().unwrap();
+
+    // The server-side recorder agrees with what was served.
+    let snap = telemetry.snapshot();
+    assert_eq!(snap.counter("serve.frames"), Some(200));
+    assert_eq!(snap.counter("serve.sessions"), Some(1));
+    assert_eq!(snap.counter("serve.streams_opened"), Some(1));
+    assert_eq!(snap.counter_labeled("serve.rejected", "queue_full"), None);
+}
