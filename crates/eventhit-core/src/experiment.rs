@@ -6,6 +6,7 @@
 use std::time::Instant;
 
 use eventhit_nn::matrix::Matrix;
+use eventhit_nn::quant::InferenceLane;
 use eventhit_parallel::Pool;
 use eventhit_video::dataset::{Dataset, SplitSpec};
 use eventhit_video::features::{extract, FeatureConfig};
@@ -16,7 +17,7 @@ use eventhit_video::synthetic::DatasetProfile;
 
 use crate::ci::{CiConfig, CostReport};
 use crate::error::{CoreError, CoreResult};
-use crate::infer::{score_records, IntervalPrediction, ScoredRecord};
+use crate::infer::{score_records, score_records_lane, IntervalPrediction, ScoredRecord};
 use crate::metrics::{evaluate, EvalOutcome};
 use crate::model::{EncoderKind, EventHit, EventHitConfig};
 use crate::pipeline::{ConformalState, Strategy};
@@ -242,6 +243,30 @@ impl TaskRun {
             train_report,
             predictor_seconds_per_record,
         })
+    }
+
+    /// A conformal state matched to an inference lane.
+    ///
+    /// `Exact` returns a clone of the state fitted by
+    /// [`TaskRun::execute`]. `Quantized` re-scores the calibration split
+    /// on the int8 fast lane and refits — the nonconformity quantiles are
+    /// then computed from the *same* score distribution the deployed lane
+    /// produces, so the split-conformal coverage guarantee holds on the
+    /// quantized scores exactly as it does on the exact ones (quantization
+    /// error is absorbed into the calibrated quantiles, not assumed away).
+    pub fn state_for_lane(&self, lane: InferenceLane) -> ConformalState {
+        match lane {
+            InferenceLane::Exact => self.state.clone(),
+            InferenceLane::Quantized => {
+                let calib = score_records_lane(&self.model, &self.calib_records, 128, lane);
+                ConformalState::fit(
+                    &calib,
+                    self.task.num_events(),
+                    self.state.tau2(),
+                    self.horizon,
+                )
+            }
+        }
     }
 
     /// Predictions of a strategy over the test split.

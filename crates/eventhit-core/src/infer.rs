@@ -1,5 +1,7 @@
 //! Inference-time scoring and the plain EHO decision rule (Eqs. 4–6).
 
+use eventhit_nn::matrix::Matrix;
+use eventhit_nn::quant::InferenceLane;
 use eventhit_parallel::{DeterministicReduce, Pool};
 use eventhit_video::records::{EventLabel, Record};
 
@@ -48,32 +50,81 @@ pub fn score_records_with(
     batch_size: usize,
     pool: &Pool,
 ) -> Vec<ScoredRecord> {
+    score_records_lane_with(model, records, batch_size, InferenceLane::Exact, pool)
+}
+
+/// [`score_records`] on an explicit [`InferenceLane`]: `Exact` runs the
+/// trained f32 forward, `Quantized` snapshots the model onto the int8
+/// fast lane once (amortized over all minibatches) and scores on it.
+/// Either lane is bit-identical across worker counts.
+pub fn score_records_lane(
+    model: &EventHit,
+    records: &[Record],
+    batch_size: usize,
+    lane: InferenceLane,
+) -> Vec<ScoredRecord> {
+    score_records_lane_with(model, records, batch_size, lane, &Pool::current())
+}
+
+/// [`score_records_lane`] on an explicit [`Pool`].
+pub fn score_records_lane_with(
+    model: &EventHit,
+    records: &[Record],
+    batch_size: usize,
+    lane: InferenceLane,
+    pool: &Pool,
+) -> Vec<ScoredRecord> {
+    match lane {
+        InferenceLane::Exact => score_chunks(records, batch_size, pool, |batch| {
+            model.forward_inference(batch)
+        }),
+        InferenceLane::Quantized => {
+            let quantized = model.quantized();
+            score_chunks(records, batch_size, pool, move |batch| {
+                quantized.forward_inference(batch)
+            })
+        }
+    }
+}
+
+/// Assembles the [`ScoredRecord`] of row `i` from a set of per-head
+/// forward outputs (`outputs[k]: batch x (1 + H)`).
+pub fn scored_from_outputs(outputs: &[Matrix], i: usize, record: &Record) -> ScoredRecord {
+    let scores = outputs
+        .iter()
+        .map(|head| {
+            let row = head.row(i);
+            EventScores {
+                b: row[0] as f64,
+                theta: row[1..].to_vec(),
+            }
+        })
+        .collect();
+    ScoredRecord {
+        anchor: record.anchor,
+        scores,
+        labels: record.labels.clone(),
+    }
+}
+
+/// Shared minibatch scaffold: chunk, forward with `f`, merge in record
+/// order via [`DeterministicReduce`].
+fn score_chunks(
+    records: &[Record],
+    batch_size: usize,
+    pool: &Pool,
+    f: impl Fn(&[&Record]) -> Vec<Matrix> + Sync,
+) -> Vec<ScoredRecord> {
     assert!(batch_size > 0);
     let chunks: Vec<&[Record]> = records.chunks(batch_size).collect();
     let reduce = DeterministicReduce::with_capacity(chunks.len());
     pool.run_tasks(chunks, |ci, chunk| {
         let batch: Vec<&Record> = chunk.iter().collect();
-        let outputs = model.forward_inference(&batch);
+        let outputs = f(&batch);
         let scored: Vec<ScoredRecord> = chunk
             .iter()
             .enumerate()
-            .map(|(i, record)| {
-                let scores = outputs
-                    .iter()
-                    .map(|head| {
-                        let row = head.row(i);
-                        EventScores {
-                            b: row[0] as f64,
-                            theta: row[1..].to_vec(),
-                        }
-                    })
-                    .collect();
-                ScoredRecord {
-                    anchor: record.anchor,
-                    scores,
-                    labels: record.labels.clone(),
-                }
-            })
+            .map(|(i, record)| scored_from_outputs(&outputs, i, record))
             .collect();
         reduce.submit(ci, scored);
     });

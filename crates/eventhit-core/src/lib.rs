@@ -44,7 +44,7 @@ pub use experiment::{ExperimentConfig, TaskRun};
 pub use faults::{FaultConfig, FaultInjector, FaultKind, FaultTrace};
 pub use infer::{EventScores, IntervalPrediction, ScoredRecord};
 pub use metrics::{evaluate, try_evaluate, EvalOutcome};
-pub use model::{EventHit, EventHitConfig};
+pub use model::{EventHit, EventHitConfig, QuantizedEventHit};
 pub use pipeline::{ConformalState, Strategy};
 pub use report::TelemetrySnapshot;
 pub use resilient::{
@@ -55,3 +55,5 @@ pub use tasks::{all_tasks, task, DatasetKind, Task};
 pub use train::{train, train_instrumented, TrainConfig, TrainReport};
 
 pub use eventhit_telemetry::Telemetry;
+
+pub use eventhit_nn::quant::InferenceLane;

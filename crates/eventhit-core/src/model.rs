@@ -12,11 +12,11 @@ use eventhit_rng::rngs::StdRng;
 use eventhit_rng::SeedableRng;
 
 use eventhit_nn::activation::Activation;
-use eventhit_nn::dense::Dense;
+use eventhit_nn::dense::{Dense, QuantizedDense};
 use eventhit_nn::dropout::Dropout;
-use eventhit_nn::gru::Gru;
+use eventhit_nn::gru::{Gru, QuantizedGru};
 use eventhit_nn::init::Init;
-use eventhit_nn::lstm::Lstm;
+use eventhit_nn::lstm::{Lstm, QuantizedLstm};
 use eventhit_nn::matrix::Matrix;
 use eventhit_nn::optimizer::ParamMut;
 
@@ -230,23 +230,7 @@ impl EventHit {
     /// Assembles the LSTM input sequence from a batch of records:
     /// `xs[t]` is the `batch x D` matrix of the `t`-th window frame.
     fn batch_sequence(&self, records: &[&Record]) -> Vec<Matrix> {
-        let m = self.config.window;
-        let d = self.config.input_dim;
-        let batch = records.len();
-        (0..m)
-            .map(|t| {
-                let mut x = Matrix::zeros(batch, d);
-                for (i, r) in records.iter().enumerate() {
-                    assert_eq!(
-                        r.covariates.shape(),
-                        (m, d),
-                        "record covariates must be {m}x{d}"
-                    );
-                    x.set_row(i, r.covariates.row(t));
-                }
-                x
-            })
-            .collect()
+        batch_sequence(&self.config, records)
     }
 
     /// Forward pass over a batch of records, caching intermediates for
@@ -324,6 +308,98 @@ impl EventHit {
             params.extend(head.params_mut());
         }
         params
+    }
+
+    /// Snapshots the trained network onto the int8 quantized inference
+    /// lane (see [`eventhit_nn::quant::InferenceLane`]). Every weight
+    /// matrix is quantized once; the snapshot is immutable, `Send + Sync`,
+    /// and cheap to clone, so build it before a scoring loop and reuse it.
+    pub fn quantized(&self) -> QuantizedEventHit {
+        let encoder = match &self.encoder {
+            Encoder::Lstm(l) => QuantizedEncoder::Lstm(l.quantized()),
+            Encoder::Gru(g) => QuantizedEncoder::Gru(g.quantized()),
+        };
+        QuantizedEventHit {
+            config: self.config.clone(),
+            encoder,
+            shared_fc: self.shared_fc.quantized(),
+            heads: self.heads.iter().map(Dense::quantized).collect(),
+        }
+    }
+}
+
+/// Assembles the encoder input sequence from a batch of records:
+/// `xs[t]` is the `batch x D` matrix of the `t`-th window frame.
+fn batch_sequence(config: &EventHitConfig, records: &[&Record]) -> Vec<Matrix> {
+    let m = config.window;
+    let d = config.input_dim;
+    let batch = records.len();
+    (0..m)
+        .map(|t| {
+            let mut x = Matrix::zeros(batch, d);
+            for (i, r) in records.iter().enumerate() {
+                assert_eq!(
+                    r.covariates.shape(),
+                    (m, d),
+                    "record covariates must be {m}x{d}"
+                );
+                x.set_row(i, r.covariates.row(t));
+            }
+            x
+        })
+        .collect()
+}
+
+/// The quantized recurrent encoder, mirroring [`Encoder`].
+#[derive(Clone)]
+enum QuantizedEncoder {
+    Lstm(QuantizedLstm),
+    Gru(QuantizedGru),
+}
+
+impl QuantizedEncoder {
+    fn forward(&self, xs: &[Matrix]) -> Matrix {
+        match self {
+            QuantizedEncoder::Lstm(l) => l.forward(xs),
+            QuantizedEncoder::Gru(g) => g.forward(xs),
+        }
+    }
+}
+
+/// An int8-weight snapshot of a trained [`EventHit`]: the quantized
+/// inference lane. Produced by [`EventHit::quantized`]; runs the same
+/// architecture with `i8` weight panels and f32 accumulation, so scores
+/// approximate the exact lane's within the per-row quantization step.
+/// Pair with conformal recalibration on quantized scores (see
+/// `TaskRun::state_for_lane`) to keep the coverage guarantee.
+#[derive(Clone)]
+pub struct QuantizedEventHit {
+    config: EventHitConfig,
+    encoder: QuantizedEncoder,
+    shared_fc: QuantizedDense,
+    heads: Vec<QuantizedDense>,
+}
+
+impl QuantizedEventHit {
+    /// The network configuration (shared with the source model).
+    pub fn config(&self) -> &EventHitConfig {
+        &self.config
+    }
+
+    /// Quantized inference forward pass, mirroring
+    /// [`EventHit::forward_inference`]: one `batch x (1 + H)` sigmoid
+    /// output per event head. Pure `&self` and sequential per batch, so
+    /// results are bit-identical across worker counts.
+    pub fn forward_inference(&self, records: &[&Record]) -> Vec<Matrix> {
+        assert!(!records.is_empty(), "empty batch");
+        let xs = batch_sequence(&self.config, records);
+        let h = self.encoder.forward(&xs);
+        let z = self.shared_fc.forward(&h);
+        let concat = z.hcat(&xs[self.config.window - 1]);
+        self.heads
+            .iter()
+            .map(|head| head.forward(&concat))
+            .collect()
     }
 }
 

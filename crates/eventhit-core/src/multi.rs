@@ -150,6 +150,12 @@ pub fn merge_overlapping(mut intervals: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
 /// each owns its predictor (clone a trained model per lane) — which is
 /// what lets [`run_lanes`] score them on separate threads with no shared
 /// mutable state.
+///
+/// The inference lane (exact f32 vs the int8 fast lane) rides in through
+/// the predictor: build it with
+/// [`OnlinePredictor::with_lane`](crate::streaming::OnlinePredictor::with_lane)
+/// and [`run_lanes`] scores that lane unchanged — the merge logic is
+/// lane-agnostic and both lanes stay bit-identical across worker counts.
 pub struct StreamLane {
     /// Stable identifier of the stream; ties in the merged timeline break
     /// on it.

@@ -138,6 +138,13 @@ impl ConformalState {
         self.classifiers.len()
     }
 
+    /// The θ threshold `τ_2` this state was fitted with — needed to refit
+    /// an equivalent state from rescored calibration records (e.g. on the
+    /// quantized inference lane).
+    pub fn tau2(&self) -> f32 {
+        self.tau2
+    }
+
     /// Per-event positive calibration-set sizes.
     pub fn calibration_sizes(&self) -> Vec<usize> {
         self.classifiers

@@ -10,12 +10,13 @@
 use std::sync::Arc;
 
 use eventhit_nn::matrix::Matrix;
+use eventhit_nn::quant::InferenceLane;
 use eventhit_telemetry::Telemetry;
 use eventhit_video::online::WindowBuffer;
 use eventhit_video::records::{EventLabel, Record};
 
-use crate::infer::{score_records, IntervalPrediction};
-use crate::model::EventHit;
+use crate::infer::{score_records, scored_from_outputs, IntervalPrediction, ScoredRecord};
+use crate::model::{EventHit, QuantizedEventHit};
 use crate::pipeline::{ConformalState, Strategy};
 use crate::resilient::{BreakerState, DegradationTag, ResilientCiClient};
 
@@ -47,6 +48,11 @@ impl HorizonDecision {
 /// Push-based online predictor: feed frames, get one decision per horizon.
 pub struct OnlinePredictor {
     model: EventHit,
+    /// Int8 snapshot of `model`, built once at construction when the lane
+    /// is [`InferenceLane::Quantized`] so per-frame scoring never pays the
+    /// quantization cost.
+    quantized: Option<QuantizedEventHit>,
+    lane: InferenceLane,
     state: ConformalState,
     strategy: Strategy,
     buffer: WindowBuffer,
@@ -60,18 +66,47 @@ pub struct OnlinePredictor {
 
 impl OnlinePredictor {
     /// Creates a predictor that fires its first decision as soon as the
-    /// collection window fills, then once every `horizon` frames.
+    /// collection window fills, then once every `horizon` frames. Scores
+    /// on the exact f32 lane; see [`OnlinePredictor::with_lane`] for the
+    /// int8 fast lane.
     pub fn new(model: EventHit, state: ConformalState, strategy: Strategy) -> Self {
+        Self::with_lane(model, state, strategy, InferenceLane::Exact)
+    }
+
+    /// Like [`OnlinePredictor::new`], but scoring on an explicit
+    /// [`InferenceLane`]. `Quantized` snapshots the model onto int8
+    /// weights once, here, and every subsequent frame scores on that
+    /// snapshot — pair it with a [`ConformalState`] refitted from
+    /// quantized calibration scores (see
+    /// [`TaskRun::state_for_lane`](crate::experiment::TaskRun::state_for_lane))
+    /// so the conformal guarantee covers the quantization error.
+    pub fn with_lane(
+        model: EventHit,
+        state: ConformalState,
+        strategy: Strategy,
+        lane: InferenceLane,
+    ) -> Self {
         let cfg = model.config().clone();
+        let quantized = match lane {
+            InferenceLane::Exact => None,
+            InferenceLane::Quantized => Some(model.quantized()),
+        };
         OnlinePredictor {
             buffer: WindowBuffer::new(cfg.window, cfg.input_dim),
             horizon: cfg.horizon as u64,
             countdown: 0,
             model,
+            quantized,
+            lane,
             state,
             strategy,
             telemetry: None,
         }
+    }
+
+    /// The inference lane this predictor scores on.
+    pub fn lane(&self) -> InferenceLane {
+        self.lane
     }
 
     /// Changes the operating strategy on the fly.
@@ -92,6 +127,22 @@ impl OnlinePredictor {
     /// `stream.frames_relayed` / `stream.frames_filtered`.
     pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
         self.telemetry = Some(telemetry);
+    }
+
+    /// Scores one record on the predictor's lane. The quantized lane uses
+    /// the snapshot built at construction, so the per-frame cost is the
+    /// int8 forward alone.
+    fn score_one(&self, record: &Record) -> ScoredRecord {
+        match &self.quantized {
+            None => {
+                let mut scored = score_records(&self.model, std::slice::from_ref(record), 1);
+                scored.remove(0)
+            }
+            Some(q) => {
+                let outputs = q.forward_inference(&[record]);
+                scored_from_outputs(&outputs, 0, record)
+            }
+        }
     }
 
     /// Feeds one frame's features. Returns a decision when this frame is a
@@ -117,10 +168,10 @@ impl OnlinePredictor {
             covariates: self.buffer.covariates(),
             labels: vec![EventLabel::absent(); self.state.num_events()],
         };
-        let scored = score_records(&self.model, std::slice::from_ref(&record), 1);
+        let scored = self.score_one(&record);
         let decision = HorizonDecision {
             anchor,
-            predictions: self.state.predict(&scored[0], &self.strategy),
+            predictions: self.state.predict(&scored, &self.strategy),
             degradation: DegradationTag::None,
         };
         if let (Some(t), Some(t0)) = (&self.telemetry, started) {

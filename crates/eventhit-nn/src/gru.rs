@@ -19,6 +19,7 @@ use crate::activation::{sigmoid, tanh};
 use crate::init::Init;
 use crate::matrix::Matrix;
 use crate::optimizer::ParamMut;
+use crate::quant::{affine_t_quant, QuantizedMatrix};
 
 /// Per-timestep forward cache needed by BPTT.
 #[derive(Clone)]
@@ -140,10 +141,12 @@ impl Gru {
     fn step(&self, x: &Matrix, h: &Matrix) -> (Matrix, Matrix, Matrix, Matrix, Matrix) {
         let hd = self.hidden_dim;
         assert_eq!(x.cols(), self.input_dim, "GRU input dim mismatch");
-        let mut px = x.matmul_t(&self.wx);
-        px.add_row_broadcast(self.bx.as_slice());
-        let mut ph = h.matmul_t(&self.wh);
-        ph.add_row_broadcast(self.bh.as_slice());
+        // One fused affine pass per operand over the concatenated [r|z|n]
+        // gate weights (px and ph stay separate: the n gate needs ph's
+        // block before the reset product), bit-identical to matmul_t +
+        // add_row_broadcast.
+        let px = x.affine_t(&self.wx, self.bx.as_slice());
+        let ph = h.affine_t(&self.wh, self.bh.as_slice());
 
         let mut r_pre = col_block(&px, 0, hd);
         r_pre.add_assign(&col_block(&ph, 0, hd));
@@ -218,6 +221,20 @@ impl Gru {
         dxs
     }
 
+    /// Snapshots the layer onto the int8 fast lane (see
+    /// [`crate::quant::InferenceLane`]). Gate weights are quantized once;
+    /// the returned layer is immutable and cheap to clone.
+    pub fn quantized(&self) -> QuantizedGru {
+        QuantizedGru {
+            input_dim: self.input_dim,
+            hidden_dim: self.hidden_dim,
+            qwx: QuantizedMatrix::quantize(&self.wx),
+            qwh: QuantizedMatrix::quantize(&self.wh),
+            bx: self.bx.clone(),
+            bh: self.bh.clone(),
+        }
+    }
+
     /// Zeros the accumulated gradients.
     pub fn zero_grad(&mut self) {
         self.dwx.fill_zero();
@@ -246,6 +263,65 @@ impl Gru {
                 grad: &self.dbh,
             },
         ]
+    }
+}
+
+/// An int8-weight snapshot of a [`Gru`]: the quantized inference fast
+/// lane. Same gate arithmetic as [`Gru::forward_inference`], but the
+/// `[r|z|n]` affine passes run against `i8` weights with f32
+/// accumulation.
+#[derive(Clone)]
+pub struct QuantizedGru {
+    input_dim: usize,
+    hidden_dim: usize,
+    qwx: QuantizedMatrix,
+    qwh: QuantizedMatrix,
+    bx: Matrix,
+    bh: Matrix,
+}
+
+impl QuantizedGru {
+    /// Input dimensionality per timestep.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Hidden-state dimensionality.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    /// Quantized inference over a sequence; returns the final hidden
+    /// state. Pure `&self` and sequential, so results are bit-identical
+    /// across worker counts.
+    pub fn forward(&self, xs: &[Matrix]) -> Matrix {
+        assert!(!xs.is_empty(), "GRU requires at least one timestep");
+        let batch = xs[0].rows();
+        let hd = self.hidden_dim;
+        let mut h = Matrix::zeros(batch, hd);
+        for x in xs {
+            assert_eq!(x.cols(), self.input_dim, "GRU input dim mismatch");
+            let px = affine_t_quant(x, &self.qwx, self.bx.as_slice());
+            let ph = affine_t_quant(&h, &self.qwh, self.bh.as_slice());
+
+            let mut r_pre = col_block(&px, 0, hd);
+            r_pre.add_assign(&col_block(&ph, 0, hd));
+            let r = r_pre.map(sigmoid);
+
+            let mut z_pre = col_block(&px, hd, hd);
+            z_pre.add_assign(&col_block(&ph, hd, hd));
+            let z = z_pre.map(sigmoid);
+
+            let hn_pre = col_block(&ph, 2 * hd, hd);
+            let mut n_pre = col_block(&px, 2 * hd, hd);
+            n_pre.add_assign(&r.hadamard(&hn_pre));
+            let n = n_pre.map(tanh);
+
+            let mut h_new = z.map(|v| 1.0 - v).hadamard(&n);
+            h_new.add_assign(&z.hadamard(&h));
+            h = h_new;
+        }
+        h
     }
 }
 
@@ -280,6 +356,19 @@ mod tests {
         let mut gru = Gru::new(2, 4, &mut rng);
         let xs = seq(5, 3, 2, 2);
         assert_eq!(gru.forward(&xs), gru.forward_inference(&xs));
+    }
+
+    #[test]
+    fn quantized_forward_tracks_exact_forward() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let gru = Gru::new(3, 6, &mut rng);
+        let xs = seq(8, 3, 3, 21);
+        let exact = gru.forward_inference(&xs);
+        let quant = gru.quantized().forward(&xs);
+        assert_eq!(quant.shape(), exact.shape());
+        for (a, b) in exact.as_slice().iter().zip(quant.as_slice()) {
+            assert!((a - b).abs() < 0.05, "{a} vs {b}");
+        }
     }
 
     #[test]

@@ -11,6 +11,12 @@
 //! activations, and dropout. There is no general autograd — the model graph
 //! is fixed, and each layer exposes `forward` / `backward` / `params_mut`.
 //!
+//! Inference additionally offers an int8-weight fast lane (see
+//! [`quant::InferenceLane`]): `Dense`/`Lstm`/`Gru` snapshot onto
+//! quantized counterparts whose forward passes stream 4x less weight
+//! memory. The exact lane's blocked/unrolled product kernels in
+//! [`matrix`] are bit-identical to their retained naive references.
+//!
 //! ```
 //! use eventhit_nn::activation::Activation;
 //! use eventhit_nn::dense::Dense;
@@ -26,6 +32,8 @@
 //! assert_eq!(probs.shape(), (3, 2));
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod activation;
 pub mod dense;
 pub mod dropout;
@@ -36,16 +44,18 @@ pub mod loss;
 pub mod lstm;
 pub mod matrix;
 pub mod optimizer;
+pub mod quant;
 pub mod schedule;
 pub mod weight_decay;
 
 pub use activation::Activation;
-pub use dense::Dense;
+pub use dense::{Dense, QuantizedDense};
 pub use dropout::Dropout;
-pub use gru::Gru;
+pub use gru::{Gru, QuantizedGru};
 pub use init::Init;
-pub use lstm::Lstm;
+pub use lstm::{Lstm, QuantizedLstm};
 pub use matrix::Matrix;
 pub use optimizer::{Adam, Optimizer, ParamMut, Sgd};
+pub use quant::{InferenceLane, QuantizedMatrix};
 pub use schedule::LrSchedule;
 pub use weight_decay::WeightDecay;

@@ -1,12 +1,23 @@
 //! Dense row-major `f32` matrices.
 //!
 //! This is the storage type used by every layer in the network. Data is a
-//! single contiguous `Vec<f32>` in row-major order, which keeps the inner
-//! loops of matrix multiplication cache-friendly (`ikj` ordering) and lets
-//! optimizers treat parameters as flat slices.
+//! single contiguous `Vec<f32>` in row-major order, which lets optimizers
+//! treat parameters as flat slices.
+//!
+//! The product kernels ([`Matrix::matmul`], [`Matrix::t_matmul`],
+//! [`Matrix::matmul_t`], [`Matrix::affine_t`],
+//! [`Matrix::fused_gate_affine`]) are cache-blocked over `k` and unrolled
+//! eight output columns wide so the autovectorizer gets independent
+//! accumulator chains to work with (std-only, stable rustc). Every kernel
+//! keeps each output element's accumulation a *single* chain over `k` in
+//! ascending order, so the blocked kernels are bit-identical to the naive
+//! reference implementations ([`Matrix::matmul_naive`] and friends) that
+//! are retained for the kernel-equivalence test suite, and bit-identical
+//! across worker counts.
 
 use std::fmt;
 use std::ops::{Index, IndexMut};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use eventhit_parallel::Pool;
 use eventhit_rng::Rng;
@@ -18,6 +29,233 @@ use eventhit_rng::Rng;
 /// overhead drops comfortably below the arithmetic. Below the threshold
 /// the kernels never even resolve a [`Pool`].
 pub const PAR_THRESHOLD: usize = 1 << 20;
+
+/// `k`-panel length for the cache-blocked kernels: an eight-row panel of
+/// the operand plus the walked row stays within L1 (9 × 256 × 4 B ≈ 9 KiB).
+/// Blocks are consumed in ascending order into the same accumulator chain,
+/// so blocking never changes the bits.
+const K_BLOCK: usize = 256;
+
+/// When set, the product kernels run their retained naive inner loops
+/// instead of the blocked/unrolled ones (see [`set_naive_kernels`]).
+static FORCE_NAIVE: AtomicBool = AtomicBool::new(false);
+
+/// Routes all product kernels through the retained naive inner loops.
+///
+/// This is a bench/test hook: `benches/kernel_benches.rs` uses it to
+/// measure the blocked kernels against the pre-refactor baseline in one
+/// process. Both paths are bit-identical, so flipping the switch never
+/// changes results — only throughput.
+///
+/// ```
+/// use eventhit_nn::matrix::{set_naive_kernels, Matrix};
+/// let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+/// set_naive_kernels(true);
+/// let slow = a.matmul(&a);
+/// set_naive_kernels(false);
+/// assert_eq!(slow, a.matmul(&a));
+/// ```
+pub fn set_naive_kernels(enabled: bool) {
+    FORCE_NAIVE.store(enabled, Ordering::Relaxed);
+}
+
+/// True if [`set_naive_kernels`] has routed the kernels to the naive
+/// inner loops.
+pub fn naive_kernels_forced() -> bool {
+    FORCE_NAIVE.load(Ordering::Relaxed)
+}
+
+/// 8-wide unrolled `out_row += a * b_row` (the `ikj` inner loop).
+#[inline]
+fn axpy8(a: f32, b_row: &[f32], out_row: &mut [f32]) {
+    let mut o_it = out_row.chunks_exact_mut(8);
+    let mut b_it = b_row.chunks_exact(8);
+    for (o, b) in (&mut o_it).zip(&mut b_it) {
+        o[0] += a * b[0];
+        o[1] += a * b[1];
+        o[2] += a * b[2];
+        o[3] += a * b[3];
+        o[4] += a * b[4];
+        o[5] += a * b[5];
+        o[6] += a * b[6];
+        o[7] += a * b[7];
+    }
+    for (o, &b) in o_it.into_remainder().iter_mut().zip(b_it.remainder()) {
+        *o += a * b;
+    }
+}
+
+/// Blocked/unrolled row kernel for `A * B^T`: accumulates
+/// `out_row[j] += dot(a_row, rhs.row(j))` eight output columns at a time,
+/// `k`-panelled. Each `out_row[j]` is a single accumulator chain over `k`
+/// in ascending order (partial sums round-trip through `out_row` between
+/// panels), so the result is bit-identical to the naive dot product.
+#[inline]
+fn dot_rows8(a_row: &[f32], rhs: &Matrix, out_row: &mut [f32]) {
+    let kdim = a_row.len();
+    let out_cols = out_row.len();
+    let mut kb = 0;
+    while kb < kdim {
+        let kend = (kb + K_BLOCK).min(kdim);
+        let a_blk = &a_row[kb..kend];
+        let mut j = 0;
+        while j + 8 <= out_cols {
+            let b0 = &rhs.row(j)[kb..kend];
+            let b1 = &rhs.row(j + 1)[kb..kend];
+            let b2 = &rhs.row(j + 2)[kb..kend];
+            let b3 = &rhs.row(j + 3)[kb..kend];
+            let b4 = &rhs.row(j + 4)[kb..kend];
+            let b5 = &rhs.row(j + 5)[kb..kend];
+            let b6 = &rhs.row(j + 6)[kb..kend];
+            let b7 = &rhs.row(j + 7)[kb..kend];
+            let mut acc = [
+                out_row[j],
+                out_row[j + 1],
+                out_row[j + 2],
+                out_row[j + 3],
+                out_row[j + 4],
+                out_row[j + 5],
+                out_row[j + 6],
+                out_row[j + 7],
+            ];
+            for (idx, &a) in a_blk.iter().enumerate() {
+                acc[0] += a * b0[idx];
+                acc[1] += a * b1[idx];
+                acc[2] += a * b2[idx];
+                acc[3] += a * b3[idx];
+                acc[4] += a * b4[idx];
+                acc[5] += a * b5[idx];
+                acc[6] += a * b6[idx];
+                acc[7] += a * b7[idx];
+            }
+            out_row[j..j + 8].copy_from_slice(&acc);
+            j += 8;
+        }
+        while j < out_cols {
+            let b = &rhs.row(j)[kb..kend];
+            let mut acc = out_row[j];
+            for (idx, &a) in a_blk.iter().enumerate() {
+                acc += a * b[idx];
+            }
+            out_row[j] = acc;
+            j += 1;
+        }
+        kb = kend;
+    }
+}
+
+/// Naive row kernel for `A * B^T`: one scalar dot product per output
+/// column. Retained as the bit-exact reference for [`dot_rows8`].
+#[inline]
+fn dot_rows_naive(a_row: &[f32], rhs: &Matrix, out_row: &mut [f32]) {
+    for (j, o) in out_row.iter_mut().enumerate() {
+        let b_row = rhs.row(j);
+        let mut acc = 0.0f32;
+        for (&a, &b) in a_row.iter().zip(b_row) {
+            acc += a * b;
+        }
+        *o = acc;
+    }
+}
+
+/// Fused gate row kernel: `out_row[j] = dot(x_row, wx.row(j)) +
+/// dot(h_row, wh.row(j)) + bias[j]`, eight output columns at a time
+/// (sixteen independent accumulator chains). Each dot is its own single
+/// chain over ascending `k` and the two are added only once both are
+/// complete, matching the unfused `matmul_t` + `add_assign` +
+/// `add_row_broadcast` sequence bit for bit.
+#[inline]
+fn gate_row8(
+    x_row: &[f32],
+    wx: &Matrix,
+    h_row: &[f32],
+    wh: &Matrix,
+    bias: &[f32],
+    out_row: &mut [f32],
+) {
+    let out_cols = out_row.len();
+    let mut j = 0;
+    while j + 8 <= out_cols {
+        let mut accx = [0.0f32; 8];
+        let x0 = &wx.row(j)[..x_row.len()];
+        let x1 = &wx.row(j + 1)[..x_row.len()];
+        let x2 = &wx.row(j + 2)[..x_row.len()];
+        let x3 = &wx.row(j + 3)[..x_row.len()];
+        let x4 = &wx.row(j + 4)[..x_row.len()];
+        let x5 = &wx.row(j + 5)[..x_row.len()];
+        let x6 = &wx.row(j + 6)[..x_row.len()];
+        let x7 = &wx.row(j + 7)[..x_row.len()];
+        for (idx, &a) in x_row.iter().enumerate() {
+            accx[0] += a * x0[idx];
+            accx[1] += a * x1[idx];
+            accx[2] += a * x2[idx];
+            accx[3] += a * x3[idx];
+            accx[4] += a * x4[idx];
+            accx[5] += a * x5[idx];
+            accx[6] += a * x6[idx];
+            accx[7] += a * x7[idx];
+        }
+        let mut acch = [0.0f32; 8];
+        let h0 = &wh.row(j)[..h_row.len()];
+        let h1 = &wh.row(j + 1)[..h_row.len()];
+        let h2 = &wh.row(j + 2)[..h_row.len()];
+        let h3 = &wh.row(j + 3)[..h_row.len()];
+        let h4 = &wh.row(j + 4)[..h_row.len()];
+        let h5 = &wh.row(j + 5)[..h_row.len()];
+        let h6 = &wh.row(j + 6)[..h_row.len()];
+        let h7 = &wh.row(j + 7)[..h_row.len()];
+        for (idx, &a) in h_row.iter().enumerate() {
+            acch[0] += a * h0[idx];
+            acch[1] += a * h1[idx];
+            acch[2] += a * h2[idx];
+            acch[3] += a * h3[idx];
+            acch[4] += a * h4[idx];
+            acch[5] += a * h5[idx];
+            acch[6] += a * h6[idx];
+            acch[7] += a * h7[idx];
+        }
+        for t in 0..8 {
+            out_row[j + t] = (accx[t] + acch[t]) + bias[j + t];
+        }
+        j += 8;
+    }
+    while j < out_cols {
+        let mut accx = 0.0f32;
+        for (&a, &b) in x_row.iter().zip(wx.row(j)) {
+            accx += a * b;
+        }
+        let mut acch = 0.0f32;
+        for (&a, &b) in h_row.iter().zip(wh.row(j)) {
+            acch += a * b;
+        }
+        out_row[j] = (accx + acch) + bias[j];
+        j += 1;
+    }
+}
+
+/// Naive fused gate row kernel: the reference scalar form of
+/// [`gate_row8`], one output column at a time.
+#[inline]
+fn gate_row_naive(
+    x_row: &[f32],
+    wx: &Matrix,
+    h_row: &[f32],
+    wh: &Matrix,
+    bias: &[f32],
+    out_row: &mut [f32],
+) {
+    for (j, o) in out_row.iter_mut().enumerate() {
+        let mut accx = 0.0f32;
+        for (&a, &b) in x_row.iter().zip(wx.row(j)) {
+            accx += a * b;
+        }
+        let mut acch = 0.0f32;
+        for (&a, &b) in h_row.iter().zip(wh.row(j)) {
+            acch += a * b;
+        }
+        *o = (accx + acch) + bias[j];
+    }
+}
 
 /// A dense row-major matrix of `f32` values.
 #[derive(Clone, PartialEq)]
@@ -179,11 +417,20 @@ impl Matrix {
 
     /// Matrix product `self * rhs`.
     ///
-    /// Uses `ikj` loop ordering so the innermost loop walks both the output
-    /// row and the `rhs` row contiguously. Products of at least
-    /// [`PAR_THRESHOLD`] multiply–adds are row-blocked across
-    /// [`Pool::current`]; the result is bit-identical either way (each
-    /// output row's accumulation order never changes).
+    /// Uses `ikj` loop ordering, `k`-panelled so the touched `rhs` rows
+    /// stay cache-resident and 8-wide unrolled along the output row.
+    /// Products of at least [`PAR_THRESHOLD`] multiply–adds are
+    /// row-blocked across [`Pool::current`]; the result is bit-identical
+    /// either way and bit-identical to [`Matrix::matmul_naive`] (each
+    /// output element's accumulation order never changes).
+    ///
+    /// ```
+    /// use eventhit_nn::matrix::Matrix;
+    /// let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+    /// let id = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+    /// assert_eq!(a.matmul(&id), a);
+    /// assert_eq!(a.matmul(&id), a.matmul_naive(&id));
+    /// ```
     ///
     /// # Panics
     /// Panics if `self.cols != rhs.rows`.
@@ -204,29 +451,96 @@ impl Matrix {
             return out;
         }
         let block = Matrix::row_block(self.rows, pool);
+        let naive = naive_kernels_forced();
         pool.for_each_chunk_mut(&mut out.data, block * out_cols, |_, offset, chunk| {
             let row0 = offset / out_cols;
-            for (local, out_row) in chunk.chunks_mut(out_cols).enumerate() {
-                let a_row = self.row(row0 + local);
-                for (k, &a) in a_row.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let b_row = rhs.row(k);
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += a * b;
+            if naive {
+                for (local, out_row) in chunk.chunks_mut(out_cols).enumerate() {
+                    let a_row = self.row(row0 + local);
+                    for (k, &a) in a_row.iter().enumerate() {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let b_row = rhs.row(k);
+                        for (o, &b) in out_row.iter_mut().zip(b_row) {
+                            *o += a * b;
+                        }
                     }
                 }
+                return;
+            }
+            // k-panelled ikj: for each panel, sweep every output row in
+            // the chunk so the touched rhs panel stays hot. Panels are
+            // consumed in ascending k into the same output elements, so
+            // per-element accumulation order matches the naive kernel.
+            let mut kb = 0;
+            while kb < self.cols {
+                let kend = (kb + K_BLOCK).min(self.cols);
+                for (local, out_row) in chunk.chunks_mut(out_cols).enumerate() {
+                    let a_row = self.row(row0 + local);
+                    for (k, &a) in a_row[kb..kend].iter().enumerate() {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        axpy8(a, rhs.row(kb + k), out_row);
+                    }
+                }
+                kb = kend;
             }
         });
         out
     }
 
+    /// Sequential naive `self * rhs` (`ikj`, no blocking, no unrolling,
+    /// no pool). Retained as the bit-exact reference implementation for
+    /// the kernel-equivalence test suite.
+    ///
+    /// ```
+    /// use eventhit_nn::matrix::Matrix;
+    /// let a = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+    /// let b = Matrix::from_vec(2, 1, vec![3.0, 4.0]);
+    /// assert_eq!(a.matmul_naive(&b)[(0, 0)], 11.0);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if `self.cols != rhs.rows`.
+    pub fn matmul_naive(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = rhs.row(k);
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
     /// Matrix product `self^T * rhs` without materializing the transpose.
     ///
-    /// Large products parallelize like [`Matrix::matmul`]; each output
-    /// row accumulates over `k` in ascending order in both the sequential
-    /// and the row-blocked kernel, so the bits never depend on the pool.
+    /// `k`-panelled and 8-wide unrolled like [`Matrix::matmul`]; large
+    /// products parallelize the same way. Each output element accumulates
+    /// over `k` in ascending order in every variant, so the bits never
+    /// depend on the pool and match [`Matrix::t_matmul_naive`].
+    ///
+    /// ```
+    /// use eventhit_nn::matrix::Matrix;
+    /// let a = Matrix::from_vec(2, 1, vec![1.0, 2.0]);
+    /// let b = Matrix::from_vec(2, 1, vec![3.0, 4.0]);
+    /// assert_eq!(a.t_matmul(&b)[(0, 0)], 11.0);
+    /// assert_eq!(a.t_matmul(&b), a.t_matmul_naive(&b));
+    /// ```
     ///
     /// # Panics
     /// Panics if `self.rows != rhs.rows`.
@@ -247,30 +561,98 @@ impl Matrix {
             return out;
         }
         let block = Matrix::row_block(self.cols, pool);
+        let naive = naive_kernels_forced();
         pool.for_each_chunk_mut(&mut out.data, block * out_cols, |_, offset, chunk| {
             let row0 = offset / out_cols;
-            for (local, out_row) in chunk.chunks_mut(out_cols).enumerate() {
-                let i = row0 + local;
-                for k in 0..self.rows {
-                    let a = self.data[k * self.cols + i];
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let b_row = rhs.row(k);
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += a * b;
+            if naive {
+                for (local, out_row) in chunk.chunks_mut(out_cols).enumerate() {
+                    let i = row0 + local;
+                    for k in 0..self.rows {
+                        let a = self.data[k * self.cols + i];
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let b_row = rhs.row(k);
+                        for (o, &b) in out_row.iter_mut().zip(b_row) {
+                            *o += a * b;
+                        }
                     }
                 }
+                return;
+            }
+            // k-panelled: sweep every output row in the chunk per panel so
+            // the rhs panel stays hot; a is a strided column walk of self.
+            let mut kb = 0;
+            while kb < self.rows {
+                let kend = (kb + K_BLOCK).min(self.rows);
+                for (local, out_row) in chunk.chunks_mut(out_cols).enumerate() {
+                    let i = row0 + local;
+                    for k in kb..kend {
+                        let a = self.data[k * self.cols + i];
+                        if a == 0.0 {
+                            continue;
+                        }
+                        axpy8(a, rhs.row(k), out_row);
+                    }
+                }
+                kb = kend;
             }
         });
         out
     }
 
+    /// Sequential naive `self^T * rhs` (no blocking, no unrolling, no
+    /// pool). Retained as the bit-exact reference implementation for the
+    /// kernel-equivalence test suite.
+    ///
+    /// ```
+    /// use eventhit_nn::matrix::Matrix;
+    /// let a = Matrix::from_vec(2, 1, vec![1.0, 2.0]);
+    /// assert_eq!(a.t_matmul_naive(&a)[(0, 0)], 5.0);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if `self.rows != rhs.rows`.
+    pub fn t_matmul_naive(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "t_matmul shape mismatch: ({}x{})^T * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let out_cols = rhs.cols;
+        let mut out = Matrix::zeros(self.cols, out_cols);
+        for i in 0..self.cols {
+            let out_row = &mut out.data[i * out_cols..(i + 1) * out_cols];
+            for k in 0..self.rows {
+                let a = self.data[k * self.cols + i];
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = rhs.row(k);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
     /// Matrix product `self * rhs^T` without materializing the transpose.
     ///
-    /// Large products parallelize like [`Matrix::matmul`]; every output
-    /// element is an independent dot product, so the bits never depend on
-    /// the pool.
+    /// Every output element is an independent dot product; the blocked
+    /// kernel runs eight of them at once (eight independent accumulator
+    /// chains — the ILP the scalar dot can't offer), `k`-panelled for
+    /// cache residency. Large products parallelize like
+    /// [`Matrix::matmul`]; bits never depend on the pool and match
+    /// [`Matrix::matmul_t_naive`].
+    ///
+    /// ```
+    /// use eventhit_nn::matrix::Matrix;
+    /// let a = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+    /// let b = Matrix::from_vec(1, 2, vec![3.0, 4.0]);
+    /// assert_eq!(a.matmul_t(&b)[(0, 0)], 11.0);
+    /// assert_eq!(a.matmul_t(&b), a.matmul_t_naive(&b));
+    /// ```
     ///
     /// # Panics
     /// Panics if `self.cols != rhs.cols`.
@@ -291,21 +673,187 @@ impl Matrix {
             return out;
         }
         let block = Matrix::row_block(self.rows, pool);
+        let naive = naive_kernels_forced();
         pool.for_each_chunk_mut(&mut out.data, block * out_cols, |_, offset, chunk| {
             let row0 = offset / out_cols;
             for (local, out_row) in chunk.chunks_mut(out_cols).enumerate() {
                 let a_row = self.row(row0 + local);
-                for (j, o) in out_row.iter_mut().enumerate() {
-                    let b_row = rhs.row(j);
-                    let mut acc = 0.0f32;
-                    for (&a, &b) in a_row.iter().zip(b_row) {
-                        acc += a * b;
-                    }
-                    *o = acc;
+                if naive {
+                    dot_rows_naive(a_row, rhs, out_row);
+                } else {
+                    dot_rows8(a_row, rhs, out_row);
                 }
             }
         });
         out
+    }
+
+    /// Sequential naive `self * rhs^T` (one scalar dot product per output
+    /// element, no pool). Retained as the bit-exact reference
+    /// implementation for the kernel-equivalence test suite.
+    ///
+    /// ```
+    /// use eventhit_nn::matrix::Matrix;
+    /// let a = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+    /// assert_eq!(a.matmul_t_naive(&a)[(0, 0)], 5.0);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if `self.cols != rhs.cols`.
+    pub fn matmul_t_naive(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_t shape mismatch: {}x{} * ({}x{})^T",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let out_cols = rhs.rows;
+        let mut out = Matrix::zeros(self.rows, out_cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * out_cols..(i + 1) * out_cols];
+            dot_rows_naive(a_row, rhs, out_row);
+        }
+        out
+    }
+
+    /// Affine map `self * w^T + bias` (bias broadcast to every row) in one
+    /// pass — the [`crate::dense::Dense`] / GRU pre-activation. Per output
+    /// element the dot product completes (single chain, ascending `k`)
+    /// before the bias is added, exactly like `matmul_t` followed by
+    /// `add_row_broadcast`, so the fused kernel is bit-identical to
+    /// [`Matrix::affine_t_naive`] and pool-invariant.
+    ///
+    /// ```
+    /// use eventhit_nn::matrix::Matrix;
+    /// let x = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+    /// let w = Matrix::from_vec(1, 2, vec![3.0, 4.0]);
+    /// assert_eq!(x.affine_t(&w, &[0.5])[(0, 0)], 11.5);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if `self.cols != w.cols` or `bias.len() != w.rows`.
+    pub fn affine_t(&self, w: &Matrix, bias: &[f32]) -> Matrix {
+        assert_eq!(
+            self.cols, w.cols,
+            "affine_t shape mismatch: {}x{} * ({}x{})^T",
+            self.rows, self.cols, w.rows, w.cols
+        );
+        assert_eq!(bias.len(), w.rows, "affine_t bias length mismatch");
+        let out_cols = w.rows;
+        let mut out = Matrix::zeros(self.rows, out_cols);
+        if out.data.is_empty() {
+            return out;
+        }
+        let pool = Matrix::product_pool(self.rows * self.cols * w.rows);
+        let block = Matrix::row_block(self.rows, &pool);
+        let naive = naive_kernels_forced();
+        pool.for_each_chunk_mut(&mut out.data, block * out_cols, |_, offset, chunk| {
+            let row0 = offset / out_cols;
+            for (local, out_row) in chunk.chunks_mut(out_cols).enumerate() {
+                let a_row = self.row(row0 + local);
+                if naive {
+                    dot_rows_naive(a_row, w, out_row);
+                } else {
+                    dot_rows8(a_row, w, out_row);
+                }
+                for (o, &b) in out_row.iter_mut().zip(bias) {
+                    *o += b;
+                }
+            }
+        });
+        out
+    }
+
+    /// Sequential naive reference for [`Matrix::affine_t`]: `matmul_t`
+    /// then a bias broadcast, composed from the retained naive kernels.
+    ///
+    /// ```
+    /// use eventhit_nn::matrix::Matrix;
+    /// let x = Matrix::from_vec(1, 1, vec![2.0]);
+    /// let w = Matrix::from_vec(1, 1, vec![3.0]);
+    /// assert_eq!(x.affine_t_naive(&w, &[1.0])[(0, 0)], 7.0);
+    /// ```
+    pub fn affine_t_naive(&self, w: &Matrix, bias: &[f32]) -> Matrix {
+        assert_eq!(bias.len(), w.rows, "affine_t bias length mismatch");
+        let mut out = self.matmul_t_naive(w);
+        out.add_row_broadcast(bias);
+        out
+    }
+
+    /// Fused recurrent gate pre-activation
+    /// `self * wx^T + h * wh^T + bias` in a single pass over the
+    /// concatenated gate weights — the LSTM/GRU per-step kernel. For each
+    /// output element both dot products complete as independent single
+    /// chains (ascending `k`), are added to each other, then the bias is
+    /// added — exactly the `matmul_t` + `add_assign` +
+    /// `add_row_broadcast` sequence it replaces, so it is bit-identical
+    /// to [`Matrix::fused_gate_affine_naive`] and pool-invariant.
+    ///
+    /// ```
+    /// use eventhit_nn::matrix::Matrix;
+    /// let x = Matrix::from_vec(1, 1, vec![2.0]);
+    /// let wx = Matrix::from_vec(1, 1, vec![3.0]);
+    /// let h = Matrix::from_vec(1, 1, vec![5.0]);
+    /// let wh = Matrix::from_vec(1, 1, vec![7.0]);
+    /// let pre = x.fused_gate_affine(&wx, &h, &wh, &[1.0]);
+    /// assert_eq!(pre[(0, 0)], 42.0); // 2*3 + 5*7 + 1
+    /// ```
+    ///
+    /// # Panics
+    /// Panics on any shape mismatch (`self.cols != wx.cols`,
+    /// `h.cols != wh.cols`, `self.rows != h.rows`, `wx.rows != wh.rows`,
+    /// or `bias.len() != wx.rows`).
+    pub fn fused_gate_affine(&self, wx: &Matrix, h: &Matrix, wh: &Matrix, bias: &[f32]) -> Matrix {
+        assert_eq!(self.cols, wx.cols, "fused_gate_affine x/wx mismatch");
+        assert_eq!(h.cols, wh.cols, "fused_gate_affine h/wh mismatch");
+        assert_eq!(self.rows, h.rows, "fused_gate_affine batch mismatch");
+        assert_eq!(wx.rows, wh.rows, "fused_gate_affine gate-count mismatch");
+        assert_eq!(bias.len(), wx.rows, "fused_gate_affine bias mismatch");
+        let out_cols = wx.rows;
+        let mut out = Matrix::zeros(self.rows, out_cols);
+        if out.data.is_empty() {
+            return out;
+        }
+        let flops = self.rows * (self.cols + h.cols) * out_cols;
+        let pool = Matrix::product_pool(flops);
+        let block = Matrix::row_block(self.rows, &pool);
+        let naive = naive_kernels_forced();
+        pool.for_each_chunk_mut(&mut out.data, block * out_cols, |_, offset, chunk| {
+            let row0 = offset / out_cols;
+            for (local, out_row) in chunk.chunks_mut(out_cols).enumerate() {
+                let r = row0 + local;
+                if naive {
+                    gate_row_naive(self.row(r), wx, h.row(r), wh, bias, out_row);
+                } else {
+                    gate_row8(self.row(r), wx, h.row(r), wh, bias, out_row);
+                }
+            }
+        });
+        out
+    }
+
+    /// Sequential naive reference for [`Matrix::fused_gate_affine`]:
+    /// two naive `matmul_t` products, an elementwise add, and a bias
+    /// broadcast — the exact pre-fusion gate arithmetic.
+    ///
+    /// ```
+    /// use eventhit_nn::matrix::Matrix;
+    /// let x = Matrix::from_vec(1, 1, vec![2.0]);
+    /// let w = Matrix::from_vec(1, 1, vec![3.0]);
+    /// let pre = x.fused_gate_affine_naive(&w, &x, &w, &[0.0]);
+    /// assert_eq!(pre[(0, 0)], 12.0);
+    /// ```
+    pub fn fused_gate_affine_naive(
+        &self,
+        wx: &Matrix,
+        h: &Matrix,
+        wh: &Matrix,
+        bias: &[f32],
+    ) -> Matrix {
+        let mut pre = self.matmul_t_naive(wx);
+        pre.add_assign(&h.matmul_t_naive(wh));
+        pre.add_row_broadcast(bias);
+        pre
     }
 
     /// Returns the transposed matrix.
@@ -690,6 +1238,56 @@ mod tests {
         let one = sample(1, 4, 14);
         let d = sample(4, 1, 15);
         assert_eq!(one.matmul_with(&d, &pool).shape(), (1, 1));
+    }
+
+    #[test]
+    fn blocked_kernels_bit_match_naive_references() {
+        // Shapes straddling the 8-wide unroll and K_BLOCK boundaries.
+        for &(m, k, n) in &[(1, 1, 1), (3, 7, 9), (8, 256, 8), (13, 300, 17)] {
+            let a = sample(m, k, (m * k + n) as u64);
+            let b = sample(k, n, (m + k * n) as u64);
+            assert_eq!(a.matmul(&b), a.matmul_naive(&b), "{m}x{k}x{n}");
+            let at = sample(k, m, (m + k + n) as u64);
+            assert_eq!(at.t_matmul(&b), at.t_matmul_naive(&b), "{m}x{k}x{n}");
+            let bt = b.transpose();
+            assert_eq!(a.matmul_t(&bt), a.matmul_t_naive(&bt), "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn affine_t_matches_unfused_sequence() {
+        let x = sample(5, 7, 20);
+        let w = sample(11, 7, 21);
+        let bias: Vec<f32> = (0..11).map(|i| i as f32 * 0.1 - 0.5).collect();
+        let mut want = x.matmul_t(&w);
+        want.add_row_broadcast(&bias);
+        assert_eq!(x.affine_t(&w, &bias), want);
+        assert_eq!(x.affine_t_naive(&w, &bias), want);
+    }
+
+    #[test]
+    fn fused_gate_affine_matches_unfused_sequence() {
+        let x = sample(4, 6, 22);
+        let wx = sample(20, 6, 23);
+        let h = sample(4, 5, 24);
+        let wh = sample(20, 5, 25);
+        let bias: Vec<f32> = (0..20).map(|i| (i as f32).sin()).collect();
+        let mut want = x.matmul_t(&wx);
+        want.add_assign(&h.matmul_t(&wh));
+        want.add_row_broadcast(&bias);
+        assert_eq!(x.fused_gate_affine(&wx, &h, &wh, &bias), want);
+        assert_eq!(x.fused_gate_affine_naive(&wx, &h, &wh, &bias), want);
+    }
+
+    #[test]
+    fn naive_switch_does_not_change_results() {
+        let a = sample(9, 33, 30);
+        let b = sample(33, 12, 31);
+        let fast = a.matmul(&b);
+        set_naive_kernels(true);
+        let slow = a.matmul(&b);
+        set_naive_kernels(false);
+        assert_eq!(fast, slow);
     }
 
     #[test]

@@ -1,0 +1,187 @@
+//! Kernel-equivalence property tests: the cache-blocked / 8-wide-unrolled
+//! product kernels and the fused gate kernels must **bit-match** the
+//! retained naive references on adversarial shapes — empty operands, 1×1,
+//! prime dimensions, non-multiples of the unroll width and K-block, and
+//! shapes straddling the `PAR_THRESHOLD` parallel cutover — at 1, 2, 4,
+//! and 8 workers.
+//!
+//! Bit-identity (not tolerance) is the contract: every output element is
+//! one accumulator chain over `k` in ascending order in both
+//! implementations, so restructuring for cache and ILP must not change a
+//! single ULP. The exact-lane golden fingerprints in the workspace tests
+//! depend on this.
+
+use eventhit_nn::matrix::{naive_kernels_forced, set_naive_kernels, Matrix, PAR_THRESHOLD};
+use eventhit_parallel::Pool;
+use eventhit_rng::rngs::StdRng;
+use eventhit_rng::testkit::from_fn;
+use eventhit_rng::{prop_assert, prop_assert_eq, property, Rng, SeedableRng};
+
+/// Adversarial dimension pool: empty, unit, primes, powers of two, and
+/// off-by-one neighbours of the 8-wide unroll width.
+const DIMS: &[usize] = &[0, 1, 2, 3, 5, 7, 8, 9, 13, 16, 17, 23, 31, 33, 64];
+
+const WORKERS: &[usize] = &[1, 2, 4, 8];
+
+fn dim(rng: &mut StdRng) -> usize {
+    DIMS[rng.random_range(0..DIMS.len())]
+}
+
+/// A matrix with ~25% exact zeros, so the kernels' zero-skip fast path is
+/// exercised alongside dense values.
+fn matrix_of(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
+    let data = (0..rows * cols)
+        .map(|_| {
+            if rng.random_range(0..4usize) == 0 {
+                0.0
+            } else {
+                rng.random_range(-2.0f32..2.0)
+            }
+        })
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+property! {
+    #[test]
+    fn matmul_bit_matches_naive(
+        case in from_fn(|rng| {
+            let (m, k, n) = (dim(rng), dim(rng), dim(rng));
+            let w = WORKERS[rng.random_range(0..WORKERS.len())];
+            (matrix_of(rng, m, k), matrix_of(rng, k, n), w)
+        }),
+    ) {
+        let (a, b, w) = case;
+        let blocked = a.matmul_with(&b, &Pool::new(w));
+        prop_assert_eq!(blocked, a.matmul_naive(&b));
+    }
+
+    #[test]
+    fn t_matmul_bit_matches_naive(
+        case in from_fn(|rng| {
+            let (m, k, n) = (dim(rng), dim(rng), dim(rng));
+            let w = WORKERS[rng.random_range(0..WORKERS.len())];
+            (matrix_of(rng, k, m), matrix_of(rng, k, n), w)
+        }),
+    ) {
+        let (a, b, w) = case;
+        let blocked = a.t_matmul_with(&b, &Pool::new(w));
+        prop_assert_eq!(blocked, a.t_matmul_naive(&b));
+    }
+
+    #[test]
+    fn matmul_t_bit_matches_naive(
+        case in from_fn(|rng| {
+            let (m, k, n) = (dim(rng), dim(rng), dim(rng));
+            let w = WORKERS[rng.random_range(0..WORKERS.len())];
+            (matrix_of(rng, m, k), matrix_of(rng, n, k), w)
+        }),
+    ) {
+        let (a, b, w) = case;
+        let blocked = a.matmul_t_with(&b, &Pool::new(w));
+        prop_assert_eq!(blocked, a.matmul_t_naive(&b));
+    }
+
+    #[test]
+    fn affine_t_bit_matches_naive(
+        case in from_fn(|rng| {
+            let (m, k, n) = (dim(rng), dim(rng), dim(rng));
+            let bias: Vec<f32> = (0..n).map(|_| rng.random_range(-1.0f32..1.0)).collect();
+            (matrix_of(rng, m, k), matrix_of(rng, n, k), bias)
+        }),
+    ) {
+        let (x, w, bias) = case;
+        prop_assert_eq!(x.affine_t(&w, &bias), x.affine_t_naive(&w, &bias));
+    }
+
+    #[test]
+    fn fused_gate_affine_bit_matches_naive(
+        case in from_fn(|rng| {
+            let (m, xc, hc, n) = (dim(rng), dim(rng), dim(rng), dim(rng));
+            let bias: Vec<f32> = (0..n).map(|_| rng.random_range(-1.0f32..1.0)).collect();
+            (
+                matrix_of(rng, m, xc),
+                matrix_of(rng, n, xc),
+                matrix_of(rng, m, hc),
+                matrix_of(rng, n, hc),
+                bias,
+            )
+        }),
+    ) {
+        let (x, wx, h, wh, bias) = case;
+        let fused = x.fused_gate_affine(&wx, &h, &wh, &bias);
+        prop_assert_eq!(fused, x.fused_gate_affine_naive(&wx, &h, &wh, &bias));
+    }
+
+    #[test]
+    fn forced_naive_dispatch_bit_matches_blocked(
+        case in from_fn(|rng| {
+            let (m, k, n) = (dim(rng), dim(rng), dim(rng));
+            (matrix_of(rng, m, k), matrix_of(rng, k, n))
+        }),
+    ) {
+        let (a, b) = case;
+        let blocked = a.matmul(&b);
+        set_naive_kernels(true);
+        let naive = a.matmul(&b);
+        set_naive_kernels(false);
+        prop_assert!(!naive_kernels_forced());
+        prop_assert_eq!(blocked, naive);
+    }
+}
+
+/// Shapes whose flop counts land just below, exactly at, and just above
+/// `PAR_THRESHOLD` — the sequential/pooled cutover — must agree with the
+/// naive reference and with each other at every worker count.
+#[test]
+fn par_threshold_boundary_is_worker_invariant() {
+    // 16 * 256 * 256 = 1 << 20 = PAR_THRESHOLD exactly.
+    assert_eq!(16 * 256 * 256, PAR_THRESHOLD);
+    let mut rng = StdRng::seed_from_u64(0xb10c);
+    for n in [255usize, 256, 257] {
+        let a = matrix_of(&mut rng, 16, 256);
+        let b = matrix_of(&mut rng, 256, n);
+        let reference = a.matmul_naive(&b);
+        let att = a.transpose();
+        let bt = b.transpose();
+        for &w in WORKERS {
+            let pool = Pool::new(w);
+            assert_eq!(
+                a.matmul_with(&b, &pool),
+                reference,
+                "matmul 16x256x{n} diverged from naive at {w} workers"
+            );
+            assert_eq!(
+                att.t_matmul_with(&b, &pool),
+                reference,
+                "t_matmul 16x256x{n} diverged from naive at {w} workers"
+            );
+            assert_eq!(
+                a.matmul_t_with(&bt, &pool),
+                reference,
+                "matmul_t 16x256x{n} diverged from naive at {w} workers"
+            );
+        }
+    }
+}
+
+/// The K-block edge (K_BLOCK = 256): reduction depths 255/256/257 split
+/// into one short panel, exactly one panel, and one panel plus a
+/// single-column tail — all must bit-match the unpanelled naive loop.
+#[test]
+fn k_block_edges_bit_match_naive() {
+    let mut rng = StdRng::seed_from_u64(0x6b1c);
+    for k in [255usize, 256, 257, 511, 512, 513] {
+        let a = matrix_of(&mut rng, 3, k);
+        let b = matrix_of(&mut rng, k, 5);
+        assert_eq!(a.matmul(&b), a.matmul_naive(&b), "k={k}");
+        let bt = b.transpose();
+        assert_eq!(a.matmul_t(&bt), a.matmul_t_naive(&bt), "k={k}");
+        let bias = vec![0.25f32; 5];
+        assert_eq!(
+            a.affine_t(&bt, &bias),
+            a.affine_t_naive(&bt, &bias),
+            "k={k}"
+        );
+    }
+}

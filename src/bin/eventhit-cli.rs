@@ -7,7 +7,8 @@
 //!                       [--c 0.95] [--alpha 0.9]
 //! eventhit-cli marshal  --task TA10 --scale 0.3 --seed 7 --model model.evht \
 //!                       [--c 0.95] [--alpha 0.9]
-//! eventhit-cli serve        --task TA10 --scale 0.1 --seed 7 --addr 127.0.0.1:7077
+//! eventhit-cli serve        --task TA10 --scale 0.1 --seed 7 --addr 127.0.0.1:7077 \
+//!                           [--lane exact|quantized]
 //! eventhit-cli bench-client --task TA10 --scale 0.1 --seed 7 --addr 127.0.0.1:7077 \
 //!                           [--streams 2] [--batch 64] [--frames 2000]
 //! ```
@@ -28,6 +29,7 @@ use eventhit::core::model_io;
 use eventhit::core::pipeline::{ConformalState, Strategy};
 use eventhit::core::streaming::OnlinePredictor;
 use eventhit::core::tasks::{all_tasks, task};
+use eventhit::core::InferenceLane;
 use eventhit::parallel::Pool;
 use eventhit::serve::{Response, ServeClient, ServeConfig, Server};
 
@@ -45,6 +47,7 @@ struct Args {
     batch: usize,
     frames: usize,
     sessions: usize,
+    lane: InferenceLane,
 }
 
 impl Default for Args {
@@ -62,6 +65,7 @@ impl Default for Args {
             batch: 64,
             frames: 0,
             sessions: 0,
+            lane: InferenceLane::Exact,
         }
     }
 }
@@ -71,7 +75,7 @@ fn usage() -> ! {
         "usage: eventhit-cli <tasks|train|evaluate|marshal|serve|bench-client> \
          [--task TAi] [--scale F] [--seed N] [--model PATH] [--out PATH] \
          [--c F] [--alpha F] [--addr HOST:PORT] [--streams N] [--batch N] \
-         [--frames N] [--sessions N]"
+         [--frames N] [--sessions N] [--lane exact|quantized]"
     );
     exit(2)
 }
@@ -93,6 +97,7 @@ fn parse(mut it: impl Iterator<Item = String>) -> Args {
             "--batch" => args.batch = value().parse().unwrap_or_else(|_| usage()),
             "--frames" => args.frames = value().parse().unwrap_or_else(|_| usage()),
             "--sessions" => args.sessions = value().parse().unwrap_or_else(|_| usage()),
+            "--lane" => args.lane = value().parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
     }
@@ -250,7 +255,11 @@ fn cmd_serve(args: &Args) {
         run.state = ConformalState::fit(&calib, t.num_events(), 0.5, run.horizon);
         run.model = model;
     }
-    let (model, state) = (run.model, run.state);
+    // Calibrate against the scores the served lane actually produces —
+    // for the quantized lane this refits the conformal quantiles on int8
+    // calibration scores so the coverage guarantee transfers.
+    let state = run.state_for_lane(args.lane);
+    let (model, lane) = (run.model, args.lane);
     let strategy = Strategy::Ehcr {
         c: args.c,
         alpha: args.alpha,
@@ -261,14 +270,20 @@ fn cmd_serve(args: &Args) {
     };
     let server = Server::bind(
         cfg,
-        Box::new(move |_stream_id| OnlinePredictor::new(model.clone(), state.clone(), strategy)),
+        Box::new(move |_stream_id| {
+            OnlinePredictor::with_lane(model.clone(), state.clone(), strategy, lane)
+        }),
     )
     .unwrap_or_else(|e| {
         eprintln!("failed to bind {}: {e}", args.addr);
         exit(1)
     });
     let addr = server.local_addr().expect("bound listener has an address");
-    println!("serving {} on {addr} (dim {})", t.id, run.features.cols());
+    println!(
+        "serving {} on {addr} (dim {}, {lane} lane)",
+        t.id,
+        run.features.cols()
+    );
     let pool = Pool::current();
     if args.sessions == 0 {
         server.serve_forever(&pool);

@@ -10,15 +10,24 @@ use std::sync::Arc;
 use eventhit::core::ci::CiConfig;
 use eventhit::core::experiment::{ExperimentConfig, TaskRun};
 use eventhit::core::marshal::Marshaller;
+use eventhit::core::multi::{run_lanes, StreamLane};
 use eventhit::core::pipeline::Strategy;
+use eventhit::core::streaming::OnlinePredictor;
 use eventhit::core::tasks::task;
-use eventhit::parallel::with_workers;
+use eventhit::core::InferenceLane;
+use eventhit::parallel::{with_workers, Pool};
 use eventhit::telemetry::Telemetry;
 
 /// Pinned against the in-repo xoshiro256++ generator and the manual
 /// telemetry clock. Recompute only for a deliberate pipeline change, and
 /// call the change out in review.
 const GOLDEN_FINGERPRINT: u64 = 0x578f_f497_86f2_f4c6;
+
+/// FNV-1a over the quantized-lane multi-stream decision timeline of the
+/// same quickstart run: int8 scoring plus the conformal state refitted on
+/// quantized calibration scores. Pinned separately from the exact lane —
+/// a quantizer change moves this constant and only this constant.
+const GOLDEN_QUANTIZED_FINGERPRINT: u64 = 0x3a32_fc70_d8c1_e148;
 
 fn pipeline_trace() -> (String, u64) {
     let cfg = ExperimentConfig {
@@ -65,5 +74,67 @@ fn pipeline_fingerprint_replays_identically_across_worker_counts() {
         let (jsonl_w, fp_w) = with_workers(w, pipeline_trace);
         assert_eq!(jsonl_w, jsonl_1, "trace diverged at {w} workers");
         assert_eq!(fp_w, GOLDEN_FINGERPRINT);
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The quantized-lane counterpart of [`pipeline_trace`]: two stream lanes
+/// on int8 predictors over the quickstart run's features, decisions
+/// merged by [`run_lanes`] and hashed in full (anchors, per-event
+/// intervals, degradation tags).
+fn quantized_trace(workers: usize) -> (String, u64) {
+    let cfg = ExperimentConfig {
+        scale: 0.08,
+        ..ExperimentConfig::quick(40)
+    };
+    let run = TaskRun::execute(&task("TA10").unwrap(), &cfg);
+    let state = run.state_for_lane(InferenceLane::Quantized);
+    let lanes: Vec<StreamLane> = [0usize, 11]
+        .iter()
+        .enumerate()
+        .map(|(i, &from)| StreamLane {
+            stream_id: i,
+            predictor: OnlinePredictor::with_lane(
+                run.model.clone(),
+                state.clone(),
+                Strategy::Ehcr { c: 0.9, alpha: 0.5 },
+                InferenceLane::Quantized,
+            ),
+            features: run.features.clone(),
+            from,
+        })
+        .collect();
+    let decisions = run_lanes(lanes, &Pool::new(workers));
+    let mut text = String::new();
+    for d in &decisions {
+        text.push_str(&format!(
+            "{} {}:{:?}\n",
+            d.stream_id, d.decision.anchor, d.decision.predictions
+        ));
+    }
+    let fp = fnv1a(text.as_bytes());
+    (text, fp)
+}
+
+#[test]
+fn quantized_fingerprint_matches_golden_constant_at_any_worker_count() {
+    let (text_1, fp_1) = quantized_trace(1);
+    assert!(!text_1.is_empty(), "quantized trace produced no decisions");
+    assert_eq!(
+        fp_1, GOLDEN_QUANTIZED_FINGERPRINT,
+        "quantized decision fingerprint drifted: got {fp_1:#018x}"
+    );
+    for w in [2usize, 4, 8] {
+        let (text_w, fp_w) = quantized_trace(w);
+        assert_eq!(text_w, text_1, "quantized trace diverged at {w} workers");
+        assert_eq!(fp_w, GOLDEN_QUANTIZED_FINGERPRINT);
     }
 }

@@ -13,6 +13,7 @@ use eventhit::core::multi::{run_lanes, LaneDecision, StreamLane};
 use eventhit::core::pipeline::{ConformalState, Strategy};
 use eventhit::core::streaming::OnlinePredictor;
 use eventhit::core::tasks::task;
+use eventhit::core::InferenceLane;
 use eventhit::nn::matrix::Matrix;
 use eventhit::parallel::{with_workers, Pool};
 use eventhit::serve::convert::decision_from_wire;
@@ -23,6 +24,9 @@ use eventhit::serve::{Response, ServeClient, ServeConfig, Server};
 struct Trained {
     model: EventHit,
     state: ConformalState,
+    /// Conformal state refitted from calibration scores on the int8 lane,
+    /// the pairing `serve --lane quantized` deploys.
+    quant_state: ConformalState,
     features: Matrix,
 }
 
@@ -30,9 +34,11 @@ fn trained() -> &'static Trained {
     static RUN: OnceLock<Trained> = OnceLock::new();
     RUN.get_or_init(|| {
         let run = TaskRun::execute(&task("TA10").unwrap(), &ExperimentConfig::quick(77));
+        let quant_state = run.state_for_lane(InferenceLane::Quantized);
         Trained {
             model: run.model,
             state: run.state,
+            quant_state,
             features: run.features,
         }
     })
@@ -43,6 +49,16 @@ const STRATEGY: Strategy = Strategy::Ehcr { c: 0.9, alpha: 0.5 };
 fn predictor() -> OnlinePredictor {
     let t = trained();
     OnlinePredictor::new(t.model.clone(), t.state.clone(), STRATEGY)
+}
+
+fn quantized_predictor() -> OnlinePredictor {
+    let t = trained();
+    OnlinePredictor::with_lane(
+        t.model.clone(),
+        t.quant_state.clone(),
+        STRATEGY,
+        InferenceLane::Quantized,
+    )
 }
 
 /// Binds a server on a free port and serves exactly `sessions` sessions
@@ -135,6 +151,91 @@ fn loopback_soak_bit_identical_to_run_lanes_at_1_and_4_workers() {
     handle.join().expect("server thread");
 
     // Same merge key as run_lanes, then bit-for-bit equality.
+    served.sort_by_key(|d| (d.decision.anchor, d.stream_id));
+    assert_eq!(served, baseline1);
+}
+
+#[test]
+fn quantized_lane_server_bit_identical_to_in_process_run_lanes() {
+    let t = trained();
+    let dim = t.features.cols() as u32;
+    let froms = [0usize, 13];
+
+    // In-process quantized baseline at 1 and 4 workers (must agree: the
+    // int8 kernels are sequential, so worker count cannot matter).
+    let lanes = || -> Vec<StreamLane> {
+        froms
+            .iter()
+            .enumerate()
+            .map(|(i, &from)| StreamLane {
+                stream_id: i,
+                predictor: quantized_predictor(),
+                features: t.features.clone(),
+                from,
+            })
+            .collect()
+    };
+    let baseline1 = with_workers(1, || run_lanes(lanes(), &Pool::current()));
+    let baseline4 = with_workers(4, || run_lanes(lanes(), &Pool::current()));
+    assert_eq!(
+        baseline1, baseline4,
+        "quantized run_lanes must be worker-invariant"
+    );
+    assert!(!baseline1.is_empty(), "quantized baseline had no decisions");
+
+    // Served path: a server whose lane factory builds quantized
+    // predictors, exactly like `eventhit-cli serve --lane quantized`.
+    let (addr, handle) = spawn_server(
+        ServeConfig::default(),
+        Box::new(|_| quantized_predictor()),
+        1,
+    );
+    let mut client = ServeClient::connect(addr).expect("connect");
+    for s in 0..froms.len() as u32 {
+        client
+            .open_stream(s)
+            .expect("open I/O")
+            .expect_ok("open_stream");
+    }
+    let mut served: Vec<LaneDecision> = Vec::new();
+    let rows = t.features.rows();
+    let batch = 113; // unaligned with window/horizon
+    let mut cursors = froms;
+    loop {
+        let mut progressed = false;
+        for (i, cursor) in cursors.iter_mut().enumerate() {
+            if *cursor >= rows {
+                continue;
+            }
+            progressed = true;
+            let hi = (*cursor + batch).min(rows);
+            let mut data = Vec::with_capacity((hi - *cursor) * dim as usize);
+            for r in *cursor..hi {
+                data.extend_from_slice(t.features.row(r));
+            }
+            let decisions = client
+                .submit(i as u32, dim, data)
+                .expect("submit I/O")
+                .expect_ok("submit");
+            served.extend(decisions.iter().map(|d| LaneDecision {
+                stream_id: i,
+                decision: decision_from_wire(d),
+            }));
+            *cursor = hi;
+        }
+        if !progressed {
+            break;
+        }
+    }
+    for s in 0..froms.len() as u32 {
+        client
+            .close_stream(s)
+            .expect("close I/O")
+            .expect_ok("close_stream");
+    }
+    drop(client);
+    handle.join().expect("server thread");
+
     served.sort_by_key(|d| (d.decision.anchor, d.stream_id));
     assert_eq!(served, baseline1);
 }
