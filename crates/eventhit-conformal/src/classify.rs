@@ -50,6 +50,29 @@ impl ConformalClassifier {
         self.calib.len()
     }
 
+    /// The non-conformity measure this calibrator was fitted with.
+    pub fn measure(&self) -> Nonconformity {
+        self.measure
+    }
+
+    /// The stored non-conformity scores (already transformed by the
+    /// measure), ascending — the calibrator's complete state, which
+    /// [`ConformalClassifier::from_parts`] reconstructs bit-identically.
+    pub fn calibration_scores(&self) -> &[f64] {
+        &self.calib
+    }
+
+    /// Rebuilds a calibrator from a measure and its stored
+    /// *non-conformity* scores (as returned by
+    /// [`ConformalClassifier::calibration_scores`] — not raw `b` scores;
+    /// those go through [`ConformalClassifier::fit`]). Re-sorts
+    /// defensively so a hand-built score list cannot break the
+    /// `partition_point` invariant.
+    pub fn from_parts(measure: Nonconformity, mut calib: Vec<f64>) -> Self {
+        calib.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        ConformalClassifier { measure, calib }
+    }
+
     /// The p-value of a new example with positive-class score `b_o`.
     pub fn p_value(&self, b_o: f64) -> f64 {
         if self.calib.is_empty() {

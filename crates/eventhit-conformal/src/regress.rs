@@ -35,6 +35,13 @@ impl ConformalRegressor {
         self.residuals.len()
     }
 
+    /// The stored calibration residuals, ascending — the regressor's
+    /// complete state. Feeding them back through
+    /// [`ConformalRegressor::fit`] reconstructs it bit-identically.
+    pub fn residuals(&self) -> &[f64] {
+        &self.residuals
+    }
+
     /// The half-width `q̂` of the prediction band at coverage `alpha`.
     ///
     /// Algorithm 2 (lines 15–16) uses the `⌈α·n⌉`-th smallest residual; we
@@ -85,6 +92,16 @@ impl IntervalCalibration {
     /// Number of calibration residual pairs.
     pub fn calibration_size(&self) -> usize {
         self.start.calibration_size()
+    }
+
+    /// The fitted start-offset regressor.
+    pub fn start(&self) -> &ConformalRegressor {
+        &self.start
+    }
+
+    /// The fitted end-offset regressor.
+    pub fn end(&self) -> &ConformalRegressor {
+        &self.end
     }
 
     /// Applies the C-REGRESS adjustment (Eq. 11): the predicted interval

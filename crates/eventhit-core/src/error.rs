@@ -16,6 +16,14 @@ pub enum CoreError {
     Io(io::Error),
     /// A persisted model file is malformed or from an unknown version.
     ModelFormat(&'static str),
+    /// A persisted payload's checksum does not match its contents — the
+    /// file was corrupted (or truncated mid-payload) after it was written.
+    ChecksumMismatch {
+        /// Checksum recorded in the file header.
+        expected: u32,
+        /// Checksum computed over the payload actually read.
+        got: u32,
+    },
     /// A record's per-event vectors disagree with the fitted state.
     ShapeMismatch {
         /// What was being validated (e.g. `"record scores"`).
@@ -67,6 +75,10 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::Io(e) => write!(f, "i/o error: {e}"),
             CoreError::ModelFormat(msg) => write!(f, "bad model file: {msg}"),
+            CoreError::ChecksumMismatch { expected, got } => write!(
+                f,
+                "checksum mismatch: header says {expected:#010x}, payload hashes to {got:#010x}"
+            ),
             CoreError::ShapeMismatch {
                 what,
                 expected,

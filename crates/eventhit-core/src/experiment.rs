@@ -257,16 +257,26 @@ impl TaskRun {
     pub fn state_for_lane(&self, lane: InferenceLane) -> ConformalState {
         match lane {
             InferenceLane::Exact => self.state.clone(),
-            InferenceLane::Quantized => {
-                let calib = score_records_lane(&self.model, &self.calib_records, 128, lane);
-                ConformalState::fit(
-                    &calib,
-                    self.task.num_events(),
-                    self.state.tau2(),
-                    self.horizon,
-                )
-            }
+            InferenceLane::Quantized => self.state_for_model(&self.model, lane),
         }
+    }
+
+    /// Refits the conformal state for an arbitrary model on `lane` by
+    /// rescoring this run's calibration split — the hot-reload path:
+    /// swapping served weights without refitting their conformal state
+    /// would void the coverage guarantees, exactly as pairing a loaded
+    /// model with another model's state would (see the CLI's `serve
+    /// --model`). Unlike [`TaskRun::state_for_lane`], this always
+    /// rescores, even on the exact lane, because the given model's scores
+    /// need not match the run's own.
+    pub fn state_for_model(&self, model: &EventHit, lane: InferenceLane) -> ConformalState {
+        let calib = score_records_lane(model, &self.calib_records, 128, lane);
+        ConformalState::fit(
+            &calib,
+            self.task.num_events(),
+            self.state.tau2(),
+            self.horizon,
+        )
     }
 
     /// Predictions of a strategy over the test split.

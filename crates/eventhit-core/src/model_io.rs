@@ -2,19 +2,37 @@
 //!
 //! Training happens once (against CI-labelled data, §I); the deployed
 //! marshaller then needs the weights without retraining. The format is a
-//! small versioned binary layout — magic, version, config, then each
-//! parameter tensor in the model's stable parameter order — written with
-//! plain `std::io`, no serialization framework.
+//! small versioned binary layout written with plain `std::io`, no
+//! serialization framework:
+//!
+//! ```text
+//! +-------+-------------+------------------+------------+---------+
+//! | magic | version u32 | payload_len u64  | crc32 u32  | payload |
+//! +-------+-------------+------------------+------------+---------+
+//! ```
+//!
+//! The payload holds the config fields, the encoder kind, and each
+//! parameter tensor in the model's stable parameter order. Version 2
+//! added the `payload_len` + CRC-32 header so a truncated or corrupted
+//! weights file fails loudly with a typed [`CoreError`] — under version 1
+//! a short read could end *between* fields and mis-deserialize silently.
+//! Version-1 files (no length/checksum header) still load.
 
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
+use eventhit_telemetry::{crc32, fnv1a};
+
 use crate::error::{CoreError, CoreResult};
 use crate::model::{EncoderKind, EventHit, EventHitConfig};
 
 const MAGIC: &[u8; 4] = b"EVHT";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+/// Most permissive payload the loader will allocate for — far above any
+/// real EventHit (hidden dims are two digits), it only guards against a
+/// corrupted length field requesting gigabytes.
+const MAX_PAYLOAD_BYTES: u64 = 1 << 31;
 
 fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
@@ -30,6 +48,12 @@ fn read_u32(r: &mut impl Read) -> io::Result<u32> {
     Ok(u32::from_le_bytes(buf))
 }
 
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
 fn read_f32(r: &mut impl Read) -> io::Result<f32> {
     let mut buf = [0u8; 4];
     r.read_exact(&mut buf)?;
@@ -40,10 +64,8 @@ fn bad(msg: &'static str) -> CoreError {
     CoreError::ModelFormat(msg)
 }
 
-/// Serializes a trained model.
-pub fn save(model: &mut EventHit, w: &mut impl Write) -> CoreResult<()> {
-    w.write_all(MAGIC)?;
-    write_u32(w, VERSION)?;
+/// Serializes the version-agnostic payload: config, encoder kind, params.
+fn write_payload(model: &mut EventHit, w: &mut impl Write) -> CoreResult<()> {
     let cfg = model.config().clone();
     write_u32(w, cfg.input_dim as u32)?;
     write_u32(w, cfg.window as u32)?;
@@ -72,17 +94,8 @@ pub fn save(model: &mut EventHit, w: &mut impl Write) -> CoreResult<()> {
     Ok(())
 }
 
-/// Deserializes a model saved with [`save`].
-pub fn load(r: &mut impl Read) -> CoreResult<EventHit> {
-    let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(bad("not an EventHit model file (bad magic)"));
-    }
-    let version = read_u32(r)?;
-    if version != VERSION {
-        return Err(bad("unsupported model file version"));
-    }
+/// Deserializes the payload written by [`write_payload`].
+fn read_payload(r: &mut impl Read) -> CoreResult<EventHit> {
     let cfg = EventHitConfig {
         input_dim: read_u32(r)? as usize,
         window: read_u32(r)? as usize,
@@ -118,6 +131,52 @@ pub fn load(r: &mut impl Read) -> CoreResult<EventHit> {
     Ok(model)
 }
 
+/// Serializes a trained model (version 2: length + CRC-32 header).
+pub fn save(model: &mut EventHit, w: &mut impl Write) -> CoreResult<()> {
+    let mut payload = Vec::new();
+    write_payload(model, &mut payload)?;
+    w.write_all(MAGIC)?;
+    write_u32(w, VERSION)?;
+    w.write_all(&(payload.len() as u64).to_le_bytes())?;
+    write_u32(w, crc32(&payload))?;
+    w.write_all(&payload)?;
+    Ok(())
+}
+
+/// Deserializes a model saved with [`save`].
+///
+/// Accepts version 2 (checksummed) and legacy version 1 (bare payload).
+/// A version-2 file that is shorter than its declared payload fails with
+/// [`CoreError::ModelFormat`]; one whose payload bytes do not hash to the
+/// recorded CRC-32 fails with [`CoreError::ChecksumMismatch`] — either
+/// way, corrupted weights never deserialize silently.
+pub fn load(r: &mut impl Read) -> CoreResult<EventHit> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not an EventHit model file (bad magic)"));
+    }
+    match read_u32(r)? {
+        1 => read_payload(r),
+        2 => {
+            let declared = read_u64(r)?;
+            if declared > MAX_PAYLOAD_BYTES {
+                return Err(bad("declared payload length is implausibly large"));
+            }
+            let expected = read_u32(r)?;
+            let mut payload = vec![0u8; declared as usize];
+            r.read_exact(&mut payload)
+                .map_err(|_| bad("model payload truncated (shorter than its header declares)"))?;
+            let got = crc32(&payload);
+            if got != expected {
+                return Err(CoreError::ChecksumMismatch { expected, got });
+            }
+            read_payload(&mut payload.as_slice())
+        }
+        _ => Err(bad("unsupported model file version")),
+    }
+}
+
 /// Saves to a file path.
 pub fn save_to_path(model: &mut EventHit, path: impl AsRef<Path>) -> CoreResult<()> {
     let mut w = BufWriter::new(File::create(path)?);
@@ -130,6 +189,19 @@ pub fn save_to_path(model: &mut EventHit, path: impl AsRef<Path>) -> CoreResult<
 pub fn load_from_path(path: impl AsRef<Path>) -> CoreResult<EventHit> {
     let mut r = BufReader::new(File::open(path)?);
     load(&mut r)
+}
+
+/// FNV-1a fingerprint of the model's serialized bytes: two models
+/// fingerprint equal iff they serialize bit-identically (same config,
+/// encoder, and every weight bit). This is the identity the durable
+/// serving layer logs with `ModelReloaded` events and snapshot headers.
+///
+/// Takes `&mut` because parameter enumeration does (see
+/// `EventHit::params_mut`); the model is not modified.
+pub fn fingerprint(model: &mut EventHit) -> u64 {
+    let mut bytes = Vec::new();
+    save(model, &mut bytes).expect("in-memory serialization cannot fail");
+    fnv1a(&bytes)
 }
 
 #[cfg(test)]
@@ -208,12 +280,56 @@ mod tests {
     }
 
     #[test]
-    fn rejects_truncated_file() {
+    fn truncation_is_a_typed_format_error() {
+        // Any truncation inside the payload must surface as a typed
+        // ModelFormat error — never as silently mis-deserialized weights,
+        // and never as a bare Io error that hides what happened.
         let mut buf = Vec::new();
         save(&mut tiny_model(5), &mut buf).unwrap();
-        buf.truncate(buf.len() / 2);
+        for cut in [buf.len() / 2, buf.len() - 1, 17] {
+            let mut short = buf.clone();
+            short.truncate(cut);
+            let err = load(&mut short.as_slice()).err().expect("must fail");
+            assert!(
+                matches!(err, CoreError::ModelFormat(_) | CoreError::Io(_)),
+                "cut at {cut}: {err}"
+            );
+        }
+        // A cut inside the payload proper (past the 20-byte header) is
+        // always the typed ModelFormat truncation error.
+        let mut short = buf.clone();
+        short.truncate(buf.len() - 1);
+        let err = load(&mut short.as_slice()).err().expect("must fail");
+        assert!(matches!(err, CoreError::ModelFormat(_)), "{err}");
+    }
+
+    #[test]
+    fn corruption_is_a_checksum_mismatch() {
+        let mut buf = Vec::new();
+        save(&mut tiny_model(6), &mut buf).unwrap();
+        // Flip one bit deep inside a weight tensor.
+        let at = buf.len() - 9;
+        buf[at] ^= 0x40;
         let err = load(&mut buf.as_slice()).err().expect("must fail");
-        assert!(matches!(err, CoreError::Io(_)), "{err}");
+        assert!(matches!(err, CoreError::ChecksumMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn legacy_version_1_files_still_load() {
+        // A v1 file is magic + version + bare payload (no length, no CRC).
+        let mut model = tiny_model(7);
+        let mut payload = Vec::new();
+        write_payload(&mut model, &mut payload).unwrap();
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(MAGIC);
+        v1.extend_from_slice(&1u32.to_le_bytes());
+        v1.extend_from_slice(&payload);
+        let restored = load(&mut v1.as_slice()).unwrap();
+        let rec = probe_record();
+        assert_eq!(
+            model.forward_inference(&[&rec]),
+            restored.forward_inference(&[&rec])
+        );
     }
 
     #[test]
@@ -241,9 +357,18 @@ mod tests {
     fn different_models_serialize_differently() {
         let mut a = Vec::new();
         let mut b = Vec::new();
-        save(&mut tiny_model(6), &mut a).unwrap();
-        save(&mut tiny_model(7), &mut b).unwrap();
+        save(&mut tiny_model(8), &mut a).unwrap();
+        save(&mut tiny_model(9), &mut b).unwrap();
         assert_ne!(a, b);
         assert_eq!(a.len(), b.len(), "same architecture, same file size");
+    }
+
+    #[test]
+    fn fingerprint_tracks_weight_identity() {
+        let fp_a = fingerprint(&mut tiny_model(10));
+        let fp_a2 = fingerprint(&mut tiny_model(10));
+        let fp_b = fingerprint(&mut tiny_model(11));
+        assert_eq!(fp_a, fp_a2, "same seed, same weights, same fingerprint");
+        assert_ne!(fp_a, fp_b, "different weights must fingerprint apart");
     }
 }

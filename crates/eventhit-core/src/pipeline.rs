@@ -145,6 +145,38 @@ impl ConformalState {
         self.tau2
     }
 
+    /// The prediction horizon `H` this state was fitted for.
+    pub fn horizon(&self) -> u32 {
+        self.horizon
+    }
+
+    /// Reassembles a state from its fitted parts — the inverse of reading
+    /// them back through [`ConformalState::classifier`] /
+    /// [`ConformalState::interval_calibration`] / [`ConformalState::tau2`]
+    /// / [`ConformalState::horizon`]. The durable serving layer uses this
+    /// to restore a persisted state bit-identically without re-scoring
+    /// the calibration split.
+    pub fn from_parts(
+        classifiers: Vec<ConformalClassifier>,
+        intervals: Vec<IntervalCalibration>,
+        tau2: f32,
+        horizon: u32,
+    ) -> CoreResult<Self> {
+        if classifiers.len() != intervals.len() {
+            return Err(CoreError::ShapeMismatch {
+                what: "conformal state parts",
+                expected: classifiers.len(),
+                got: intervals.len(),
+            });
+        }
+        Ok(ConformalState {
+            classifiers,
+            intervals,
+            tau2,
+            horizon,
+        })
+    }
+
     /// Per-event positive calibration-set sizes.
     pub fn calibration_sizes(&self) -> Vec<usize> {
         self.classifiers

@@ -11,10 +11,11 @@ use std::sync::Arc;
 
 use eventhit_nn::matrix::Matrix;
 use eventhit_nn::quant::InferenceLane;
-use eventhit_telemetry::Telemetry;
+use eventhit_telemetry::{fnv1a, Telemetry};
 use eventhit_video::online::WindowBuffer;
 use eventhit_video::records::{EventLabel, Record};
 
+use crate::error::{CoreError, CoreResult};
 use crate::infer::{score_records, scored_from_outputs, IntervalPrediction, ScoredRecord};
 use crate::model::{EventHit, QuantizedEventHit};
 use crate::pipeline::{ConformalState, Strategy};
@@ -42,6 +43,45 @@ impl HorizonDecision {
             .filter(|(_, p)| p.present)
             .map(|(k, p)| (k, self.anchor + p.start as u64, self.anchor + p.end as u64))
             .collect()
+    }
+}
+
+/// The complete *dynamic* state of an [`OnlinePredictor`] — everything
+/// that changes as frames are pushed. A predictor rescores its full
+/// window at every anchor (no recurrent state is carried between
+/// anchors), so the buffered rows, the frames-seen counter, and the
+/// anchor countdown are sufficient: restoring them into a predictor built
+/// from the same (model, conformal state, strategy, lane) reproduces the
+/// original's future decisions bit-for-bit. This is what durable serving
+/// snapshots persist and what crash recovery replays into.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictorState {
+    /// Buffered window rows, oldest first (at most `window` rows).
+    pub rows: Vec<Vec<f32>>,
+    /// Total frames ever pushed through the predictor.
+    pub frames_seen: u64,
+    /// Frames remaining until the next prediction anchor.
+    pub countdown: u64,
+}
+
+impl PredictorState {
+    /// FNV-1a fingerprint over the state's canonical byte image
+    /// (`frames_seen`, `countdown`, then each row's length and f32 bit
+    /// patterns, all little-endian). Two states fingerprint equal iff
+    /// they are bit-identical — the equality recovery asserts after a
+    /// snapshot restore.
+    pub fn fingerprint(&self) -> u64 {
+        let mut bytes =
+            Vec::with_capacity(16 + self.rows.iter().map(|r| 4 + r.len() * 4).sum::<usize>());
+        bytes.extend_from_slice(&self.frames_seen.to_le_bytes());
+        bytes.extend_from_slice(&self.countdown.to_le_bytes());
+        for row in &self.rows {
+            bytes.extend_from_slice(&(row.len() as u32).to_le_bytes());
+            for v in row {
+                bytes.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        fnv1a(&bytes)
     }
 }
 
@@ -119,6 +159,100 @@ impl OnlinePredictor {
     /// window buffer.
     pub fn input_dim(&self) -> usize {
         self.model.config().input_dim
+    }
+
+    /// Exports the predictor's dynamic state (see [`PredictorState`]).
+    pub fn export_state(&self) -> PredictorState {
+        PredictorState {
+            rows: self.buffer.snapshot_rows(),
+            frames_seen: self.buffer.frames_seen(),
+            countdown: self.countdown,
+        }
+    }
+
+    /// Restores dynamic state exported by [`OnlinePredictor::export_state`]
+    /// (possibly from another process: the durable recovery path). The
+    /// predictor must have been built from the same model configuration;
+    /// mismatched row counts or dimensionalities are rejected with a typed
+    /// error before anything is mutated.
+    pub fn restore_state(&mut self, st: &PredictorState) -> CoreResult<()> {
+        let cfg = self.model.config();
+        if st.rows.len() > cfg.window {
+            return Err(CoreError::ShapeMismatch {
+                what: "restored window rows",
+                expected: cfg.window,
+                got: st.rows.len(),
+            });
+        }
+        if let Some(row) = st.rows.iter().find(|r| r.len() != cfg.input_dim) {
+            return Err(CoreError::ShapeMismatch {
+                what: "restored window row dim",
+                expected: cfg.input_dim,
+                got: row.len(),
+            });
+        }
+        if st.frames_seen < st.rows.len() as u64 {
+            return Err(CoreError::InvalidConfig(format!(
+                "restored state claims {} frames seen but buffers {} rows",
+                st.frames_seen,
+                st.rows.len()
+            )));
+        }
+        if st.countdown >= self.horizon {
+            return Err(CoreError::InvalidConfig(format!(
+                "restored countdown {} is not below the horizon {}",
+                st.countdown, self.horizon
+            )));
+        }
+        self.buffer =
+            WindowBuffer::restore(cfg.window, cfg.input_dim, st.rows.clone(), st.frames_seen);
+        self.countdown = st.countdown;
+        Ok(())
+    }
+
+    /// Hot-swaps the predictor's model and conformal state in place,
+    /// keeping the window buffer and anchor cadence — the serving-layer
+    /// model reload. Subsequent decisions score the *existing* window on
+    /// the new weights, so the decision sequence around the swap is a
+    /// pure function of (frames, old model, swap point, new model) and
+    /// replays exactly. The new model must share the shape-relevant
+    /// config (input dim, window, horizon, events); pair it with a state
+    /// refitted for it (see `TaskRun::state_for_model`) or the coverage
+    /// guarantees are void. On the quantized lane the int8 snapshot is
+    /// rebuilt from the new weights.
+    pub fn reload_model(&mut self, model: EventHit, state: ConformalState) -> CoreResult<()> {
+        let old = self.model.config();
+        let new = model.config();
+        if (new.input_dim, new.window, new.horizon, new.num_events)
+            != (old.input_dim, old.window, old.horizon, old.num_events)
+        {
+            return Err(CoreError::InvalidConfig(format!(
+                "reloaded model shape (dim {}, window {}, horizon {}, events {}) \
+                 does not match the serving shape (dim {}, window {}, horizon {}, events {})",
+                new.input_dim,
+                new.window,
+                new.horizon,
+                new.num_events,
+                old.input_dim,
+                old.window,
+                old.horizon,
+                old.num_events
+            )));
+        }
+        if state.num_events() != new.num_events {
+            return Err(CoreError::ShapeMismatch {
+                what: "reloaded conformal state events",
+                expected: new.num_events,
+                got: state.num_events(),
+            });
+        }
+        self.quantized = match self.lane {
+            InferenceLane::Exact => None,
+            InferenceLane::Quantized => Some(model.quantized()),
+        };
+        self.model = model;
+        self.state = state;
+        Ok(())
     }
 
     /// Attaches a telemetry recorder. Every pushed frame bumps
@@ -316,6 +450,106 @@ mod tests {
         let relayed = snap.counter("stream.frames_relayed").unwrap_or(0);
         let filtered = snap.counter("stream.frames_filtered").unwrap_or(0);
         assert!(relayed + filtered >= decisions as u64 * horizon as u64);
+    }
+
+    #[test]
+    fn export_restore_resumes_bit_identically() {
+        // Predictor A runs straight through; predictor B is checkpointed
+        // mid-stream, rebuilt from scratch, restored, and resumed. Their
+        // decisions must match bit-for-bit — the invariant durable
+        // serving recovery relies on.
+        let strategy = Strategy::Ehcr { c: 0.9, alpha: 0.5 };
+        let run = TaskRun::execute(&task("TA10").unwrap(), &ExperimentConfig::quick(64));
+        let features = run.features.clone();
+        let cut = run.window + run.horizon + 3; // mid-horizon, buffer full
+        let n = (run.window + run.horizon * 4).min(features.rows());
+
+        let mut straight = OnlinePredictor::new(run.model.clone(), run.state.clone(), strategy);
+        let baseline: Vec<_> = (0..n)
+            .filter_map(|r| straight.push_frame(features.row(r).to_vec()))
+            .collect();
+
+        let mut first = OnlinePredictor::new(run.model.clone(), run.state.clone(), strategy);
+        let mut decisions: Vec<_> = (0..cut)
+            .filter_map(|r| first.push_frame(features.row(r).to_vec()))
+            .collect();
+        let st = first.export_state();
+        assert_eq!(st.fingerprint(), first.export_state().fingerprint());
+        drop(first);
+
+        let mut resumed = OnlinePredictor::new(run.model, run.state, strategy);
+        resumed.restore_state(&st).unwrap();
+        assert_eq!(resumed.export_state(), st, "restore must round-trip");
+        decisions.extend((cut..n).filter_map(|r| resumed.push_frame(features.row(r).to_vec())));
+
+        assert_eq!(decisions, baseline);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_state() {
+        let run = TaskRun::execute(&task("TA10").unwrap(), &ExperimentConfig::quick(64));
+        let horizon = run.horizon as u64;
+        let dim = run.features.cols();
+        let mut p =
+            OnlinePredictor::new(run.model, run.state, Strategy::Ehcr { c: 0.9, alpha: 0.5 });
+        let bad_dim = PredictorState {
+            rows: vec![vec![0.0; dim + 1]],
+            frames_seen: 1,
+            countdown: 0,
+        };
+        assert!(p.restore_state(&bad_dim).is_err());
+        let bad_countdown = PredictorState {
+            rows: vec![],
+            frames_seen: 0,
+            countdown: horizon,
+        };
+        assert!(p.restore_state(&bad_countdown).is_err());
+    }
+
+    #[test]
+    fn reload_model_swaps_weights_and_keeps_cadence() {
+        let strategy = Strategy::Ehcr { c: 0.9, alpha: 0.5 };
+        let run_a = TaskRun::execute(&task("TA10").unwrap(), &ExperimentConfig::quick(65));
+        let run_b = TaskRun::execute(&task("TA10").unwrap(), &ExperimentConfig::quick(66));
+        let features = run_a.features.clone();
+        let n = run_a.window + run_a.horizon * 3;
+        let swap_at = run_a.window + run_a.horizon + 1;
+
+        let mut p = OnlinePredictor::new(run_a.model.clone(), run_a.state.clone(), strategy);
+        let mut anchors = Vec::new();
+        for r in 0..n {
+            if r == swap_at {
+                p.reload_model(run_b.model.clone(), run_b.state.clone())
+                    .unwrap();
+            }
+            if let Some(d) = p.push_frame(features.row(r).to_vec()) {
+                anchors.push(d.anchor);
+            }
+        }
+        // The anchor cadence is untouched by the swap.
+        assert_eq!(anchors[0], (run_a.window - 1) as u64);
+        for w in anchors.windows(2) {
+            assert_eq!(w[1] - w[0], run_a.horizon as u64);
+        }
+
+        // A config-incompatible model is rejected.
+        let run_small = TaskRun::execute(&task("TA1").unwrap(), &ExperimentConfig::quick(67));
+        let cfg_a = run_a.model.config().clone();
+        let cfg_s = run_small.model.config().clone();
+        let mut q = OnlinePredictor::new(run_a.model, run_a.state, strategy);
+        if (
+            cfg_s.input_dim,
+            cfg_s.window,
+            cfg_s.horizon,
+            cfg_s.num_events,
+        ) != (
+            cfg_a.input_dim,
+            cfg_a.window,
+            cfg_a.horizon,
+            cfg_a.num_events,
+        ) {
+            assert!(q.reload_model(run_small.model, run_small.state).is_err());
+        }
     }
 
     #[test]

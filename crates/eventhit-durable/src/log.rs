@@ -1,0 +1,180 @@
+//! Append-only record framing for the session event log.
+//!
+//! Each record is `[payload_len: u32 LE][crc32: u32 LE][payload]`, where
+//! the CRC covers the payload bytes only. The framing distinguishes two
+//! failure modes with very different recovery semantics:
+//!
+//! - **Torn tail** — the file ends mid-record (header shorter than 8
+//!   bytes, or fewer payload bytes than the header declares). This is the
+//!   *expected* artifact of a crash during `append` and is recoverable:
+//!   every record before the tear is intact, and the tear is truncated
+//!   away on reopen. Note a pure truncation can *only* produce a torn
+//!   tail, never a checksum failure — the CRC is read from the header,
+//!   and a truncated header leaves fewer than 8 bytes.
+//! - **Corrupt record** — a record whose payload is fully present but
+//!   hashes to a different CRC. That is bit damage (disk fault, manual
+//!   edit), not a torn append, and recovery refuses to proceed past it.
+
+use crate::{DurableError, DurableResult};
+use eventhit_telemetry::crc32;
+
+/// Upper bound on a single record's payload (64 MiB). A length field
+/// beyond this is treated as structural corruption rather than an
+/// instruction to allocate.
+pub const MAX_RECORD_BYTES: u32 = 1 << 26;
+
+/// Frames one payload as a log record: `[len][crc32][payload]`.
+pub fn frame_record(payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() <= MAX_RECORD_BYTES as usize,
+        "record payload exceeds MAX_RECORD_BYTES"
+    );
+    let mut rec = Vec::with_capacity(8 + payload.len());
+    rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    rec.extend_from_slice(&crc32(payload).to_le_bytes());
+    rec.extend_from_slice(payload);
+    rec
+}
+
+/// How a scanned log ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tail {
+    /// The final record is complete; the log ends on a record boundary.
+    Clean,
+    /// The file ends mid-record. `valid_bytes` in the [`Scan`] marks the
+    /// last committed boundary; everything after it should be truncated.
+    Torn,
+}
+
+/// The result of scanning a log image: the committed payloads, the byte
+/// offset of the last record boundary, and how the image ends.
+#[derive(Debug)]
+pub struct Scan {
+    /// Payloads of every fully-committed record, in append order.
+    pub payloads: Vec<Vec<u8>>,
+    /// Bytes of the image covered by committed records; also the offset
+    /// to truncate to when the tail is torn.
+    pub valid_bytes: u64,
+    /// Whether the image ends cleanly or mid-record.
+    pub tail: Tail,
+}
+
+/// Scans a log image, validating every record's checksum.
+///
+/// Returns [`DurableError::Corrupt`] only for a *fully present* record
+/// whose CRC does not match — a tear (truncated header or payload) is
+/// reported through [`Tail::Torn`], never as an error.
+pub fn scan(bytes: &[u8]) -> DurableResult<Scan> {
+    let mut payloads = Vec::new();
+    let mut pos: usize = 0;
+    loop {
+        let rest = &bytes[pos..];
+        if rest.is_empty() {
+            return Ok(Scan {
+                payloads,
+                valid_bytes: pos as u64,
+                tail: Tail::Clean,
+            });
+        }
+        if rest.len() < 8 {
+            // Torn mid-header: the length or CRC field itself is cut off.
+            return Ok(Scan {
+                payloads,
+                valid_bytes: pos as u64,
+                tail: Tail::Torn,
+            });
+        }
+        let len = u32::from_le_bytes(rest[0..4].try_into().unwrap());
+        if len > MAX_RECORD_BYTES {
+            return Err(DurableError::Format(
+                "record length exceeds MAX_RECORD_BYTES",
+            ));
+        }
+        let expected = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+        let body = &rest[8..];
+        if body.len() < len as usize {
+            // Torn mid-payload.
+            return Ok(Scan {
+                payloads,
+                valid_bytes: pos as u64,
+                tail: Tail::Torn,
+            });
+        }
+        let payload = &body[..len as usize];
+        let got = crc32(payload);
+        if got != expected {
+            return Err(DurableError::Corrupt { offset: pos as u64 });
+        }
+        payloads.push(payload.to_vec());
+        pos += 8 + len as usize;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log_of(payloads: &[&[u8]]) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        for p in payloads {
+            bytes.extend_from_slice(&frame_record(p));
+        }
+        bytes
+    }
+
+    #[test]
+    fn round_trips_multiple_records() {
+        let image = log_of(&[b"alpha", b"", b"gamma-gamma"]);
+        let scan = scan(&image).unwrap();
+        assert_eq!(scan.tail, Tail::Clean);
+        assert_eq!(scan.valid_bytes, image.len() as u64);
+        assert_eq!(
+            scan.payloads,
+            vec![b"alpha".to_vec(), Vec::new(), b"gamma-gamma".to_vec()]
+        );
+    }
+
+    #[test]
+    fn empty_log_is_clean() {
+        let scan = scan(&[]).unwrap();
+        assert_eq!(scan.tail, Tail::Clean);
+        assert_eq!(scan.valid_bytes, 0);
+        assert!(scan.payloads.is_empty());
+    }
+
+    #[test]
+    fn truncation_anywhere_in_final_record_is_torn_not_corrupt() {
+        let image = log_of(&[b"first", b"second-record"]);
+        let boundary = frame_record(b"first").len();
+        // Cutting exactly at the boundary is a clean one-record log.
+        let at_boundary = scan(&image[..boundary]).unwrap();
+        assert_eq!(at_boundary.tail, Tail::Clean);
+        assert_eq!(at_boundary.payloads, vec![b"first".to_vec()]);
+        for cut in boundary + 1..image.len() {
+            let scan = scan(&image[..cut]).unwrap();
+            assert_eq!(scan.tail, Tail::Torn, "cut at {cut}");
+            assert_eq!(scan.valid_bytes, boundary as u64, "cut at {cut}");
+            assert_eq!(scan.payloads, vec![b"first".to_vec()], "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bit_damage_is_corrupt_with_offset() {
+        let mut image = log_of(&[b"first", b"second"]);
+        let boundary = frame_record(b"first").len();
+        let last = image.len() - 1; // inside the second payload
+        image[last] ^= 0x01;
+        match scan(&image) {
+            Err(DurableError::Corrupt { offset }) => assert_eq!(offset, boundary as u64),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn absurd_length_field_is_a_format_error() {
+        let mut image = Vec::new();
+        image.extend_from_slice(&(MAX_RECORD_BYTES + 1).to_le_bytes());
+        image.extend_from_slice(&[0u8; 4]);
+        assert!(matches!(scan(&image), Err(DurableError::Format(_))));
+    }
+}

@@ -88,6 +88,34 @@ pub struct HealthInfo {
     pub decisions: u64,
 }
 
+/// Typed payload of the `io::Error` a [`ServeClient`] returns when the
+/// server vanishes mid-session (socket closed, reset, or broken pipe).
+///
+/// Carried as the error's source so callers can distinguish "the server
+/// died — reconnect and [`ServeClient::resume_stream`]" from a protocol
+/// violation; test with [`is_disconnected`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Disconnected;
+
+impl std::fmt::Display for Disconnected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "server disconnected mid-session")
+    }
+}
+
+impl std::error::Error for Disconnected {}
+
+/// True iff `err` is the typed disconnect a [`ServeClient`] raises when
+/// the server drops the connection mid-session.
+pub fn is_disconnected(err: &io::Error) -> bool {
+    err.get_ref()
+        .is_some_and(|inner| inner.downcast_ref::<Disconnected>().is_some())
+}
+
+fn disconnected() -> io::Error {
+    io::Error::new(io::ErrorKind::ConnectionAborted, Disconnected)
+}
+
 /// One blocking client session.
 pub struct ServeClient {
     sock: TcpStream,
@@ -137,16 +165,29 @@ impl ServeClient {
         self.negotiated
     }
 
-    /// One request, one reply.
+    /// One request, one reply. A transport-level failure (EOF, reset,
+    /// broken pipe) is normalized into the typed [`Disconnected`] error;
+    /// protocol violations pass through unchanged.
     fn call(&mut self, msg: &Message) -> io::Result<Message> {
         let mut chan = &self.sock;
-        write_message(&mut chan, msg)?;
-        match read_message(&mut chan)? {
+        let normalize = |e: io::Error| {
+            let gone = matches!(
+                e.kind(),
+                io::ErrorKind::UnexpectedEof
+                    | io::ErrorKind::ConnectionReset
+                    | io::ErrorKind::ConnectionAborted
+                    | io::ErrorKind::BrokenPipe
+            );
+            if gone {
+                disconnected()
+            } else {
+                e
+            }
+        };
+        write_message(&mut chan, msg).map_err(normalize)?;
+        match read_message(&mut chan).map_err(normalize)? {
             Some(reply) => Ok(reply),
-            None => Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "server closed the session mid-request",
-            )),
+            None => Err(disconnected()),
         }
     }
 
@@ -185,6 +226,33 @@ impl ServeClient {
                 stream_id: sid,
                 decisions,
             } if sid == stream_id => Ok(Response::Ok(decisions)),
+            Message::Rejected {
+                code,
+                retry_after_ms,
+                detail,
+            } => Ok(Response::Rejected(Rejection {
+                code,
+                retry_after_ms,
+                detail,
+            })),
+            other => Err(unexpected(Some(other))),
+        }
+    }
+
+    /// Re-attaches to a stream held in the server's durable state
+    /// (protocol minor ≥ 1). `last_seq` is the number of frames this
+    /// client believes were accepted; on success the server returns the
+    /// authoritative `next_seq` — continue submitting the stream's rows
+    /// from that absolute index.
+    pub fn resume_stream(&mut self, stream_id: u32, last_seq: u64) -> io::Result<Response<u64>> {
+        match self.call(&Message::Resume {
+            stream_id,
+            last_seq,
+        })? {
+            Message::Resumed {
+                stream_id: sid,
+                next_seq,
+            } if sid == stream_id => Ok(Response::Ok(next_seq)),
             Message::Rejected {
                 code,
                 retry_after_ms,

@@ -18,7 +18,8 @@
 //!   `OnlinePredictor` lane per admitted stream, optional resilient-CI
 //!   wiring so degradation tags reach clients, `serve.*` telemetry.
 //! - [`client`] — the matching blocking client library used by the CLI's
-//!   `bench-client` and the loopback tests.
+//!   `bench-client` and the loopback tests; its typed [`Disconnected`]
+//!   error tells callers a dead server apart from a protocol violation.
 //! - [`convert`] — lossless mapping between core decisions and their wire
 //!   images.
 //!
@@ -26,6 +27,14 @@
 //! `run_lanes` path for the same model, state, and frames, at any worker
 //! count — see the determinism notes on [`server`] and the loopback soak
 //! test in the workspace's `tests/serve.rs`.
+//!
+//! With [`ServeConfig::durable`](server::ServeConfig) set, the server
+//! event-sources every session through `eventhit-durable`: each admitted
+//! stream, accepted batch, and emitted decision is committed to an
+//! append-only log before the reply is written, snapshots bound replay
+//! time, and a restarted server recovers bit-identical lane state so
+//! clients can reconnect and `Resume` where they left off (protocol
+//! minor 1). The durability model is specified in `docs/DESIGN.md`.
 //!
 //! The wire format is specified in `docs/PROTOCOL.md`.
 
@@ -38,5 +47,7 @@ pub mod convert;
 pub mod protocol;
 pub mod server;
 
-pub use client::{HealthInfo, Negotiated, Rejection, Response, ServeClient};
-pub use server::{LaneFactory, ResilienceSpec, ServeConfig, Server};
+pub use client::{
+    is_disconnected, Disconnected, HealthInfo, Negotiated, Rejection, Response, ServeClient,
+};
+pub use server::{DurableOptions, LaneFactory, ResilienceSpec, ServeConfig, Server};

@@ -52,7 +52,10 @@ pub const PROTOCOL_MAJOR: u16 = 1;
 
 /// Protocol minor version. Minors are negotiated down: the session runs
 /// at `min(client_minor, server_minor)` of a shared major.
-pub const PROTOCOL_MINOR: u16 = 0;
+///
+/// Minor 1 added [`Message::Resume`] / [`Message::Resumed`] (durable
+/// reconnect-and-resume); a minor-0 peer simply never sends them.
+pub const PROTOCOL_MINOR: u16 = 1;
 
 /// Hard cap on a single frame's payload (tag + body), in bytes. The
 /// decoder refuses larger length prefixes outright instead of trusting a
@@ -310,6 +313,28 @@ pub enum Message {
         /// `TelemetrySnapshot::to_jsonl()` bytes, UTF-8.
         jsonl: String,
     },
+    /// Re-attaches to a stream that survives in the server's durable
+    /// state (protocol minor ≥ 1). `last_seq` is the client's count of
+    /// frames it believes the server accepted; the server replies with
+    /// the authoritative [`Message::Resumed`] so the client knows where
+    /// to continue submitting.
+    Resume {
+        /// The durable stream to re-attach.
+        stream_id: u32,
+        /// Frames the client believes were accepted (its own count of
+        /// acknowledged submissions). Must not exceed the server's.
+        last_seq: u64,
+    },
+    /// Server confirmation of a [`Message::Resume`] (protocol minor ≥ 1).
+    Resumed {
+        /// Echo of the resumed stream id.
+        stream_id: u32,
+        /// The server-authoritative frame count: the client submits the
+        /// stream's rows from this absolute index onward. May exceed the
+        /// client's `last_seq` when a crash cut the acknowledgement (the
+        /// frames were logged; their decisions are not retransmitted).
+        next_seq: u64,
+    },
     /// The server refused a request; the session stays usable unless the
     /// code is fatal ([`RejectCode::VersionUnsupported`],
     /// [`RejectCode::Malformed`]).
@@ -338,6 +363,8 @@ const TAG_HEALTH_REPORT: u8 = 0x0A;
 const TAG_TELEMETRY_QUERY: u8 = 0x0B;
 const TAG_TELEMETRY_REPORT: u8 = 0x0C;
 const TAG_REJECTED: u8 = 0x0D;
+const TAG_RESUME: u8 = 0x0E;
+const TAG_RESUMED: u8 = 0x0F;
 
 impl Message {
     /// The message's wire tag byte.
@@ -356,6 +383,8 @@ impl Message {
             Message::TelemetryQuery => TAG_TELEMETRY_QUERY,
             Message::TelemetryReport { .. } => TAG_TELEMETRY_REPORT,
             Message::Rejected { .. } => TAG_REJECTED,
+            Message::Resume { .. } => TAG_RESUME,
+            Message::Resumed { .. } => TAG_RESUMED,
         }
     }
 }
@@ -482,6 +511,20 @@ pub fn encode(msg: &Message) -> Vec<u8> {
             payload.push(*code as u8);
             put_u32(&mut payload, *retry_after_ms);
             put_str(&mut payload, detail);
+        }
+        Message::Resume {
+            stream_id,
+            last_seq,
+        } => {
+            put_u32(&mut payload, *stream_id);
+            put_u64(&mut payload, *last_seq);
+        }
+        Message::Resumed {
+            stream_id,
+            next_seq,
+        } => {
+            put_u32(&mut payload, *stream_id);
+            put_u64(&mut payload, *next_seq);
         }
     }
     let mut frame = Vec::with_capacity(4 + payload.len());
@@ -660,6 +703,14 @@ pub fn decode_payload(payload: &[u8]) -> Result<Message, ProtocolError> {
             retry_after_ms: c.u32()?,
             detail: c.string()?,
         },
+        TAG_RESUME => Message::Resume {
+            stream_id: c.u32()?,
+            last_seq: c.u64()?,
+        },
+        TAG_RESUMED => Message::Resumed {
+            stream_id: c.u32()?,
+            next_seq: c.u64()?,
+        },
         other => return Err(ProtocolError::UnknownTag(other)),
     };
     c.finish()?;
@@ -816,6 +867,14 @@ mod tests {
                 code: RejectCode::QueueFull,
                 retry_after_ms: 250,
                 detail: "stream 3 queue at 8192/8192 frames".into(),
+            },
+            Message::Resume {
+                stream_id: 3,
+                last_seq: 12_345,
+            },
+            Message::Resumed {
+                stream_id: 3,
+                next_seq: 12_349,
             },
         ]
     }

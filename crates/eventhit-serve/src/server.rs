@@ -21,14 +21,19 @@
 //! (`QueueFull`) with a `retry_after_ms` hint — the client keeps the data
 //! and retries; the server's memory stays bounded by its configuration.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::Arc;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use eventhit_core::faults::FaultConfig;
 use eventhit_core::resilient::{DegradationTag, ResilienceConfig, ResilientCiClient};
 use eventhit_core::streaming::OnlinePredictor;
+use eventhit_core::{ConformalState, EventHit};
+use eventhit_durable::{
+    decision_fingerprint, replay, DurableError, DurableStore, LaneSnapshot, SessionEvent, Snapshot,
+};
 use eventhit_parallel::Pool;
 use eventhit_telemetry::Telemetry;
 use eventhit_video::detector::StageModel;
@@ -57,6 +62,28 @@ pub struct ResilienceSpec {
     pub seed: u64,
 }
 
+/// Durable-serving wiring: where the session log lives and how often the
+/// hub checkpoints (see `DESIGN.md` §14).
+#[derive(Debug, Clone)]
+pub struct DurableOptions {
+    /// Session directory: log, snapshots, and persisted reloads.
+    pub dir: PathBuf,
+    /// Snapshot after this many new log events (0 disables snapshots;
+    /// recovery then replays the whole log).
+    pub snapshot_every: u64,
+}
+
+impl DurableOptions {
+    /// Durable serving in `dir` with the default snapshot cadence (256
+    /// events).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurableOptions {
+            dir: dir.into(),
+            snapshot_every: 256,
+        }
+    }
+}
+
 /// Server configuration: bind address plus the admission limits echoed to
 /// every client in `HelloAck`.
 #[derive(Debug, Clone)]
@@ -76,6 +103,13 @@ pub struct ServeConfig {
     /// serves every decision untagged, which is what the determinism
     /// soak test uses.
     pub resilience: Option<ResilienceSpec>,
+    /// Optional durable-serving wiring (see [`DurableOptions`]). When
+    /// set, every state-changing request is committed to the session log
+    /// before it is acknowledged, lanes survive disconnects and crashes,
+    /// and clients re-attach with `Resume`. Mutually exclusive with
+    /// `resilience` — the resilient CI client carries breaker state the
+    /// snapshots do not capture.
+    pub durable: Option<DurableOptions>,
 }
 
 impl Default for ServeConfig {
@@ -87,6 +121,7 @@ impl Default for ServeConfig {
             max_queue_frames: 8192,
             retry_after_ms: 100,
             resilience: None,
+            durable: None,
         }
     }
 }
@@ -106,12 +141,93 @@ struct Lane {
     decisions: u64,
 }
 
+/// A lane owned by the durable hub. `attached` marks whether a live
+/// session currently drives it; a disconnect parks the lane (detached,
+/// admission slot released) until a `Resume` re-attaches it.
+struct DurableLane {
+    lane: Lane,
+    attached: bool,
+}
+
+/// The active hot-reload: weights, refitted conformal state, and the
+/// fingerprint the pair is persisted under.
+struct ActiveReload {
+    model: EventHit,
+    state: ConformalState,
+    fingerprint: u64,
+}
+
+/// Global durable state, one per server. A single mutex serializes every
+/// state-changing request across sessions — appends hit the log in
+/// application order, which is exactly the order replay re-applies them.
+struct DurableHub {
+    store: DurableStore,
+    lanes: BTreeMap<u32, DurableLane>,
+    reload: Option<ActiveReload>,
+    snapshot_every: u64,
+    events_at_last_snapshot: u64,
+}
+
+impl DurableHub {
+    /// Checkpoints the hub if enough events accumulated since the last
+    /// snapshot. Lane iteration order (ascending stream id) makes the
+    /// snapshot bytes deterministic for a given state.
+    fn maybe_snapshot(&mut self) -> Result<(), DurableError> {
+        if self.snapshot_every == 0 {
+            return Ok(());
+        }
+        let events = self.store.events_applied();
+        if events - self.events_at_last_snapshot < self.snapshot_every {
+            return Ok(());
+        }
+        let lanes = self
+            .lanes
+            .iter()
+            .map(|(&stream_id, dl)| {
+                let st = dl.lane.predictor.export_state();
+                LaneSnapshot {
+                    stream_id,
+                    dim: dl.lane.predictor.input_dim() as u32,
+                    frames: dl.lane.frames,
+                    decisions: dl.lane.decisions,
+                    frames_seen: st.frames_seen,
+                    countdown: st.countdown,
+                    state_fingerprint: st.fingerprint(),
+                    rows: st.rows,
+                }
+            })
+            .collect();
+        self.store.write_snapshot(&Snapshot {
+            events_applied: events,
+            reload_fingerprint: self.reload.as_ref().map(|r| r.fingerprint),
+            lanes,
+        })?;
+        self.events_at_last_snapshot = events;
+        Ok(())
+    }
+}
+
 struct Shared {
     listener: TcpListener,
     cfg: ServeConfig,
     factory: Box<LaneFactory>,
     admission: AdmissionController,
     telemetry: Arc<Telemetry>,
+    durable: Option<Mutex<DurableHub>>,
+}
+
+/// Maps a durable-layer failure onto the session's `io::Result` plumbing.
+fn durable_io(e: DurableError) -> io::Error {
+    io::Error::other(e.to_string())
+}
+
+fn lock_hub(shared: &Shared) -> MutexGuard<'_, DurableHub> {
+    shared
+        .durable
+        .as_ref()
+        .expect("durable loop requires a hub")
+        .lock()
+        .expect("durable hub poisoned")
 }
 
 /// The serving frontend. Bind once, then push session-serving work onto
@@ -135,6 +251,57 @@ impl Server {
         factory: Box<LaneFactory>,
         telemetry: Arc<Telemetry>,
     ) -> io::Result<Server> {
+        if cfg.durable.is_some() && cfg.resilience.is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "durable serving cannot be combined with resilient-CI wiring: \
+                 breaker state is not captured by snapshots",
+            ));
+        }
+        // Durable recovery happens before the listener accepts anything:
+        // replay the log through factory-built predictors and park every
+        // recovered lane until its client resumes.
+        let durable = match &cfg.durable {
+            None => None,
+            Some(opts) => {
+                let (store, recovery) = DurableStore::open(&opts.dir).map_err(durable_io)?;
+                let replayed = replay(&opts.dir, &recovery, &mut |stream_id| (factory)(stream_id))
+                    .map_err(durable_io)?;
+                let lanes = replayed
+                    .lanes
+                    .into_iter()
+                    .map(|(stream_id, rl)| {
+                        (
+                            stream_id,
+                            DurableLane {
+                                lane: Lane {
+                                    predictor: rl.predictor,
+                                    queue: FrameQueue::new(cfg.max_queue_frames as usize),
+                                    resilient: None,
+                                    stream_fps: 30.0,
+                                    frames: rl.frames,
+                                    decisions: rl.decisions,
+                                },
+                                attached: false,
+                            },
+                        )
+                    })
+                    .collect();
+                let reload = replayed.reload.map(|r| ActiveReload {
+                    model: r.model,
+                    state: r.state,
+                    fingerprint: r.fingerprint,
+                });
+                let events = store.events_applied();
+                Some(Mutex::new(DurableHub {
+                    store,
+                    lanes,
+                    reload,
+                    snapshot_every: opts.snapshot_every,
+                    events_at_last_snapshot: events,
+                }))
+            }
+        };
         let addrs: Vec<SocketAddr> = cfg.addr.to_socket_addrs()?.collect();
         let listener = TcpListener::bind(&addrs[..])?;
         let admission = AdmissionController::new(cfg.max_streams);
@@ -145,6 +312,7 @@ impl Server {
                 factory,
                 admission,
                 telemetry,
+                durable,
             }),
         })
     }
@@ -164,6 +332,45 @@ impl Server {
                 serve_session(shared, sock);
             }
         });
+    }
+
+    /// Hot-swaps the serving model mid-serve (durable servers only).
+    ///
+    /// The new weights and their *refitted* conformal state (see
+    /// `TaskRun::state_for_model` — reusing the old state would void the
+    /// coverage guarantees) are persisted beside the session log, a
+    /// `ModelReloaded` event is committed, and every live lane swaps in
+    /// place keeping its window and anchor cadence. Returns the weight
+    /// fingerprint the reload is journaled under; replay after a crash
+    /// reproduces pre- and post-reload decisions exactly.
+    pub fn reload_model(&self, mut model: EventHit, state: ConformalState) -> io::Result<u64> {
+        let Some(hub) = &self.shared.durable else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "model hot-reload requires durable serving (the swap must be journaled)",
+            ));
+        };
+        let mut hub = hub.lock().expect("durable hub poisoned");
+        let fingerprint = hub
+            .store
+            .save_reload(&mut model, &state)
+            .map_err(durable_io)?;
+        hub.store
+            .append(&SessionEvent::ModelReloaded { fingerprint })
+            .map_err(durable_io)?;
+        for dl in hub.lanes.values_mut() {
+            dl.lane
+                .predictor
+                .reload_model(model.clone(), state.clone())
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        }
+        hub.reload = Some(ActiveReload {
+            model,
+            state,
+            fingerprint,
+        });
+        self.shared.telemetry.add("serve.model_reloads", 1);
+        Ok(fingerprint)
     }
 
     /// Serves sessions until the process exits: every pool worker loops
@@ -190,17 +397,85 @@ fn serve_session(shared: &Shared, sock: TcpStream) {
     shared.admission.session_started();
     t.add("serve.sessions", 1);
 
-    let mut lanes: BTreeMap<u32, Lane> = BTreeMap::new();
-    let outcome = session_loop(shared, &sock, &mut lanes);
-
-    // Cleanup: whatever the session still holds goes back to the pool.
-    for (_id, _lane) in lanes.iter() {
-        shared.admission.release();
-        t.add("serve.streams_aborted", 1);
-    }
+    let outcome = if shared.durable.is_some() {
+        let mut owned: BTreeSet<u32> = BTreeSet::new();
+        let outcome = durable_session_loop(shared, &sock, &mut owned);
+        // Durable cleanup: lanes survive the session. Park whatever the
+        // session still drives — detached, slot released — so a future
+        // `Resume` (possibly after a server restart) picks up exactly
+        // where this connection stopped.
+        if !owned.is_empty() {
+            let mut hub = lock_hub(shared);
+            for id in &owned {
+                if let Some(dl) = hub.lanes.get_mut(id) {
+                    dl.attached = false;
+                }
+                shared.admission.release();
+                t.add("serve.streams_parked", 1);
+            }
+        }
+        outcome
+    } else {
+        let mut lanes: BTreeMap<u32, Lane> = BTreeMap::new();
+        let outcome = session_loop(shared, &sock, &mut lanes);
+        // Cleanup: whatever the session still holds goes back to the pool.
+        for (_id, _lane) in lanes.iter() {
+            shared.admission.release();
+            t.add("serve.streams_aborted", 1);
+        }
+        outcome
+    };
     t.gauge_set("serve.active_streams", shared.admission.active() as f64);
     if outcome.is_err() {
         t.add("serve.session_errors", 1);
+    }
+}
+
+/// Performs the `Hello`/`HelloAck` handshake. Returns `Ok(false)` when
+/// the session should end without entering the request loop (immediate
+/// EOF, or a version rejection already written).
+fn handshake(shared: &Shared, chan: &mut &TcpStream) -> io::Result<bool> {
+    let cfg = &shared.cfg;
+    let t = &shared.telemetry;
+    let hello = match read_message(chan)? {
+        Some(m) => m,
+        None => return Ok(false), // connected and left; fine
+    };
+    match hello {
+        Message::Hello { major, minor } if major == PROTOCOL_MAJOR => {
+            write_message(
+                chan,
+                // Minor negotiation: run at min(client, server).
+                &Message::HelloAck {
+                    major: PROTOCOL_MAJOR,
+                    minor: minor.min(PROTOCOL_MINOR),
+                    max_streams: cfg.max_streams,
+                    max_batch_frames: cfg.max_batch_frames,
+                    max_queue_frames: cfg.max_queue_frames,
+                },
+            )?;
+            Ok(true)
+        }
+        Message::Hello { major, .. } => {
+            reject(
+                chan,
+                t,
+                RejectCode::VersionUnsupported,
+                0,
+                format!("server speaks major {PROTOCOL_MAJOR}, client sent {major}"),
+            )?;
+            Ok(false)
+        }
+        other => {
+            reject(
+                chan,
+                t,
+                RejectCode::NotReady,
+                0,
+                format!("expected Hello, got tag 0x{:02x}", other.tag()),
+            )?;
+            Ok(false)
+        }
     }
 }
 
@@ -216,48 +491,8 @@ fn session_loop(
     let t = &shared.telemetry;
     let mut chan = sock;
 
-    // --- Handshake: the first frame must be a version-compatible Hello.
-    let hello = match read_message(&mut chan)? {
-        Some(m) => m,
-        None => return Ok(()), // connected and left; fine
-    };
-    match hello {
-        Message::Hello { major, minor } if major == PROTOCOL_MAJOR => {
-            write_message(
-                &mut chan,
-                // Minor negotiation: run at min(client, server). With
-                // PROTOCOL_MINOR = 0 the min is degenerate today, but the
-                // rule must survive the first minor bump.
-                #[allow(clippy::unnecessary_min_or_max)]
-                &Message::HelloAck {
-                    major: PROTOCOL_MAJOR,
-                    minor: minor.min(PROTOCOL_MINOR),
-                    max_streams: cfg.max_streams,
-                    max_batch_frames: cfg.max_batch_frames,
-                    max_queue_frames: cfg.max_queue_frames,
-                },
-            )?;
-        }
-        Message::Hello { major, .. } => {
-            reject(
-                &mut chan,
-                t,
-                RejectCode::VersionUnsupported,
-                0,
-                format!("server speaks major {PROTOCOL_MAJOR}, client sent {major}"),
-            )?;
-            return Ok(());
-        }
-        other => {
-            reject(
-                &mut chan,
-                t,
-                RejectCode::NotReady,
-                0,
-                format!("expected Hello, got tag 0x{:02x}", other.tag()),
-            )?;
-            return Ok(());
-        }
+    if !handshake(shared, &mut chan)? {
+        return Ok(());
     }
 
     // --- Request loop.
@@ -465,6 +700,358 @@ fn session_loop(
             other => {
                 // Server-bound sessions must not receive server-to-client
                 // messages (or a second Hello); that is a fatal violation.
+                reject(
+                    &mut chan,
+                    t,
+                    RejectCode::Malformed,
+                    0,
+                    format!("unexpected message tag 0x{:02x}", other.tag()),
+                )?;
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// The request loop for durable servers. Lanes live in the global
+/// [`DurableHub`] (they must survive the session); this session drives
+/// the subset in `owned`. Every state change is appended to the log
+/// *before* the reply is written, so anything a client ever observed is
+/// recoverable after a crash.
+fn durable_session_loop(
+    shared: &Shared,
+    sock: &TcpStream,
+    owned: &mut BTreeSet<u32>,
+) -> io::Result<()> {
+    let cfg = &shared.cfg;
+    let t = &shared.telemetry;
+    let mut chan = sock;
+
+    if !handshake(shared, &mut chan)? {
+        return Ok(());
+    }
+
+    loop {
+        let msg = match read_message(&mut chan) {
+            Ok(Some(m)) => m,
+            Ok(None) => return Ok(()), // clean disconnect; lanes get parked
+            Err(e) => return Err(e),
+        };
+        match msg {
+            Message::OpenStream { stream_id } => {
+                let mut hub = lock_hub(shared);
+                if hub.lanes.contains_key(&stream_id) {
+                    // Durable ids are global: the stream exists (maybe
+                    // parked by a dead session). Opening would fork its
+                    // history; the client must Resume instead.
+                    drop(hub);
+                    reject(
+                        &mut chan,
+                        t,
+                        RejectCode::DuplicateStream,
+                        0,
+                        format!("stream {stream_id} exists in durable state; send Resume"),
+                    )?;
+                    continue;
+                }
+                if !shared.admission.try_admit() {
+                    drop(hub);
+                    reject(
+                        &mut chan,
+                        t,
+                        RejectCode::TooManyStreams,
+                        cfg.retry_after_ms,
+                        format!(
+                            "at capacity: {} of {} streams open",
+                            shared.admission.active(),
+                            cfg.max_streams
+                        ),
+                    )?;
+                    continue;
+                }
+                let mut predictor = (shared.factory)(stream_id);
+                if let Some(r) = &hub.reload {
+                    predictor
+                        .reload_model(r.model.clone(), r.state.clone())
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                }
+                let dim = predictor.input_dim() as u32;
+                hub.store
+                    .append(&SessionEvent::StreamAdmitted { stream_id, dim })
+                    .map_err(durable_io)?;
+                hub.lanes.insert(
+                    stream_id,
+                    DurableLane {
+                        lane: Lane {
+                            predictor,
+                            queue: FrameQueue::new(cfg.max_queue_frames as usize),
+                            resilient: None,
+                            stream_fps: 30.0,
+                            frames: 0,
+                            decisions: 0,
+                        },
+                        attached: true,
+                    },
+                );
+                drop(hub);
+                owned.insert(stream_id);
+                t.add("serve.streams_opened", 1);
+                t.gauge_set("serve.active_streams", shared.admission.active() as f64);
+                write_message(&mut chan, &Message::StreamOpened { stream_id })?;
+            }
+
+            Message::Resume {
+                stream_id,
+                last_seq,
+            } => {
+                let mut hub = lock_hub(shared);
+                let Some(dl) = hub.lanes.get_mut(&stream_id) else {
+                    drop(hub);
+                    reject(
+                        &mut chan,
+                        t,
+                        RejectCode::UnknownStream,
+                        0,
+                        format!("stream {stream_id} has no durable state"),
+                    )?;
+                    continue;
+                };
+                if dl.attached {
+                    drop(hub);
+                    reject(
+                        &mut chan,
+                        t,
+                        RejectCode::DuplicateStream,
+                        0,
+                        format!("stream {stream_id} is attached to a live session"),
+                    )?;
+                    continue;
+                }
+                if last_seq > dl.lane.frames {
+                    // Fatal: the client claims acknowledgements the log
+                    // never committed — it is talking to the wrong server
+                    // or the wrong directory.
+                    let have = dl.lane.frames;
+                    drop(hub);
+                    reject(
+                        &mut chan,
+                        t,
+                        RejectCode::Malformed,
+                        0,
+                        format!(
+                            "stream {stream_id}: client claims {last_seq} accepted \
+                             frames, durable state holds {have}"
+                        ),
+                    )?;
+                    return Ok(());
+                }
+                if !shared.admission.try_admit() {
+                    drop(hub);
+                    reject(
+                        &mut chan,
+                        t,
+                        RejectCode::TooManyStreams,
+                        cfg.retry_after_ms,
+                        format!(
+                            "at capacity: {} of {} streams open",
+                            shared.admission.active(),
+                            cfg.max_streams
+                        ),
+                    )?;
+                    continue;
+                }
+                dl.attached = true;
+                let next_seq = dl.lane.frames;
+                drop(hub);
+                owned.insert(stream_id);
+                t.add("serve.streams_resumed", 1);
+                t.gauge_set("serve.active_streams", shared.admission.active() as f64);
+                write_message(
+                    &mut chan,
+                    &Message::Resumed {
+                        stream_id,
+                        next_seq,
+                    },
+                )?;
+            }
+
+            Message::SubmitFrames {
+                stream_id,
+                dim,
+                data,
+            } => {
+                if !owned.contains(&stream_id) {
+                    reject(
+                        &mut chan,
+                        t,
+                        RejectCode::UnknownStream,
+                        0,
+                        format!("stream {stream_id} is not open in this session"),
+                    )?;
+                    continue;
+                }
+                let mut hub = lock_hub(shared);
+                let dl = hub
+                    .lanes
+                    .get_mut(&stream_id)
+                    .expect("owned streams exist in the hub");
+                let lane = &mut dl.lane;
+                let expected = lane.predictor.input_dim() as u32;
+                if dim != expected {
+                    drop(hub);
+                    reject(
+                        &mut chan,
+                        t,
+                        RejectCode::Malformed,
+                        0,
+                        format!("stream {stream_id} expects dim {expected}, got {dim}"),
+                    )?;
+                    return Ok(());
+                }
+                let rows = data.len() / dim.max(1) as usize;
+                if rows as u32 > cfg.max_batch_frames {
+                    drop(hub);
+                    reject(
+                        &mut chan,
+                        t,
+                        RejectCode::BatchTooLarge,
+                        0,
+                        format!(
+                            "batch of {rows} frames exceeds the {} cap; split it",
+                            cfg.max_batch_frames
+                        ),
+                    )?;
+                    continue;
+                }
+                if rows > lane.queue.free() {
+                    let free = lane.queue.free();
+                    drop(hub);
+                    reject(
+                        &mut chan,
+                        t,
+                        RejectCode::QueueFull,
+                        cfg.retry_after_ms,
+                        format!(
+                            "stream {stream_id} queue has {free} of {} frames free",
+                            cfg.max_queue_frames
+                        ),
+                    )?;
+                    continue;
+                }
+                // Committed before fed: a crash after this append replays
+                // the batch, so `next_seq` can never run behind a reply
+                // the client already saw.
+                hub.store
+                    .append(&SessionEvent::FramesPushed {
+                        stream_id,
+                        dim,
+                        data: data.clone(),
+                    })
+                    .map_err(durable_io)?;
+                let lane = &mut hub
+                    .lanes
+                    .get_mut(&stream_id)
+                    .expect("owned streams exist in the hub")
+                    .lane;
+                let batch: Vec<Vec<f32>> = data
+                    .chunks(dim.max(1) as usize)
+                    .map(<[f32]>::to_vec)
+                    .collect();
+                lane.queue
+                    .try_enqueue(batch)
+                    .expect("free space was checked");
+                let mut decisions = Vec::new();
+                let mut emitted = Vec::new();
+                while let Some(row) = lane.queue.pop() {
+                    if let Some(d) = lane.push(row) {
+                        emitted.push(SessionEvent::DecisionEmitted {
+                            stream_id,
+                            anchor: d.anchor,
+                            fingerprint: decision_fingerprint(&d),
+                        });
+                        decisions.push(decision_to_wire(&d));
+                    }
+                }
+                lane.frames += rows as u64;
+                lane.decisions += decisions.len() as u64;
+                for ev in &emitted {
+                    hub.store.append(ev).map_err(durable_io)?;
+                }
+                hub.maybe_snapshot().map_err(durable_io)?;
+                drop(hub);
+                shared.admission.add_frames(rows as u64);
+                shared.admission.add_decisions(decisions.len() as u64);
+                t.add("serve.frames", rows as u64);
+                t.add("serve.decisions", decisions.len() as u64);
+                write_message(
+                    &mut chan,
+                    &Message::Decisions {
+                        stream_id,
+                        decisions,
+                    },
+                )?;
+            }
+
+            Message::CloseStream { stream_id } => {
+                if !owned.contains(&stream_id) {
+                    reject(
+                        &mut chan,
+                        t,
+                        RejectCode::UnknownStream,
+                        0,
+                        format!("stream {stream_id} is not open in this session"),
+                    )?;
+                    continue;
+                }
+                let mut hub = lock_hub(shared);
+                hub.store
+                    .append(&SessionEvent::StreamClosed { stream_id })
+                    .map_err(durable_io)?;
+                let dl = hub
+                    .lanes
+                    .remove(&stream_id)
+                    .expect("owned streams exist in the hub");
+                hub.maybe_snapshot().map_err(durable_io)?;
+                drop(hub);
+                owned.remove(&stream_id);
+                shared.admission.release();
+                t.add("serve.streams_closed", 1);
+                t.gauge_set("serve.active_streams", shared.admission.active() as f64);
+                write_message(
+                    &mut chan,
+                    &Message::StreamClosed {
+                        stream_id,
+                        summary: StreamSummary {
+                            frames: dl.lane.frames,
+                            decisions: dl.lane.decisions,
+                        },
+                    },
+                )?;
+            }
+
+            Message::Health => {
+                let (sessions, frames, decisions) = shared.admission.totals();
+                write_message(
+                    &mut chan,
+                    &Message::HealthReport {
+                        active_streams: shared.admission.active(),
+                        sessions,
+                        frames,
+                        decisions,
+                    },
+                )?;
+            }
+
+            Message::TelemetryQuery => {
+                let jsonl = if t.is_enabled() {
+                    t.snapshot().to_jsonl()
+                } else {
+                    String::new()
+                };
+                write_message(&mut chan, &Message::TelemetryReport { jsonl })?;
+            }
+
+            other => {
                 reject(
                     &mut chan,
                     t,

@@ -51,4 +51,4 @@ pub use clock::ClockKind;
 pub use hist::LogHistogram;
 pub use percentile::{percentile, percentiles};
 pub use registry::{SpanGuard, SpanRecord, Telemetry};
-pub use report::{fnv1a, TelemetrySnapshot};
+pub use report::{crc32, fnv1a, TelemetrySnapshot};

@@ -88,6 +88,51 @@ impl WindowBuffer {
         self.frames.len() == self.window
     }
 
+    /// The configured collection-window size `M`.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// The configured feature dimensionality `D`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Copies out the buffered rows, oldest first — between 0 and
+    /// `window` rows of `dim` values each. Together with
+    /// [`WindowBuffer::frames_seen`] this is the buffer's complete
+    /// dynamic state, which [`WindowBuffer::restore`] reconstructs
+    /// bit-identically (the durable-serving snapshot path).
+    pub fn snapshot_rows(&self) -> Vec<Vec<f32>> {
+        self.frames.iter().cloned().collect()
+    }
+
+    /// Rebuilds a buffer from a snapshot taken with
+    /// [`WindowBuffer::snapshot_rows`] / [`WindowBuffer::frames_seen`].
+    ///
+    /// # Panics
+    /// Panics if more than `window` rows are given, any row is not `dim`
+    /// long, or `pushed` is smaller than the number of rows (callers that
+    /// read snapshots from disk validate first and surface typed errors).
+    pub fn restore(window: usize, dim: usize, rows: Vec<Vec<f32>>, pushed: u64) -> Self {
+        assert!(window > 0 && dim > 0);
+        assert!(rows.len() <= window, "snapshot holds more rows than fit");
+        assert!(
+            rows.iter().all(|r| r.len() == dim),
+            "snapshot row dimensionality mismatch"
+        );
+        assert!(
+            pushed >= rows.len() as u64,
+            "fewer frames pushed than buffered"
+        );
+        WindowBuffer {
+            window,
+            dim,
+            frames: rows.into(),
+            pushed,
+        }
+    }
+
     /// Number of frames pushed so far.
     pub fn frames_seen(&self) -> u64 {
         self.pushed
@@ -143,6 +188,36 @@ mod tests {
     fn push_rejects_wrong_dim() {
         let mut buf = WindowBuffer::new(2, 3);
         buf.push(vec![1.0]);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_mid_stream() {
+        let mut buf = WindowBuffer::new(3, 2);
+        for i in 0..5 {
+            buf.push(vec![i as f32, -(i as f32)]);
+        }
+        let restored = WindowBuffer::restore(
+            buf.window(),
+            buf.dim(),
+            buf.snapshot_rows(),
+            buf.frames_seen(),
+        );
+        assert_eq!(restored.frames_seen(), buf.frames_seen());
+        assert_eq!(restored.covariates(), buf.covariates());
+
+        // Both continue identically after the restore point.
+        let mut a = buf;
+        let mut b = restored;
+        a.push(vec![9.0, 9.5]);
+        b.push(vec![9.0, 9.5]);
+        assert_eq!(a.covariates(), b.covariates());
+        assert_eq!(a.frames_seen(), b.frames_seen());
+    }
+
+    #[test]
+    #[should_panic(expected = "more rows than fit")]
+    fn restore_rejects_oversized_snapshots() {
+        let _ = WindowBuffer::restore(2, 1, vec![vec![1.0], vec![2.0], vec![3.0]], 3);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! eventhit-cli marshal  --task TA10 --scale 0.3 --seed 7 --model model.evht \
 //!                       [--c 0.95] [--alpha 0.9]
 //! eventhit-cli serve        --task TA10 --scale 0.1 --seed 7 --addr 127.0.0.1:7077 \
-//!                           [--lane exact|quantized]
+//!                           [--lane exact|quantized] [--durable DIR] [--snapshot-every N]
 //! eventhit-cli bench-client --task TA10 --scale 0.1 --seed 7 --addr 127.0.0.1:7077 \
 //!                           [--streams 2] [--batch 64] [--frames 2000]
 //! ```
@@ -31,7 +31,9 @@ use eventhit::core::streaming::OnlinePredictor;
 use eventhit::core::tasks::{all_tasks, task};
 use eventhit::core::InferenceLane;
 use eventhit::parallel::Pool;
-use eventhit::serve::{Response, ServeClient, ServeConfig, Server};
+use eventhit::serve::{
+    is_disconnected, DurableOptions, Response, ServeClient, ServeConfig, Server,
+};
 
 #[derive(Debug, Clone)]
 struct Args {
@@ -48,6 +50,8 @@ struct Args {
     frames: usize,
     sessions: usize,
     lane: InferenceLane,
+    durable: Option<String>,
+    snapshot_every: u64,
 }
 
 impl Default for Args {
@@ -66,6 +70,8 @@ impl Default for Args {
             frames: 0,
             sessions: 0,
             lane: InferenceLane::Exact,
+            durable: None,
+            snapshot_every: 256,
         }
     }
 }
@@ -75,7 +81,8 @@ fn usage() -> ! {
         "usage: eventhit-cli <tasks|train|evaluate|marshal|serve|bench-client> \
          [--task TAi] [--scale F] [--seed N] [--model PATH] [--out PATH] \
          [--c F] [--alpha F] [--addr HOST:PORT] [--streams N] [--batch N] \
-         [--frames N] [--sessions N] [--lane exact|quantized]"
+         [--frames N] [--sessions N] [--lane exact|quantized] \
+         [--durable DIR] [--snapshot-every N]"
     );
     exit(2)
 }
@@ -98,6 +105,8 @@ fn parse(mut it: impl Iterator<Item = String>) -> Args {
             "--frames" => args.frames = value().parse().unwrap_or_else(|_| usage()),
             "--sessions" => args.sessions = value().parse().unwrap_or_else(|_| usage()),
             "--lane" => args.lane = value().parse().unwrap_or_else(|_| usage()),
+            "--durable" => args.durable = Some(value()),
+            "--snapshot-every" => args.snapshot_every = value().parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
     }
@@ -266,6 +275,11 @@ fn cmd_serve(args: &Args) {
     };
     let cfg = ServeConfig {
         addr: args.addr.clone(),
+        durable: args.durable.as_ref().map(|dir| {
+            let mut opts = DurableOptions::new(dir);
+            opts.snapshot_every = args.snapshot_every;
+            opts
+        }),
         ..ServeConfig::default()
     };
     let server = Server::bind(
@@ -284,6 +298,13 @@ fn cmd_serve(args: &Args) {
         t.id,
         run.features.cols()
     );
+    if let Some(dir) = &args.durable {
+        println!(
+            "durable: event-sourcing sessions into {dir} \
+             (snapshot every {} events)",
+            args.snapshot_every
+        );
+    }
     let pool = Pool::current();
     if args.sessions == 0 {
         server.serve_forever(&pool);
@@ -348,7 +369,18 @@ fn cmd_bench_client(args: &Args) {
         }
         for s in 0..args.streams {
             loop {
-                match client.submit(s, dim, data.clone()).expect("submit I/O") {
+                let reply = client.submit(s, dim, data.clone()).unwrap_or_else(|e| {
+                    if is_disconnected(&e) {
+                        eprintln!(
+                            "server disconnected mid-session; if it serves with \
+                             --durable, restart it and resume from frame {at}"
+                        );
+                    } else {
+                        eprintln!("submit failed: {e}");
+                    }
+                    exit(1)
+                });
+                match reply {
                     Response::Ok(ds) => {
                         decisions += ds.len() as u64;
                         break;

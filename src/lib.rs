@@ -26,6 +26,9 @@
 //! * [`serve`] — the stream-serving frontend: a versioned binary wire
 //!   protocol, a TCP server with admission control and bounded queues, and
 //!   the matching client library (`docs/PROTOCOL.md` for the wire spec).
+//! * [`durable`] — crash-safe serving state: an append-only checksummed
+//!   session log, periodic snapshots, and bit-identical replay so a
+//!   killed server resumes exactly where it stopped (DESIGN.md §14).
 //!
 //! ## End to end in six lines
 //!
@@ -59,6 +62,7 @@
 pub use eventhit_baselines as baselines;
 pub use eventhit_conformal as conformal;
 pub use eventhit_core as core;
+pub use eventhit_durable as durable;
 pub use eventhit_nn as nn;
 pub use eventhit_parallel as parallel;
 pub use eventhit_serve as serve;
