@@ -102,6 +102,10 @@ pub struct OnlinePredictor {
     /// Optional recorder; `None` keeps the hot path free of telemetry
     /// branches beyond one pointer check.
     telemetry: Option<Arc<Telemetry>>,
+    /// Ambient trace id attached to stage observations while set (the
+    /// serving layer sets it per traced batch). Not part of the exported
+    /// predictor state: tracing never influences decisions or replay.
+    trace: Option<u64>,
 }
 
 impl OnlinePredictor {
@@ -141,6 +145,7 @@ impl OnlinePredictor {
             state,
             strategy,
             telemetry: None,
+            trace: None,
         }
     }
 
@@ -257,10 +262,20 @@ impl OnlinePredictor {
 
     /// Attaches a telemetry recorder. Every pushed frame bumps
     /// `stream.frames`; each decision records its latency into
-    /// `stream.decision_seconds` and splits the horizon's frames into
+    /// `stream.decision_seconds`, its model-forward and conformal stage
+    /// latencies into the `inference` / `conformal` series of
+    /// `stream.stage_seconds`, and splits the horizon's frames into
     /// `stream.frames_relayed` / `stream.frames_filtered`.
     pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
         self.telemetry = Some(telemetry);
+    }
+
+    /// Sets (or clears) the ambient trace id. While set, stage
+    /// observations carry it as a histogram exemplar, tying tail-latency
+    /// buckets back to the client push that produced them. Purely
+    /// observational: decisions are bit-identical with or without it.
+    pub fn set_trace(&mut self, trace: Option<u64>) {
+        self.trace = trace;
     }
 
     /// Scores one record on the predictor's lane. The quantized lane uses
@@ -303,6 +318,7 @@ impl OnlinePredictor {
             labels: vec![EventLabel::absent(); self.state.num_events()],
         };
         let scored = self.score_one(&record);
+        let scored_at = self.telemetry.as_deref().map(Telemetry::now);
         let decision = HorizonDecision {
             anchor,
             predictions: self.state.predict(&scored, &self.strategy),
@@ -311,6 +327,19 @@ impl OnlinePredictor {
         if let (Some(t), Some(t0)) = (&self.telemetry, started) {
             t.add("stream.decisions", 1);
             t.observe("stream.decision_seconds", t.now() - t0);
+            if let Some(tm) = scored_at {
+                let (infer, conformal) = (tm - t0, t.now() - tm);
+                match self.trace {
+                    Some(id) => {
+                        t.observe_traced("stream.stage_seconds", "inference", infer, id);
+                        t.observe_traced("stream.stage_seconds", "conformal", conformal, id);
+                    }
+                    None => {
+                        t.observe_labeled("stream.stage_seconds", "inference", infer);
+                        t.observe_labeled("stream.stage_seconds", "conformal", conformal);
+                    }
+                }
+            }
             let relayed: u64 = decision
                 .segments()
                 .iter()

@@ -155,6 +155,13 @@ impl Snapshot {
     /// Writes the snapshot atomically into `dir` (temp file + rename)
     /// and prunes any older snapshots. Returns the published path.
     pub fn write(&self, dir: &Path) -> DurableResult<PathBuf> {
+        self.write_with_prune_count(dir).map(|(path, _)| path)
+    }
+
+    /// [`Snapshot::write`] that also reports how many older snapshot
+    /// files (including stale `.tmp` leftovers) the prune removed, so
+    /// the durable store can count them.
+    pub fn write_with_prune_count(&self, dir: &Path) -> DurableResult<(PathBuf, u64)> {
         let payload = self.encode();
         let mut bytes = Vec::with_capacity(20 + payload.len());
         bytes.extend_from_slice(MAGIC);
@@ -173,19 +180,22 @@ impl Snapshot {
         fs::rename(&tmp_path, &final_path)?;
 
         // Older snapshots are now redundant; best-effort prune.
+        let mut pruned = 0u64;
         for entry in fs::read_dir(dir)? {
             let path = entry?.path();
             if path == final_path {
                 continue;
             }
             if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
-                if name.starts_with("snap-") && (name.ends_with(".evsn") || name.ends_with(".tmp"))
+                if name.starts_with("snap-")
+                    && (name.ends_with(".evsn") || name.ends_with(".tmp"))
+                    && fs::remove_file(&path).is_ok()
                 {
-                    let _ = fs::remove_file(&path);
+                    pruned += 1;
                 }
             }
         }
-        Ok(final_path)
+        Ok((final_path, pruned))
     }
 
     /// Reads one snapshot file, validating shell and checksum.

@@ -26,18 +26,28 @@ use crate::state_io;
 use crate::{decision_fingerprint, DurableError, DurableResult};
 use eventhit_core::streaming::{HorizonDecision, OnlinePredictor, PredictorState};
 use eventhit_core::{ConformalState, EventHit};
+use eventhit_telemetry::Telemetry;
 use std::collections::{BTreeMap, VecDeque};
 use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 const LOG_FILE: &str = "session.evlog";
 
 /// An open durable session directory with an append handle on its log.
+///
+/// Opened with [`DurableStore::open_with_telemetry`], the store reports
+/// its own health: `durable.appends` / `durable.append_bytes` /
+/// `durable.commit_seconds` for the append path, `durable.snapshot_builds`
+/// / `durable.snapshot_prunes` for checkpoints, and
+/// `durable.replay_records` / `durable.torn_bytes_truncated` for what
+/// recovery found on disk.
 pub struct DurableStore {
     dir: PathBuf,
     log: fs::File,
     events_applied: u64,
+    telemetry: Arc<Telemetry>,
 }
 
 /// What [`DurableStore::open`] found on disk — the inputs to [`replay`].
@@ -60,6 +70,18 @@ impl DurableStore {
     /// truncates a torn tail, loads the newest valid snapshot, and
     /// returns the store plus everything recovery needs.
     pub fn open(dir: impl AsRef<Path>) -> DurableResult<(DurableStore, Recovery)> {
+        Self::open_with_telemetry(dir, Arc::new(Telemetry::disabled()))
+    }
+
+    /// [`DurableStore::open`] with a telemetry recorder. Recovery facts
+    /// are recorded immediately (`durable.replay_records` events pending
+    /// replay, `durable.torn_bytes_truncated` bytes dropped from a torn
+    /// tail); the append and snapshot paths report through the same
+    /// recorder for the store's lifetime.
+    pub fn open_with_telemetry(
+        dir: impl AsRef<Path>,
+        telemetry: Arc<Telemetry>,
+    ) -> DurableResult<(DurableStore, Recovery)> {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
         let log_path = dir.join(LOG_FILE);
@@ -97,11 +119,22 @@ impl DurableStore {
         let tail = events.split_off(skip as usize);
         let events_applied = skip + tail.len() as u64;
 
+        if !tail.is_empty() {
+            telemetry.add("durable.replay_records", tail.len() as u64);
+        }
+        if torn_tail {
+            telemetry.add(
+                "durable.torn_bytes_truncated",
+                bytes.len() as u64 - scanned.valid_bytes,
+            );
+        }
+
         Ok((
             DurableStore {
                 dir,
                 log,
                 events_applied,
+                telemetry,
             },
             Recovery {
                 snapshot,
@@ -113,11 +146,21 @@ impl DurableStore {
     }
 
     /// Appends one event, flushing it to disk before returning — after
-    /// `append` returns, the event survives a crash.
+    /// `append` returns, the event survives a crash. Each append counts
+    /// under `durable.appends` / `durable.append_bytes`, and the
+    /// write-plus-sync interval lands in the `durable.commit_seconds`
+    /// histogram.
     pub fn append(&mut self, event: &SessionEvent) -> DurableResult<()> {
         let rec = frame_record(&event.encode());
+        let commit_start = self.telemetry.now();
         self.log.write_all(&rec)?;
         self.log.sync_data()?;
+        self.telemetry.observe(
+            "durable.commit_seconds",
+            self.telemetry.now() - commit_start,
+        );
+        self.telemetry.add("durable.appends", 1);
+        self.telemetry.add("durable.append_bytes", rec.len() as u64);
         self.events_applied += 1;
         Ok(())
     }
@@ -133,8 +176,15 @@ impl DurableStore {
     }
 
     /// Publishes a checkpoint (atomically; older snapshots pruned).
+    /// Builds count under `durable.snapshot_builds`, pruned older files
+    /// under `durable.snapshot_prunes`.
     pub fn write_snapshot(&self, snapshot: &Snapshot) -> DurableResult<PathBuf> {
-        snapshot.write(&self.dir)
+        let (path, pruned) = snapshot.write_with_prune_count(&self.dir)?;
+        self.telemetry.add("durable.snapshot_builds", 1);
+        if pruned > 0 {
+            self.telemetry.add("durable.snapshot_prunes", pruned);
+        }
+        Ok(path)
     }
 
     /// Persists a hot-reload's weights and conformal state beside the

@@ -18,6 +18,9 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use eventhit_telemetry::Telemetry;
 
 /// Server-wide admission state: the open-stream cap plus lifetime totals
 /// served by `Health` queries.
@@ -110,6 +113,51 @@ impl AdmissionController {
     }
 }
 
+/// RAII ownership of one admitted stream slot.
+///
+/// Holding a `SlotGuard` *is* holding the slot: [`SlotGuard::claim`]
+/// pairs the controller's `try_admit` with a `serve.active_streams`
+/// gauge update, and dropping the guard pairs the `release` with the
+/// matching update. Every exit path — clean close, session teardown,
+/// durable park, even an error return between admission and lane
+/// insertion — releases the slot and keeps the gauge honest by
+/// construction, where the previous hand-maintained updates could leak
+/// on a path that forgot one.
+#[derive(Debug)]
+pub struct SlotGuard {
+    admission: Arc<AdmissionController>,
+    telemetry: Arc<Telemetry>,
+}
+
+impl SlotGuard {
+    /// Tries to claim one stream slot, updating the
+    /// `serve.active_streams` gauge on success. `None` means the server
+    /// is at capacity.
+    pub fn claim(admission: &Arc<AdmissionController>, telemetry: &Arc<Telemetry>) -> Option<Self> {
+        if !admission.try_admit() {
+            return None;
+        }
+        let guard = SlotGuard {
+            admission: Arc::clone(admission),
+            telemetry: Arc::clone(telemetry),
+        };
+        guard.record_gauge();
+        Some(guard)
+    }
+
+    fn record_gauge(&self) {
+        self.telemetry
+            .gauge_set("serve.active_streams", self.admission.active() as f64);
+    }
+}
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        self.admission.release();
+        self.record_gauge();
+    }
+}
+
 /// A bounded FIFO of feature rows between the wire and one stream's
 /// predictor. Batches are admitted whole or not at all, so a rejected
 /// client never has to guess how much of its batch survived.
@@ -183,6 +231,20 @@ mod tests {
         a.add_decisions(3);
         a.add_frames(5);
         assert_eq!(a.totals(), (2, 15, 3));
+    }
+
+    #[test]
+    fn slot_guard_releases_on_every_drop_path() {
+        let a = Arc::new(AdmissionController::new(1));
+        let t = Arc::new(Telemetry::with_manual_clock());
+        let g = SlotGuard::claim(&a, &t).expect("slot free");
+        assert!(SlotGuard::claim(&a, &t).is_none(), "cap reached");
+        assert_eq!(a.active(), 1);
+        drop(g);
+        assert_eq!(a.active(), 0);
+        // The gauge saw the claim (1) and the release (0).
+        let gauge = t.snapshot().gauge("serve.active_streams").unwrap();
+        assert_eq!((gauge.last, gauge.max, gauge.samples), (0.0, 1.0, 2));
     }
 
     #[test]

@@ -13,8 +13,8 @@ use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 
 use crate::protocol::{
-    read_message, write_message, Message, RejectCode, StreamSummary, WireDecision, PROTOCOL_MAJOR,
-    PROTOCOL_MINOR,
+    read_message, write_message, Message, RejectCode, StreamSummary, WireCounter, WireDecision,
+    WireSeries, WireSlo, PROTOCOL_MAJOR, PROTOCOL_MINOR,
 };
 
 /// The admission limits granted by the server at handshake time.
@@ -86,6 +86,32 @@ pub struct HealthInfo {
     pub frames: u64,
     /// Decisions emitted so far, all streams.
     pub decisions: u64,
+}
+
+/// The server's answer to a `MetricsQuery` (protocol minor ≥ 2): the
+/// windowed time-series, counters, and SLO state a live dashboard polls.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsInfo {
+    /// Server clock reading in seconds when the reply was built.
+    pub clock_now: f64,
+    /// Width in clock seconds of each series window.
+    pub window_secs: f64,
+    /// Every counter the server's recorder holds, sorted by
+    /// `(name, label)`.
+    pub counters: Vec<WireCounter>,
+    /// Every windowed series, sorted by `(name, label)`.
+    pub series: Vec<WireSeries>,
+    /// Every registered SLO tracker, sorted by `(name, label)`.
+    pub slos: Vec<WireSlo>,
+}
+
+impl MetricsInfo {
+    /// The windowed series for the `label` series of `name`.
+    pub fn series_for(&self, name: &str, label: &str) -> Option<&WireSeries> {
+        self.series
+            .iter()
+            .find(|s| s.name == name && s.label == label)
+    }
 }
 
 /// Typed payload of the `io::Error` a [`ServeClient`] returns when the
@@ -235,6 +261,72 @@ impl ServeClient {
                 retry_after_ms,
                 detail,
             })),
+            other => Err(unexpected(Some(other))),
+        }
+    }
+
+    /// Like [`ServeClient::submit`], but stamping the batch with a
+    /// client-assigned trace id (protocol minor ≥ 2). The server threads
+    /// the id through its stage histograms and slow-decision log, and
+    /// must echo it bit-exactly on the reply; an echo mismatch is a
+    /// protocol violation and surfaces as `io::ErrorKind::InvalidData`.
+    pub fn submit_traced(
+        &mut self,
+        stream_id: u32,
+        trace_id: u64,
+        dim: u32,
+        data: Vec<f32>,
+    ) -> io::Result<Response<Vec<WireDecision>>> {
+        match self.call(&Message::SubmitTraced {
+            trace_id,
+            stream_id,
+            dim,
+            data,
+        })? {
+            Message::TracedDecisions {
+                trace_id: echoed,
+                stream_id: sid,
+                decisions,
+            } if sid == stream_id => {
+                if echoed != trace_id {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("trace id echo mismatch: sent {trace_id:#x}, got {echoed:#x}"),
+                    ));
+                }
+                Ok(Response::Ok(decisions))
+            }
+            Message::Rejected {
+                code,
+                retry_after_ms,
+                detail,
+            } => Ok(Response::Rejected(Rejection {
+                code,
+                retry_after_ms,
+                detail,
+            })),
+            other => Err(unexpected(Some(other))),
+        }
+    }
+
+    /// Fetches the server's windowed time-series, counters, and SLO
+    /// state (protocol minor ≥ 2) — the typed feed behind
+    /// `eventhit-cli top`.
+    pub fn metrics(&mut self) -> io::Result<MetricsInfo> {
+        match self.call(&Message::MetricsQuery)? {
+            Message::MetricsReply {
+                clock_now,
+                window_secs,
+                counters,
+                series,
+                slos,
+            } => Ok(MetricsInfo {
+                clock_now,
+                window_secs,
+                counters,
+                series,
+                slos,
+            }),
             other => Err(unexpected(Some(other))),
         }
     }

@@ -36,6 +36,13 @@
 //! clients can reconnect and `Resume` where they left off (protocol
 //! minor 1). The durability model is specified in `docs/DESIGN.md`.
 //!
+//! Protocol minor 2 adds the observability plane: `SubmitTraced` carries
+//! a client-assigned trace id that is echoed on `TracedDecisions` and
+//! attached to stage histograms as exemplars, and `MetricsQuery` /
+//! `MetricsReply` expose the server's windowed time-series, counters,
+//! and SLO burn state live over the wire (the `eventhit-cli top`
+//! dashboard polls it).
+//!
 //! The wire format is specified in `docs/PROTOCOL.md`.
 
 #![deny(missing_docs)]
@@ -47,7 +54,9 @@ pub mod convert;
 pub mod protocol;
 pub mod server;
 
+pub use admission::SlotGuard;
 pub use client::{
-    is_disconnected, Disconnected, HealthInfo, Negotiated, Rejection, Response, ServeClient,
+    is_disconnected, Disconnected, HealthInfo, MetricsInfo, Negotiated, Rejection, Response,
+    ServeClient,
 };
 pub use server::{DurableOptions, LaneFactory, ResilienceSpec, ServeConfig, Server};

@@ -54,8 +54,11 @@ pub const PROTOCOL_MAJOR: u16 = 1;
 /// at `min(client_minor, server_minor)` of a shared major.
 ///
 /// Minor 1 added [`Message::Resume`] / [`Message::Resumed`] (durable
-/// reconnect-and-resume); a minor-0 peer simply never sends them.
-pub const PROTOCOL_MINOR: u16 = 1;
+/// reconnect-and-resume); minor 2 added decision tracing
+/// ([`Message::SubmitTraced`] / [`Message::TracedDecisions`]) and the
+/// live metrics plane ([`Message::MetricsQuery`] /
+/// [`Message::MetricsReply`]). An older peer simply never sends them.
+pub const PROTOCOL_MINOR: u16 = 2;
 
 /// Hard cap on a single frame's payload (tag + body), in bytes. The
 /// decoder refuses larger length prefixes outright instead of trusting a
@@ -225,10 +228,78 @@ pub struct StreamSummary {
     pub decisions: u64,
 }
 
+/// One time window of a metric's windowed series, as served on
+/// [`Message::MetricsReply`] (protocol minor ≥ 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireWindow {
+    /// Window index (`floor(clock_seconds / window_secs)`).
+    pub index: u64,
+    /// Samples observed in the window.
+    pub count: u64,
+    /// Sum of the observed values in the window.
+    pub sum: f64,
+    /// Median of the window's samples.
+    pub p50: f64,
+    /// 99th percentile of the window's samples.
+    pub p99: f64,
+}
+
+/// One metric's windowed time-series, as served.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireSeries {
+    /// Metric name (e.g. `serve.stage_seconds`).
+    pub name: String,
+    /// Series label (e.g. `inference`; empty for the unlabeled series).
+    pub label: String,
+    /// Per-window stats, oldest first.
+    pub windows: Vec<WireWindow>,
+}
+
+/// One SLO tracker's state, as served.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireSlo {
+    /// Metric name the SLO is registered on.
+    pub name: String,
+    /// Series label the SLO is registered on.
+    pub label: String,
+    /// Latency threshold in seconds a sample must not exceed.
+    pub threshold: f64,
+    /// Target fraction of compliant samples (e.g. 0.99).
+    pub objective: f64,
+    /// Total samples observed against the SLO.
+    pub total: u64,
+    /// Samples that exceeded the threshold.
+    pub violations: u64,
+}
+
+impl WireSlo {
+    /// Error-budget burn rate: observed violation fraction over the
+    /// allowed fraction `1 - objective` (0 when no samples yet).
+    pub fn burn_rate(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let budget = (1.0 - self.objective).max(1e-9);
+        (self.violations as f64 / self.total as f64) / budget
+    }
+}
+
+/// One counter value, as served on [`Message::MetricsReply`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireCounter {
+    /// Counter name (e.g. `serve.rejected`).
+    pub name: String,
+    /// Counter label (e.g. a reject-code label; may be empty).
+    pub label: String,
+    /// Accumulated value.
+    pub value: u64,
+}
+
 /// Every message of protocol major 1.
 ///
-/// Client → server: `Hello`, `OpenStream`, `SubmitFrames`, `CloseStream`,
-/// `Health`, `TelemetryQuery`. Server → client: everything else.
+/// Client → server: `Hello`, `OpenStream`, `SubmitFrames`,
+/// `SubmitTraced`, `CloseStream`, `Health`, `TelemetryQuery`,
+/// `MetricsQuery`, `Resume`. Server → client: everything else.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
     /// Client handshake: the protocol version the client speaks.
@@ -347,6 +418,49 @@ pub enum Message {
         /// Human-readable detail.
         detail: String,
     },
+    /// Like [`Message::SubmitFrames`] but carrying a client-assigned
+    /// trace id (protocol minor ≥ 2). The server threads the id through
+    /// every stage of the decision path (histogram exemplars, slow-log
+    /// entries) and echoes it on the [`Message::TracedDecisions`] reply.
+    SubmitTraced {
+        /// Client-assigned trace id, opaque to the server.
+        trace_id: u64,
+        /// Target stream id.
+        stream_id: u32,
+        /// Feature dimensionality of each row.
+        dim: u32,
+        /// `rows * dim` feature values, row-major.
+        data: Vec<f32>,
+    },
+    /// Reply to [`Message::SubmitTraced`] (protocol minor ≥ 2): the same
+    /// decisions a [`Message::Decisions`] would carry, plus the echoed
+    /// trace id of the push that produced them.
+    TracedDecisions {
+        /// Bit-exact echo of the submitting push's trace id.
+        trace_id: u64,
+        /// Stream the decisions belong to.
+        stream_id: u32,
+        /// The decisions, in anchor order.
+        decisions: Vec<WireDecision>,
+    },
+    /// Asks the server for its windowed time-series and SLO state
+    /// (protocol minor ≥ 2). Unlike [`Message::TelemetryQuery`] — which
+    /// returns the full JSONL snapshot — this returns a compact typed
+    /// reply sized for a polling dashboard.
+    MetricsQuery,
+    /// Reply to [`Message::MetricsQuery`] (protocol minor ≥ 2).
+    MetricsReply {
+        /// Server clock reading in seconds when the reply was built.
+        clock_now: f64,
+        /// Width in clock seconds of each series window.
+        window_secs: f64,
+        /// Every counter the recorder holds, sorted by `(name, label)`.
+        counters: Vec<WireCounter>,
+        /// Every windowed series, sorted by `(name, label)`.
+        series: Vec<WireSeries>,
+        /// Every registered SLO tracker, sorted by `(name, label)`.
+        slos: Vec<WireSlo>,
+    },
 }
 
 // Wire tags. Changing any of these is a major-version break.
@@ -365,6 +479,10 @@ const TAG_TELEMETRY_REPORT: u8 = 0x0C;
 const TAG_REJECTED: u8 = 0x0D;
 const TAG_RESUME: u8 = 0x0E;
 const TAG_RESUMED: u8 = 0x0F;
+const TAG_SUBMIT_TRACED: u8 = 0x10;
+const TAG_TRACED_DECISIONS: u8 = 0x11;
+const TAG_METRICS_QUERY: u8 = 0x12;
+const TAG_METRICS_REPLY: u8 = 0x13;
 
 impl Message {
     /// The message's wire tag byte.
@@ -385,6 +503,10 @@ impl Message {
             Message::Rejected { .. } => TAG_REJECTED,
             Message::Resume { .. } => TAG_RESUME,
             Message::Resumed { .. } => TAG_RESUMED,
+            Message::SubmitTraced { .. } => TAG_SUBMIT_TRACED,
+            Message::TracedDecisions { .. } => TAG_TRACED_DECISIONS,
+            Message::MetricsQuery => TAG_METRICS_QUERY,
+            Message::MetricsReply { .. } => TAG_METRICS_REPLY,
         }
     }
 }
@@ -403,6 +525,9 @@ fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 fn put_f32(out: &mut Vec<u8>, v: f32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_f64(out: &mut Vec<u8>, v: f64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 fn put_str(out: &mut Vec<u8>, s: &str) {
@@ -526,6 +651,72 @@ pub fn encode(msg: &Message) -> Vec<u8> {
             put_u32(&mut payload, *stream_id);
             put_u64(&mut payload, *next_seq);
         }
+        Message::SubmitTraced {
+            trace_id,
+            stream_id,
+            dim,
+            data,
+        } => {
+            put_u64(&mut payload, *trace_id);
+            put_u32(&mut payload, *stream_id);
+            put_u32(&mut payload, *dim);
+            put_u32(&mut payload, data.len() as u32);
+            payload.reserve(data.len() * 4);
+            for &v in data {
+                put_f32(&mut payload, v);
+            }
+        }
+        Message::TracedDecisions {
+            trace_id,
+            stream_id,
+            decisions,
+        } => {
+            put_u64(&mut payload, *trace_id);
+            put_u32(&mut payload, *stream_id);
+            put_u32(&mut payload, decisions.len() as u32);
+            for d in decisions {
+                put_decision(&mut payload, d);
+            }
+        }
+        Message::MetricsQuery => {}
+        Message::MetricsReply {
+            clock_now,
+            window_secs,
+            counters,
+            series,
+            slos,
+        } => {
+            put_f64(&mut payload, *clock_now);
+            put_f64(&mut payload, *window_secs);
+            put_u32(&mut payload, counters.len() as u32);
+            for c in counters {
+                put_str(&mut payload, &c.name);
+                put_str(&mut payload, &c.label);
+                put_u64(&mut payload, c.value);
+            }
+            put_u32(&mut payload, series.len() as u32);
+            for s in series {
+                put_str(&mut payload, &s.name);
+                put_str(&mut payload, &s.label);
+                put_u32(&mut payload, s.windows.len() as u32);
+                for w in &s.windows {
+                    put_u64(&mut payload, w.index);
+                    put_u64(&mut payload, w.count);
+                    put_f64(&mut payload, w.sum);
+                    put_f64(&mut payload, w.p50);
+                    put_f64(&mut payload, w.p99);
+                }
+            }
+            put_u32(&mut payload, slos.len() as u32);
+            for s in slos {
+                put_str(&mut payload, &s.name);
+                put_str(&mut payload, &s.label);
+                put_f64(&mut payload, s.threshold);
+                put_f64(&mut payload, s.objective);
+                put_u64(&mut payload, s.total);
+                put_u64(&mut payload, s.violations);
+            }
+        }
     }
     let mut frame = Vec::with_capacity(4 + payload.len());
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -570,6 +761,9 @@ impl<'a> Cursor<'a> {
     }
     fn f32(&mut self) -> Result<f32, ProtocolError> {
         Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, ProtocolError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
     fn string(&mut self) -> Result<String, ProtocolError> {
         let len = self.u32()? as usize;
@@ -711,6 +905,94 @@ pub fn decode_payload(payload: &[u8]) -> Result<Message, ProtocolError> {
             stream_id: c.u32()?,
             next_seq: c.u64()?,
         },
+        TAG_SUBMIT_TRACED => {
+            let trace_id = c.u64()?;
+            let stream_id = c.u32()?;
+            let dim = c.u32()?;
+            let len = c.u32()? as usize;
+            if dim > 0 && !len.is_multiple_of(dim as usize) {
+                return Err(ProtocolError::BadValue("data length not a multiple of dim"));
+            }
+            let mut data = Vec::with_capacity(len);
+            for _ in 0..len {
+                data.push(c.f32()?);
+            }
+            Message::SubmitTraced {
+                trace_id,
+                stream_id,
+                dim,
+                data,
+            }
+        }
+        TAG_TRACED_DECISIONS => {
+            let trace_id = c.u64()?;
+            let stream_id = c.u32()?;
+            let n = c.u32()? as usize;
+            let mut decisions = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                decisions.push(c.decision()?);
+            }
+            Message::TracedDecisions {
+                trace_id,
+                stream_id,
+                decisions,
+            }
+        }
+        TAG_METRICS_QUERY => Message::MetricsQuery,
+        TAG_METRICS_REPLY => {
+            let clock_now = c.f64()?;
+            let window_secs = c.f64()?;
+            let n = c.u32()? as usize;
+            let mut counters = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                counters.push(WireCounter {
+                    name: c.string()?,
+                    label: c.string()?,
+                    value: c.u64()?,
+                });
+            }
+            let n = c.u32()? as usize;
+            let mut series = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                let name = c.string()?;
+                let label = c.string()?;
+                let w = c.u32()? as usize;
+                let mut windows = Vec::with_capacity(w.min(4096));
+                for _ in 0..w {
+                    windows.push(WireWindow {
+                        index: c.u64()?,
+                        count: c.u64()?,
+                        sum: c.f64()?,
+                        p50: c.f64()?,
+                        p99: c.f64()?,
+                    });
+                }
+                series.push(WireSeries {
+                    name,
+                    label,
+                    windows,
+                });
+            }
+            let n = c.u32()? as usize;
+            let mut slos = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                slos.push(WireSlo {
+                    name: c.string()?,
+                    label: c.string()?,
+                    threshold: c.f64()?,
+                    objective: c.f64()?,
+                    total: c.u64()?,
+                    violations: c.u64()?,
+                });
+            }
+            Message::MetricsReply {
+                clock_now,
+                window_secs,
+                counters,
+                series,
+                slos,
+            }
+        }
         other => return Err(ProtocolError::UnknownTag(other)),
     };
     c.finish()?;
@@ -876,6 +1158,70 @@ mod tests {
                 stream_id: 3,
                 next_seq: 12_349,
             },
+            Message::SubmitTraced {
+                trace_id: 0xDEAD_BEEF_0123_4567,
+                stream_id: 3,
+                dim: 2,
+                data: vec![0.5, -0.5, f32::MAX, 1.0],
+            },
+            Message::TracedDecisions {
+                trace_id: 0xDEAD_BEEF_0123_4567,
+                stream_id: 3,
+                decisions: vec![WireDecision {
+                    anchor: 63,
+                    degradation: WireDegradation::None,
+                    predictions: vec![WirePrediction {
+                        present: true,
+                        start: 2,
+                        end: 9,
+                    }],
+                }],
+            },
+            Message::MetricsQuery,
+            Message::MetricsReply {
+                clock_now: 12.75,
+                window_secs: 1.0,
+                counters: vec![
+                    WireCounter {
+                        name: "serve.frames".into(),
+                        label: String::new(),
+                        value: 4096,
+                    },
+                    WireCounter {
+                        name: "serve.rejected".into(),
+                        label: "queue_full".into(),
+                        value: 3,
+                    },
+                ],
+                series: vec![WireSeries {
+                    name: "serve.stage_seconds".into(),
+                    label: "inference".into(),
+                    windows: vec![
+                        WireWindow {
+                            index: 11,
+                            count: 128,
+                            sum: 0.25,
+                            p50: 1.5e-3,
+                            p99: 9.0e-3,
+                        },
+                        WireWindow {
+                            index: 12,
+                            count: 64,
+                            sum: 0.125,
+                            p50: 1.5e-3,
+                            p99: 4.0e-3,
+                        },
+                    ],
+                }],
+                slos: vec![WireSlo {
+                    name: "serve.decision_seconds".into(),
+                    label: String::new(),
+                    threshold: 0.050,
+                    objective: 0.99,
+                    total: 10_000,
+                    violations: 17,
+                }],
+            },
         ]
     }
 
@@ -1036,6 +1382,55 @@ mod tests {
         let (second, used2) = try_decode(&buf[used..]).unwrap().unwrap();
         assert_eq!(second, b);
         assert_eq!(used + used2, buf.len());
+    }
+
+    #[test]
+    fn trace_ids_survive_the_wire_bit_exactly() {
+        for trace_id in [0u64, 1, u64::MAX, 0x0123_4567_89AB_CDEF] {
+            let msg = Message::SubmitTraced {
+                trace_id,
+                stream_id: 1,
+                dim: 1,
+                data: vec![1.0],
+            };
+            let (decoded, _) = try_decode(&encode(&msg)).unwrap().unwrap();
+            let Message::SubmitTraced { trace_id: got, .. } = decoded else {
+                panic!("wrong variant");
+            };
+            assert_eq!(got, trace_id);
+        }
+    }
+
+    #[test]
+    fn wire_slo_burn_rate() {
+        let mut slo = WireSlo {
+            name: "x".into(),
+            label: String::new(),
+            threshold: 0.05,
+            objective: 0.99,
+            total: 0,
+            violations: 0,
+        };
+        assert_eq!(slo.burn_rate(), 0.0);
+        slo.total = 100;
+        slo.violations = 1;
+        assert!((slo.burn_rate() - 1.0).abs() < 1e-9);
+        slo.violations = 5;
+        assert!((slo.burn_rate() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn traced_submit_dim_mismatch_is_rejected() {
+        let mut payload = vec![TAG_SUBMIT_TRACED];
+        payload.extend_from_slice(&9u64.to_le_bytes()); // trace
+        payload.extend_from_slice(&7u32.to_le_bytes()); // stream
+        payload.extend_from_slice(&3u32.to_le_bytes()); // dim
+        payload.extend_from_slice(&4u32.to_le_bytes()); // len not divisible by 3
+        payload.extend_from_slice(&[0u8; 16]);
+        assert_eq!(
+            decode_payload(&payload).unwrap_err(),
+            ProtocolError::BadValue("data length not a multiple of dim")
+        );
     }
 
     #[test]

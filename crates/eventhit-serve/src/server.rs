@@ -29,19 +29,20 @@ use std::sync::{Arc, Mutex, MutexGuard};
 
 use eventhit_core::faults::FaultConfig;
 use eventhit_core::resilient::{DegradationTag, ResilienceConfig, ResilientCiClient};
-use eventhit_core::streaming::OnlinePredictor;
+use eventhit_core::streaming::{HorizonDecision, OnlinePredictor};
 use eventhit_core::{ConformalState, EventHit};
 use eventhit_durable::{
     decision_fingerprint, replay, DurableError, DurableStore, LaneSnapshot, SessionEvent, Snapshot,
 };
 use eventhit_parallel::Pool;
-use eventhit_telemetry::Telemetry;
+use eventhit_telemetry::{SlowDecision, Telemetry};
 use eventhit_video::detector::StageModel;
 
-use crate::admission::{AdmissionController, FrameQueue};
+use crate::admission::{AdmissionController, FrameQueue, SlotGuard};
 use crate::convert::decision_to_wire;
 use crate::protocol::{
-    read_message, write_message, Message, RejectCode, StreamSummary, PROTOCOL_MAJOR, PROTOCOL_MINOR,
+    read_message, write_message, Message, RejectCode, StreamSummary, WireCounter, WireDecision,
+    WireSeries, WireSlo, WireWindow, PROTOCOL_MAJOR, PROTOCOL_MINOR,
 };
 
 /// Per-stream resilient-CI wiring: when set, every decision's relayed
@@ -110,6 +111,11 @@ pub struct ServeConfig {
     /// `resilience` — the resilient CI client carries breaker state the
     /// snapshots do not capture.
     pub durable: Option<DurableOptions>,
+    /// When set, the bounded slow-decision log is rewritten to this file
+    /// as JSONL (one `{"type":"slow",…}` object per retained decision,
+    /// slowest first) at the end of every session. Requires an enabled
+    /// telemetry recorder (see [`Server::bind_with_telemetry`]).
+    pub slow_log: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -122,6 +128,7 @@ impl Default for ServeConfig {
             retry_after_ms: 100,
             resilience: None,
             durable: None,
+            slow_log: None,
         }
     }
 }
@@ -131,7 +138,11 @@ impl Default for ServeConfig {
 /// state per lane (as `run_lanes` does) keeps lanes independent.
 pub type LaneFactory = dyn Fn(u32) -> OnlinePredictor + Send + Sync;
 
-/// One admitted stream inside a session.
+/// One admitted stream. Non-durable lanes live inside their session and
+/// always hold their admission [`SlotGuard`]; durable lanes live in the
+/// [`DurableHub`] and hold a guard exactly while a live session drives
+/// them — a parked lane (`slot: None`) has released its slot and waits
+/// for a `Resume` to claim a fresh one.
 struct Lane {
     predictor: OnlinePredictor,
     queue: FrameQueue,
@@ -139,14 +150,7 @@ struct Lane {
     stream_fps: f64,
     frames: u64,
     decisions: u64,
-}
-
-/// A lane owned by the durable hub. `attached` marks whether a live
-/// session currently drives it; a disconnect parks the lane (detached,
-/// admission slot released) until a `Resume` re-attaches it.
-struct DurableLane {
-    lane: Lane,
-    attached: bool,
+    slot: Option<SlotGuard>,
 }
 
 /// The active hot-reload: weights, refitted conformal state, and the
@@ -162,7 +166,7 @@ struct ActiveReload {
 /// application order, which is exactly the order replay re-applies them.
 struct DurableHub {
     store: DurableStore,
-    lanes: BTreeMap<u32, DurableLane>,
+    lanes: BTreeMap<u32, Lane>,
     reload: Option<ActiveReload>,
     snapshot_every: u64,
     events_at_last_snapshot: u64,
@@ -171,25 +175,27 @@ struct DurableHub {
 impl DurableHub {
     /// Checkpoints the hub if enough events accumulated since the last
     /// snapshot. Lane iteration order (ascending stream id) makes the
-    /// snapshot bytes deterministic for a given state.
-    fn maybe_snapshot(&mut self) -> Result<(), DurableError> {
+    /// snapshot bytes deterministic for a given state. Cadence checks
+    /// that decide not to snapshot count under `durable.snapshot_skips`.
+    fn maybe_snapshot(&mut self, t: &Telemetry) -> Result<(), DurableError> {
         if self.snapshot_every == 0 {
             return Ok(());
         }
         let events = self.store.events_applied();
         if events - self.events_at_last_snapshot < self.snapshot_every {
+            t.add("durable.snapshot_skips", 1);
             return Ok(());
         }
         let lanes = self
             .lanes
             .iter()
-            .map(|(&stream_id, dl)| {
-                let st = dl.lane.predictor.export_state();
+            .map(|(&stream_id, lane)| {
+                let st = lane.predictor.export_state();
                 LaneSnapshot {
                     stream_id,
-                    dim: dl.lane.predictor.input_dim() as u32,
-                    frames: dl.lane.frames,
-                    decisions: dl.lane.decisions,
+                    dim: lane.predictor.input_dim() as u32,
+                    frames: lane.frames,
+                    decisions: lane.decisions,
                     frames_seen: st.frames_seen,
                     countdown: st.countdown,
                     state_fingerprint: st.fingerprint(),
@@ -211,7 +217,7 @@ struct Shared {
     listener: TcpListener,
     cfg: ServeConfig,
     factory: Box<LaneFactory>,
-    admission: AdmissionController,
+    admission: Arc<AdmissionController>,
     telemetry: Arc<Telemetry>,
     durable: Option<Mutex<DurableHub>>,
 }
@@ -246,6 +252,17 @@ impl Server {
     /// opens/closes, frames, decisions, rejections (labelled by reject
     /// code), an `serve.active_streams` gauge, and a `serve.session`
     /// span per connection.
+    ///
+    /// With an *enabled* recorder the server also runs the full
+    /// observability plane (`DESIGN.md` §15): per-decision stage
+    /// histograms (`serve.stage_seconds` labelled `session_read` /
+    /// `queue_wait` / `durable_commit` / `reply_write`, plus the
+    /// predictor's `stream.stage_seconds`), the `serve.decision_seconds`
+    /// series with a registered 50 ms / 99% SLO, per-stream
+    /// `serve.stream_frames` rates, trace exemplars for `SubmitTraced`
+    /// batches, the bounded slow-decision log, and `durable.*` commit /
+    /// snapshot / recovery instrumentation — all queryable live over the
+    /// wire with `MetricsQuery`.
     pub fn bind_with_telemetry(
         cfg: ServeConfig,
         factory: Box<LaneFactory>,
@@ -264,25 +281,30 @@ impl Server {
         let durable = match &cfg.durable {
             None => None,
             Some(opts) => {
-                let (store, recovery) = DurableStore::open(&opts.dir).map_err(durable_io)?;
+                let (store, recovery) =
+                    DurableStore::open_with_telemetry(&opts.dir, Arc::clone(&telemetry))
+                        .map_err(durable_io)?;
                 let replayed = replay(&opts.dir, &recovery, &mut |stream_id| (factory)(stream_id))
                     .map_err(durable_io)?;
                 let lanes = replayed
                     .lanes
                     .into_iter()
                     .map(|(stream_id, rl)| {
+                        // Telemetry attaches only after replay finished:
+                        // recovery must not pollute the live stream
+                        // metrics with replayed frames.
+                        let mut predictor = rl.predictor;
+                        predictor.set_telemetry(Arc::clone(&telemetry));
                         (
                             stream_id,
-                            DurableLane {
-                                lane: Lane {
-                                    predictor: rl.predictor,
-                                    queue: FrameQueue::new(cfg.max_queue_frames as usize),
-                                    resilient: None,
-                                    stream_fps: 30.0,
-                                    frames: rl.frames,
-                                    decisions: rl.decisions,
-                                },
-                                attached: false,
+                            Lane {
+                                predictor,
+                                queue: FrameQueue::new(cfg.max_queue_frames as usize),
+                                resilient: None,
+                                stream_fps: 30.0,
+                                frames: rl.frames,
+                                decisions: rl.decisions,
+                                slot: None,
                             },
                         )
                     })
@@ -304,7 +326,10 @@ impl Server {
         };
         let addrs: Vec<SocketAddr> = cfg.addr.to_socket_addrs()?.collect();
         let listener = TcpListener::bind(&addrs[..])?;
-        let admission = AdmissionController::new(cfg.max_streams);
+        let admission = Arc::new(AdmissionController::new(cfg.max_streams));
+        // The serving SLO the `serve.decision_seconds` series burns
+        // against: p99 of decision latency under 50 ms.
+        telemetry.set_slo("serve.decision_seconds", "", 0.050, 0.99);
         Ok(Server {
             shared: Arc::new(Shared {
                 listener,
@@ -358,9 +383,8 @@ impl Server {
         hub.store
             .append(&SessionEvent::ModelReloaded { fingerprint })
             .map_err(durable_io)?;
-        for dl in hub.lanes.values_mut() {
-            dl.lane
-                .predictor
+        for lane in hub.lanes.values_mut() {
+            lane.predictor
                 .reload_model(model.clone(), state.clone())
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
         }
@@ -401,16 +425,16 @@ fn serve_session(shared: &Shared, sock: TcpStream) {
         let mut owned: BTreeSet<u32> = BTreeSet::new();
         let outcome = durable_session_loop(shared, &sock, &mut owned);
         // Durable cleanup: lanes survive the session. Park whatever the
-        // session still drives — detached, slot released — so a future
-        // `Resume` (possibly after a server restart) picks up exactly
-        // where this connection stopped.
+        // session still drives — dropping the slot guard releases the
+        // admission slot and refreshes the gauge — so a future `Resume`
+        // (possibly after a server restart) picks up exactly where this
+        // connection stopped.
         if !owned.is_empty() {
             let mut hub = lock_hub(shared);
             for id in &owned {
-                if let Some(dl) = hub.lanes.get_mut(id) {
-                    dl.attached = false;
+                if let Some(lane) = hub.lanes.get_mut(id) {
+                    lane.slot = None;
                 }
-                shared.admission.release();
                 t.add("serve.streams_parked", 1);
             }
         }
@@ -418,16 +442,24 @@ fn serve_session(shared: &Shared, sock: TcpStream) {
     } else {
         let mut lanes: BTreeMap<u32, Lane> = BTreeMap::new();
         let outcome = session_loop(shared, &sock, &mut lanes);
-        // Cleanup: whatever the session still holds goes back to the pool.
-        for (_id, _lane) in lanes.iter() {
-            shared.admission.release();
-            t.add("serve.streams_aborted", 1);
+        // Cleanup: dropping the lanes drops their slot guards, returning
+        // every stream the session still held to the pool.
+        if !lanes.is_empty() {
+            t.add("serve.streams_aborted", lanes.len() as u64);
         }
+        drop(lanes);
         outcome
     };
-    t.gauge_set("serve.active_streams", shared.admission.active() as f64);
     if outcome.is_err() {
         t.add("serve.session_errors", 1);
+    }
+    // The slow-decision export is rewritten whole at every session end:
+    // the in-memory log is bounded and totally ordered, so the file is a
+    // pure function of the decisions served so far.
+    if let Some(path) = &shared.cfg.slow_log {
+        if t.is_enabled() && std::fs::write(path, t.snapshot().slow_jsonl()).is_err() {
+            t.add("serve.slow_log_errors", 1);
+        }
     }
 }
 
@@ -497,11 +529,13 @@ fn session_loop(
 
     // --- Request loop.
     loop {
+        let read_start = t.now();
         let msg = match read_message(&mut chan) {
             Ok(Some(m)) => m,
             Ok(None) => return Ok(()), // clean disconnect
             Err(e) => return Err(e),
         };
+        observe_stage(t, "session_read", t.now() - read_start, None);
         match msg {
             Message::OpenStream { stream_id } => {
                 if lanes.contains_key(&stream_id) {
@@ -514,7 +548,7 @@ fn session_loop(
                     )?;
                     continue;
                 }
-                if !shared.admission.try_admit() {
+                let Some(slot) = SlotGuard::claim(&shared.admission, t) else {
                     reject(
                         &mut chan,
                         t,
@@ -527,8 +561,11 @@ fn session_loop(
                         ),
                     )?;
                     continue;
-                }
-                let predictor = (shared.factory)(stream_id);
+                };
+                // From here on the guard owns the slot: any early return
+                // (like a resilient-wiring failure) releases it.
+                let mut predictor = (shared.factory)(stream_id);
+                predictor.set_telemetry(Arc::clone(t));
                 let resilient = match &cfg.resilience {
                     None => None,
                     Some(spec) => {
@@ -555,10 +592,10 @@ fn session_loop(
                             .unwrap_or(30.0),
                         frames: 0,
                         decisions: 0,
+                        slot: Some(slot),
                     },
                 );
                 t.add("serve.streams_opened", 1);
-                t.gauge_set("serve.active_streams", shared.admission.active() as f64);
                 write_message(&mut chan, &Message::StreamOpened { stream_id })?;
             }
 
@@ -567,86 +604,28 @@ fn session_loop(
                 dim,
                 data,
             } => {
-                let Some(lane) = lanes.get_mut(&stream_id) else {
-                    reject(
-                        &mut chan,
-                        t,
-                        RejectCode::UnknownStream,
-                        0,
-                        format!("stream {stream_id} is not open"),
-                    )?;
-                    continue;
-                };
-                let expected = lane.predictor.input_dim() as u32;
-                if dim != expected {
-                    // Fatal: the peer disagrees about the feature space.
-                    reject(
-                        &mut chan,
-                        t,
-                        RejectCode::Malformed,
-                        0,
-                        format!("stream {stream_id} expects dim {expected}, got {dim}"),
-                    )?;
+                if !submit_plain(shared, &mut chan, lanes, None, stream_id, dim, data)? {
                     return Ok(());
                 }
-                let rows = if dim == 0 {
-                    0
-                } else {
-                    data.len() / dim as usize
-                };
-                if rows as u32 > cfg.max_batch_frames {
-                    reject(
-                        &mut chan,
-                        t,
-                        RejectCode::BatchTooLarge,
-                        0,
-                        format!(
-                            "batch of {rows} frames exceeds the {} cap; split it",
-                            cfg.max_batch_frames
-                        ),
-                    )?;
-                    continue;
-                }
-                if rows > lane.queue.free() {
-                    reject(
-                        &mut chan,
-                        t,
-                        RejectCode::QueueFull,
-                        cfg.retry_after_ms,
-                        format!(
-                            "stream {stream_id} queue has {} of {} frames free",
-                            lane.queue.free(),
-                            cfg.max_queue_frames
-                        ),
-                    )?;
-                    continue;
-                }
-                let batch: Vec<Vec<f32>> = data
-                    .chunks(dim.max(1) as usize)
-                    .map(<[f32]>::to_vec)
-                    .collect();
-                lane.queue
-                    .try_enqueue(batch)
-                    .expect("free space was checked");
-                let mut decisions = Vec::new();
-                while let Some(row) = lane.queue.pop() {
-                    if let Some(d) = lane.push(row) {
-                        decisions.push(decision_to_wire(&d));
-                    }
-                }
-                lane.frames += rows as u64;
-                lane.decisions += decisions.len() as u64;
-                shared.admission.add_frames(rows as u64);
-                shared.admission.add_decisions(decisions.len() as u64);
-                t.add("serve.frames", rows as u64);
-                t.add("serve.decisions", decisions.len() as u64);
-                write_message(
+            }
+
+            Message::SubmitTraced {
+                trace_id,
+                stream_id,
+                dim,
+                data,
+            } => {
+                if !submit_plain(
+                    shared,
                     &mut chan,
-                    &Message::Decisions {
-                        stream_id,
-                        decisions,
-                    },
-                )?;
+                    lanes,
+                    Some(trace_id),
+                    stream_id,
+                    dim,
+                    data,
+                )? {
+                    return Ok(());
+                }
             }
 
             Message::CloseStream { stream_id } => {
@@ -660,9 +639,7 @@ fn session_loop(
                     )?;
                     continue;
                 };
-                shared.admission.release();
                 t.add("serve.streams_closed", 1);
-                t.gauge_set("serve.active_streams", shared.admission.active() as f64);
                 write_message(
                     &mut chan,
                     &Message::StreamClosed {
@@ -695,6 +672,10 @@ fn session_loop(
                     String::new()
                 };
                 write_message(&mut chan, &Message::TelemetryReport { jsonl })?;
+            }
+
+            Message::MetricsQuery => {
+                write_message(&mut chan, &metrics_reply(t))?;
             }
 
             other => {
@@ -732,11 +713,13 @@ fn durable_session_loop(
     }
 
     loop {
+        let read_start = t.now();
         let msg = match read_message(&mut chan) {
             Ok(Some(m)) => m,
             Ok(None) => return Ok(()), // clean disconnect; lanes get parked
             Err(e) => return Err(e),
         };
+        observe_stage(t, "session_read", t.now() - read_start, None);
         match msg {
             Message::OpenStream { stream_id } => {
                 let mut hub = lock_hub(shared);
@@ -754,7 +737,7 @@ fn durable_session_loop(
                     )?;
                     continue;
                 }
-                if !shared.admission.try_admit() {
+                let Some(slot) = SlotGuard::claim(&shared.admission, t) else {
                     drop(hub);
                     reject(
                         &mut chan,
@@ -768,35 +751,33 @@ fn durable_session_loop(
                         ),
                     )?;
                     continue;
-                }
+                };
                 let mut predictor = (shared.factory)(stream_id);
                 if let Some(r) = &hub.reload {
                     predictor
                         .reload_model(r.model.clone(), r.state.clone())
                         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
                 }
+                predictor.set_telemetry(Arc::clone(t));
                 let dim = predictor.input_dim() as u32;
                 hub.store
                     .append(&SessionEvent::StreamAdmitted { stream_id, dim })
                     .map_err(durable_io)?;
                 hub.lanes.insert(
                     stream_id,
-                    DurableLane {
-                        lane: Lane {
-                            predictor,
-                            queue: FrameQueue::new(cfg.max_queue_frames as usize),
-                            resilient: None,
-                            stream_fps: 30.0,
-                            frames: 0,
-                            decisions: 0,
-                        },
-                        attached: true,
+                    Lane {
+                        predictor,
+                        queue: FrameQueue::new(cfg.max_queue_frames as usize),
+                        resilient: None,
+                        stream_fps: 30.0,
+                        frames: 0,
+                        decisions: 0,
+                        slot: Some(slot),
                     },
                 );
                 drop(hub);
                 owned.insert(stream_id);
                 t.add("serve.streams_opened", 1);
-                t.gauge_set("serve.active_streams", shared.admission.active() as f64);
                 write_message(&mut chan, &Message::StreamOpened { stream_id })?;
             }
 
@@ -805,7 +786,7 @@ fn durable_session_loop(
                 last_seq,
             } => {
                 let mut hub = lock_hub(shared);
-                let Some(dl) = hub.lanes.get_mut(&stream_id) else {
+                let Some(lane) = hub.lanes.get_mut(&stream_id) else {
                     drop(hub);
                     reject(
                         &mut chan,
@@ -816,7 +797,7 @@ fn durable_session_loop(
                     )?;
                     continue;
                 };
-                if dl.attached {
+                if lane.slot.is_some() {
                     drop(hub);
                     reject(
                         &mut chan,
@@ -827,11 +808,11 @@ fn durable_session_loop(
                     )?;
                     continue;
                 }
-                if last_seq > dl.lane.frames {
+                if last_seq > lane.frames {
                     // Fatal: the client claims acknowledgements the log
                     // never committed — it is talking to the wrong server
                     // or the wrong directory.
-                    let have = dl.lane.frames;
+                    let have = lane.frames;
                     drop(hub);
                     reject(
                         &mut chan,
@@ -845,7 +826,7 @@ fn durable_session_loop(
                     )?;
                     return Ok(());
                 }
-                if !shared.admission.try_admit() {
+                let Some(slot) = SlotGuard::claim(&shared.admission, t) else {
                     drop(hub);
                     reject(
                         &mut chan,
@@ -859,13 +840,12 @@ fn durable_session_loop(
                         ),
                     )?;
                     continue;
-                }
-                dl.attached = true;
-                let next_seq = dl.lane.frames;
+                };
+                lane.slot = Some(slot);
+                let next_seq = lane.frames;
                 drop(hub);
                 owned.insert(stream_id);
                 t.add("serve.streams_resumed", 1);
-                t.gauge_set("serve.active_streams", shared.admission.active() as f64);
                 write_message(
                     &mut chan,
                     &Message::Resumed {
@@ -880,116 +860,28 @@ fn durable_session_loop(
                 dim,
                 data,
             } => {
-                if !owned.contains(&stream_id) {
-                    reject(
-                        &mut chan,
-                        t,
-                        RejectCode::UnknownStream,
-                        0,
-                        format!("stream {stream_id} is not open in this session"),
-                    )?;
-                    continue;
-                }
-                let mut hub = lock_hub(shared);
-                let dl = hub
-                    .lanes
-                    .get_mut(&stream_id)
-                    .expect("owned streams exist in the hub");
-                let lane = &mut dl.lane;
-                let expected = lane.predictor.input_dim() as u32;
-                if dim != expected {
-                    drop(hub);
-                    reject(
-                        &mut chan,
-                        t,
-                        RejectCode::Malformed,
-                        0,
-                        format!("stream {stream_id} expects dim {expected}, got {dim}"),
-                    )?;
+                if !submit_durable(shared, &mut chan, owned, None, stream_id, dim, data)? {
                     return Ok(());
                 }
-                let rows = data.len() / dim.max(1) as usize;
-                if rows as u32 > cfg.max_batch_frames {
-                    drop(hub);
-                    reject(
-                        &mut chan,
-                        t,
-                        RejectCode::BatchTooLarge,
-                        0,
-                        format!(
-                            "batch of {rows} frames exceeds the {} cap; split it",
-                            cfg.max_batch_frames
-                        ),
-                    )?;
-                    continue;
-                }
-                if rows > lane.queue.free() {
-                    let free = lane.queue.free();
-                    drop(hub);
-                    reject(
-                        &mut chan,
-                        t,
-                        RejectCode::QueueFull,
-                        cfg.retry_after_ms,
-                        format!(
-                            "stream {stream_id} queue has {free} of {} frames free",
-                            cfg.max_queue_frames
-                        ),
-                    )?;
-                    continue;
-                }
-                // Committed before fed: a crash after this append replays
-                // the batch, so `next_seq` can never run behind a reply
-                // the client already saw.
-                hub.store
-                    .append(&SessionEvent::FramesPushed {
-                        stream_id,
-                        dim,
-                        data: data.clone(),
-                    })
-                    .map_err(durable_io)?;
-                let lane = &mut hub
-                    .lanes
-                    .get_mut(&stream_id)
-                    .expect("owned streams exist in the hub")
-                    .lane;
-                let batch: Vec<Vec<f32>> = data
-                    .chunks(dim.max(1) as usize)
-                    .map(<[f32]>::to_vec)
-                    .collect();
-                lane.queue
-                    .try_enqueue(batch)
-                    .expect("free space was checked");
-                let mut decisions = Vec::new();
-                let mut emitted = Vec::new();
-                while let Some(row) = lane.queue.pop() {
-                    if let Some(d) = lane.push(row) {
-                        emitted.push(SessionEvent::DecisionEmitted {
-                            stream_id,
-                            anchor: d.anchor,
-                            fingerprint: decision_fingerprint(&d),
-                        });
-                        decisions.push(decision_to_wire(&d));
-                    }
-                }
-                lane.frames += rows as u64;
-                lane.decisions += decisions.len() as u64;
-                for ev in &emitted {
-                    hub.store.append(ev).map_err(durable_io)?;
-                }
-                hub.maybe_snapshot().map_err(durable_io)?;
-                drop(hub);
-                shared.admission.add_frames(rows as u64);
-                shared.admission.add_decisions(decisions.len() as u64);
-                t.add("serve.frames", rows as u64);
-                t.add("serve.decisions", decisions.len() as u64);
-                write_message(
+            }
+
+            Message::SubmitTraced {
+                trace_id,
+                stream_id,
+                dim,
+                data,
+            } => {
+                if !submit_durable(
+                    shared,
                     &mut chan,
-                    &Message::Decisions {
-                        stream_id,
-                        decisions,
-                    },
-                )?;
+                    owned,
+                    Some(trace_id),
+                    stream_id,
+                    dim,
+                    data,
+                )? {
+                    return Ok(());
+                }
             }
 
             Message::CloseStream { stream_id } => {
@@ -1007,23 +899,21 @@ fn durable_session_loop(
                 hub.store
                     .append(&SessionEvent::StreamClosed { stream_id })
                     .map_err(durable_io)?;
-                let dl = hub
+                let lane = hub
                     .lanes
                     .remove(&stream_id)
                     .expect("owned streams exist in the hub");
-                hub.maybe_snapshot().map_err(durable_io)?;
+                hub.maybe_snapshot(t).map_err(durable_io)?;
                 drop(hub);
                 owned.remove(&stream_id);
-                shared.admission.release();
                 t.add("serve.streams_closed", 1);
-                t.gauge_set("serve.active_streams", shared.admission.active() as f64);
                 write_message(
                     &mut chan,
                     &Message::StreamClosed {
                         stream_id,
                         summary: StreamSummary {
-                            frames: dl.lane.frames,
-                            decisions: dl.lane.decisions,
+                            frames: lane.frames,
+                            decisions: lane.decisions,
                         },
                     },
                 )?;
@@ -1049,6 +939,10 @@ fn durable_session_loop(
                     String::new()
                 };
                 write_message(&mut chan, &Message::TelemetryReport { jsonl })?;
+            }
+
+            Message::MetricsQuery => {
+                write_message(&mut chan, &metrics_reply(t))?;
             }
 
             other => {
@@ -1111,4 +1005,378 @@ fn reject(
             detail,
         },
     )
+}
+
+/// Records one `serve.stage_seconds` sample, attaching the batch's trace
+/// id as a histogram exemplar when the request carried one.
+fn observe_stage(t: &Telemetry, stage: &'static str, seconds: f64, trace: Option<u64>) {
+    match trace {
+        Some(id) => t.observe_traced("serve.stage_seconds", stage, seconds, id),
+        None => t.observe_labeled("serve.stage_seconds", stage, seconds),
+    }
+}
+
+/// Drains everything queued on `lane` through its predictor with the
+/// batch's trace attached, so the predictor's inference / conformal
+/// stage samples carry the client's trace id as exemplars.
+fn drain_lane(lane: &mut Lane, trace: Option<u64>) -> Vec<HorizonDecision> {
+    lane.predictor.set_trace(trace);
+    let mut out = Vec::new();
+    while let Some(row) = lane.queue.pop() {
+        if let Some(d) = lane.push(row) {
+            out.push(d);
+        }
+    }
+    lane.predictor.set_trace(None);
+    out
+}
+
+/// Per-decision observability: the `serve.decision_seconds` series the
+/// registered SLO burns against (traced when the batch carried a trace
+/// id), plus one bounded slow-log entry per decision carrying the stage
+/// breakdown.
+fn record_decisions(
+    t: &Telemetry,
+    trace: Option<u64>,
+    stream_id: u32,
+    drained: &[HorizonDecision],
+    elapsed: f64,
+    stages: &[(&'static str, f64)],
+) {
+    if !t.is_enabled() {
+        return;
+    }
+    for d in drained {
+        match trace {
+            Some(id) => t.observe_traced("serve.decision_seconds", "", elapsed, id),
+            None => t.observe("serve.decision_seconds", elapsed),
+        }
+        t.slow_decision(SlowDecision {
+            duration_seconds: elapsed,
+            stream_id,
+            anchor: d.anchor,
+            trace_id: trace.unwrap_or(0),
+            stages: stages.to_vec(),
+        });
+    }
+}
+
+/// Counts an accepted batch: shared admission totals, the serve
+/// counters, and the per-stream `serve.stream_frames` rate series.
+fn count_batch(shared: &Shared, stream_id: u32, rows: usize, decisions: usize) {
+    let t = &shared.telemetry;
+    shared.admission.add_frames(rows as u64);
+    shared.admission.add_decisions(decisions as u64);
+    t.add("serve.frames", rows as u64);
+    t.add("serve.decisions", decisions as u64);
+    if t.is_enabled() && rows > 0 {
+        t.observe_labeled("serve.stream_frames", &stream_id.to_string(), rows as f64);
+    }
+}
+
+/// `Decisions` or `TracedDecisions` depending on whether the submit
+/// carried a trace id — traced pushes get the id echoed back verbatim.
+fn decisions_reply(trace: Option<u64>, stream_id: u32, decisions: Vec<WireDecision>) -> Message {
+    match trace {
+        Some(trace_id) => Message::TracedDecisions {
+            trace_id,
+            stream_id,
+            decisions,
+        },
+        None => Message::Decisions {
+            stream_id,
+            decisions,
+        },
+    }
+}
+
+/// Builds a `MetricsReply` from the live recorder: every counter, the
+/// windowed time-series ring behind every histogram, and the registered
+/// SLOs, all in deterministic `(name, label)` order.
+fn metrics_reply(t: &Telemetry) -> Message {
+    let snap = t.snapshot();
+    Message::MetricsReply {
+        clock_now: t.now(),
+        window_secs: snap.window_secs,
+        counters: snap
+            .counters
+            .iter()
+            .map(|(name, label, value)| WireCounter {
+                name: name.clone(),
+                label: label.clone(),
+                value: *value,
+            })
+            .collect(),
+        series: snap
+            .windows
+            .iter()
+            .map(|(name, label, ws)| WireSeries {
+                name: name.clone(),
+                label: label.clone(),
+                windows: ws
+                    .iter()
+                    .map(|w| WireWindow {
+                        index: w.index,
+                        count: w.count,
+                        sum: w.sum,
+                        p50: w.p50,
+                        p99: w.p99,
+                    })
+                    .collect(),
+            })
+            .collect(),
+        slos: snap
+            .slos
+            .iter()
+            .map(|(name, label, s)| WireSlo {
+                name: name.clone(),
+                label: label.clone(),
+                threshold: s.threshold,
+                objective: s.objective,
+                total: s.total,
+                violations: s.violations,
+            })
+            .collect(),
+    }
+}
+
+/// Shared `SubmitFrames` / `SubmitTraced` handling for non-durable
+/// sessions: admission checks, the synchronous drain with stage timing,
+/// and the (traced) decisions reply. `Ok(false)` means the violation was
+/// fatal and the session must end.
+#[allow(clippy::too_many_arguments)]
+fn submit_plain(
+    shared: &Shared,
+    chan: &mut &TcpStream,
+    lanes: &mut BTreeMap<u32, Lane>,
+    trace: Option<u64>,
+    stream_id: u32,
+    dim: u32,
+    data: Vec<f32>,
+) -> io::Result<bool> {
+    let cfg = &shared.cfg;
+    let t = &shared.telemetry;
+    let batch_start = t.now();
+    let Some(lane) = lanes.get_mut(&stream_id) else {
+        reject(
+            chan,
+            t,
+            RejectCode::UnknownStream,
+            0,
+            format!("stream {stream_id} is not open"),
+        )?;
+        return Ok(true);
+    };
+    let expected = lane.predictor.input_dim() as u32;
+    if dim != expected {
+        // Fatal: the peer disagrees about the feature space.
+        reject(
+            chan,
+            t,
+            RejectCode::Malformed,
+            0,
+            format!("stream {stream_id} expects dim {expected}, got {dim}"),
+        )?;
+        return Ok(false);
+    }
+    let rows = if dim == 0 {
+        0
+    } else {
+        data.len() / dim as usize
+    };
+    if rows as u32 > cfg.max_batch_frames {
+        reject(
+            chan,
+            t,
+            RejectCode::BatchTooLarge,
+            0,
+            format!(
+                "batch of {rows} frames exceeds the {} cap; split it",
+                cfg.max_batch_frames
+            ),
+        )?;
+        return Ok(true);
+    }
+    if rows > lane.queue.free() {
+        reject(
+            chan,
+            t,
+            RejectCode::QueueFull,
+            cfg.retry_after_ms,
+            format!(
+                "stream {stream_id} queue has {} of {} frames free",
+                lane.queue.free(),
+                cfg.max_queue_frames
+            ),
+        )?;
+        return Ok(true);
+    }
+    let batch: Vec<Vec<f32>> = data
+        .chunks(dim.max(1) as usize)
+        .map(<[f32]>::to_vec)
+        .collect();
+    lane.queue
+        .try_enqueue(batch)
+        .expect("free space was checked");
+    let enqueued_at = t.now();
+    let drain_start = t.now();
+    let drained = drain_lane(lane, trace);
+    let drained_at = t.now();
+    observe_stage(t, "queue_wait", drain_start - enqueued_at, trace);
+    lane.frames += rows as u64;
+    lane.decisions += drained.len() as u64;
+    let decisions: Vec<WireDecision> = drained.iter().map(decision_to_wire).collect();
+    count_batch(shared, stream_id, rows, decisions.len());
+    record_decisions(
+        t,
+        trace,
+        stream_id,
+        &drained,
+        drained_at - batch_start,
+        &[
+            ("queue_wait", drain_start - enqueued_at),
+            ("drain", drained_at - drain_start),
+        ],
+    );
+    let write_start = t.now();
+    write_message(chan, &decisions_reply(trace, stream_id, decisions))?;
+    observe_stage(t, "reply_write", t.now() - write_start, trace);
+    Ok(true)
+}
+
+/// Shared `SubmitFrames` / `SubmitTraced` handling for durable sessions:
+/// frames are committed to the session log *before* they are fed, every
+/// emitted decision is journaled, and the journaling work is recorded
+/// under the `durable_commit` stage. `Ok(false)` ends the session.
+#[allow(clippy::too_many_arguments)]
+fn submit_durable(
+    shared: &Shared,
+    chan: &mut &TcpStream,
+    owned: &BTreeSet<u32>,
+    trace: Option<u64>,
+    stream_id: u32,
+    dim: u32,
+    data: Vec<f32>,
+) -> io::Result<bool> {
+    let cfg = &shared.cfg;
+    let t = &shared.telemetry;
+    let batch_start = t.now();
+    if !owned.contains(&stream_id) {
+        reject(
+            chan,
+            t,
+            RejectCode::UnknownStream,
+            0,
+            format!("stream {stream_id} is not open in this session"),
+        )?;
+        return Ok(true);
+    }
+    let mut hub = lock_hub(shared);
+    let lane = hub
+        .lanes
+        .get_mut(&stream_id)
+        .expect("owned streams exist in the hub");
+    let expected = lane.predictor.input_dim() as u32;
+    if dim != expected {
+        drop(hub);
+        reject(
+            chan,
+            t,
+            RejectCode::Malformed,
+            0,
+            format!("stream {stream_id} expects dim {expected}, got {dim}"),
+        )?;
+        return Ok(false);
+    }
+    let rows = data.len() / dim.max(1) as usize;
+    if rows as u32 > cfg.max_batch_frames {
+        drop(hub);
+        reject(
+            chan,
+            t,
+            RejectCode::BatchTooLarge,
+            0,
+            format!(
+                "batch of {rows} frames exceeds the {} cap; split it",
+                cfg.max_batch_frames
+            ),
+        )?;
+        return Ok(true);
+    }
+    if rows > lane.queue.free() {
+        let free = lane.queue.free();
+        drop(hub);
+        reject(
+            chan,
+            t,
+            RejectCode::QueueFull,
+            cfg.retry_after_ms,
+            format!(
+                "stream {stream_id} queue has {free} of {} frames free",
+                cfg.max_queue_frames
+            ),
+        )?;
+        return Ok(true);
+    }
+    // Committed before fed: a crash after this append replays the batch,
+    // so `next_seq` can never run behind a reply the client already saw.
+    let commit_start = t.now();
+    hub.store
+        .append(&SessionEvent::FramesPushed {
+            stream_id,
+            dim,
+            data: data.clone(),
+        })
+        .map_err(durable_io)?;
+    let mut commit = t.now() - commit_start;
+    let lane = hub
+        .lanes
+        .get_mut(&stream_id)
+        .expect("owned streams exist in the hub");
+    let batch: Vec<Vec<f32>> = data
+        .chunks(dim.max(1) as usize)
+        .map(<[f32]>::to_vec)
+        .collect();
+    lane.queue
+        .try_enqueue(batch)
+        .expect("free space was checked");
+    let enqueued_at = t.now();
+    let drain_start = t.now();
+    let drained = drain_lane(lane, trace);
+    let drained_at = t.now();
+    observe_stage(t, "queue_wait", drain_start - enqueued_at, trace);
+    lane.frames += rows as u64;
+    lane.decisions += drained.len() as u64;
+    let commit_resume = t.now();
+    for d in &drained {
+        hub.store
+            .append(&SessionEvent::DecisionEmitted {
+                stream_id,
+                anchor: d.anchor,
+                fingerprint: decision_fingerprint(d),
+            })
+            .map_err(durable_io)?;
+    }
+    hub.maybe_snapshot(t).map_err(durable_io)?;
+    commit += t.now() - commit_resume;
+    drop(hub);
+    observe_stage(t, "durable_commit", commit, trace);
+    let decisions: Vec<WireDecision> = drained.iter().map(decision_to_wire).collect();
+    count_batch(shared, stream_id, rows, decisions.len());
+    record_decisions(
+        t,
+        trace,
+        stream_id,
+        &drained,
+        drained_at - batch_start + commit,
+        &[
+            ("queue_wait", drain_start - enqueued_at),
+            ("drain", drained_at - drain_start),
+            ("durable_commit", commit),
+        ],
+    );
+    let write_start = t.now();
+    write_message(chan, &decisions_reply(trace, stream_id, decisions))?;
+    observe_stage(t, "reply_write", t.now() - write_start, trace);
+    Ok(true)
 }

@@ -13,6 +13,9 @@ use std::time::Instant;
 use crate::clock::ClockKind;
 use crate::hist::LogHistogram;
 use crate::report::TelemetrySnapshot;
+use crate::slo::SloStat;
+use crate::slowlog::{SlowDecision, SlowLog};
+use crate::window::{WindowedSeries, DEFAULT_WINDOW_SECS};
 
 /// Hard cap on the span trace buffer; spans beyond it are counted in
 /// `dropped_spans` instead of recorded, bounding memory on long runs.
@@ -66,6 +69,10 @@ struct Inner {
     counters: BTreeMap<MetricKey, u64>,
     gauges: BTreeMap<MetricKey, GaugeStat>,
     hists: BTreeMap<MetricKey, LogHistogram>,
+    windows: BTreeMap<MetricKey, WindowedSeries>,
+    exemplars: BTreeMap<MetricKey, BTreeMap<usize, u64>>,
+    slos: BTreeMap<MetricKey, SloStat>,
+    slow: SlowLog,
     spans: Vec<SpanRecord>,
     open: Vec<u32>,
     dropped_spans: u64,
@@ -290,15 +297,75 @@ impl Telemetry {
 
     /// Records `v` into the log-bucketed histogram `name`.
     pub fn observe(&self, name: &'static str, v: f64) {
+        self.observe_labeled(name, "", v);
+    }
+
+    /// Records `v` into the `label` series of histogram `name` (e.g.
+    /// `observe_labeled("serve.stage_seconds", "inference", dt)`).
+    pub fn observe_labeled(&self, name: &'static str, label: &str, v: f64) {
+        self.observe_impl(name, label, v, None);
+    }
+
+    /// Records `v` like [`Telemetry::observe_labeled`] and additionally
+    /// attaches `trace_id` as the exemplar of the bucket the sample lands
+    /// in (each bucket remembers the *minimum* trace id it has seen, so
+    /// the exemplar set is independent of observation order and therefore
+    /// bit-identical across worker counts).
+    pub fn observe_traced(&self, name: &'static str, label: &str, v: f64, trace_id: u64) {
+        self.observe_impl(name, label, v, Some(trace_id));
+    }
+
+    fn observe_impl(&self, name: &'static str, label: &str, v: f64, trace: Option<u64>) {
+        if !self.enabled {
+            return;
+        }
+        let mut inner = self.lock();
+        let now = self.now_locked(&inner);
+        let key = (name.to_string(), label.to_string());
+        inner.hists.entry(key.clone()).or_default().observe(v);
+        inner
+            .windows
+            .entry(key.clone())
+            .or_insert_with(|| WindowedSeries::new(DEFAULT_WINDOW_SECS))
+            .observe(now, v);
+        if let Some(trace) = trace {
+            if let Some(bucket) = LogHistogram::bucket_index(v) {
+                let slot = inner
+                    .exemplars
+                    .entry(key.clone())
+                    .or_default()
+                    .entry(bucket)
+                    .or_insert(trace);
+                *slot = (*slot).min(trace);
+            }
+        }
+        if let Some(slo) = inner.slos.get_mut(&key) {
+            slo.observe(v);
+        }
+    }
+
+    /// Registers (idempotently) an SLO on the `label` series of histogram
+    /// `name`: at least `objective` of observed samples must land at or
+    /// under `threshold` seconds. Subsequent observations of that series
+    /// feed the tracker; re-registering keeps the accumulated counts.
+    pub fn set_slo(&self, name: &'static str, label: &str, threshold: f64, objective: f64) {
         if !self.enabled {
             return;
         }
         let mut inner = self.lock();
         inner
-            .hists
-            .entry((name.to_string(), String::new()))
-            .or_default()
-            .observe(v);
+            .slos
+            .entry((name.to_string(), label.to_string()))
+            .or_insert_with(|| SloStat::new(threshold, objective));
+    }
+
+    /// Records a candidate entry into the bounded slow-decision log (the
+    /// log itself decides retention; see [`crate::slowlog::SlowLog`]).
+    pub fn slow_decision(&self, entry: SlowDecision) {
+        if !self.enabled {
+            return;
+        }
+        self.lock().slow.record(entry);
     }
 
     /// A point-in-time copy of everything recorded so far. Only closed
@@ -324,6 +391,29 @@ impl Telemetry {
                 .iter()
                 .map(|((n, l), h)| (n.clone(), l.clone(), h.clone()))
                 .collect(),
+            window_secs: DEFAULT_WINDOW_SECS,
+            windows: inner
+                .windows
+                .iter()
+                .map(|((n, l), w)| (n.clone(), l.clone(), w.stats()))
+                .collect(),
+            exemplars: inner
+                .exemplars
+                .iter()
+                .map(|((n, l), ex)| {
+                    (
+                        n.clone(),
+                        l.clone(),
+                        ex.iter().map(|(&b, &t)| (b, t)).collect(),
+                    )
+                })
+                .collect(),
+            slos: inner
+                .slos
+                .iter()
+                .map(|((n, l), &s)| (n.clone(), l.clone(), s))
+                .collect(),
+            slow: inner.slow.entries().to_vec(),
             spans: inner
                 .spans
                 .iter()
@@ -499,5 +589,89 @@ mod tests {
         let a = tel.now();
         let b = tel.now();
         assert!(b >= a && a >= 0.0);
+    }
+
+    #[test]
+    fn observations_feed_windowed_series() {
+        let tel = Telemetry::with_manual_clock();
+        tel.observe("lat", 0.010);
+        tel.set_time(2.5);
+        tel.observe_labeled("lat", "read", 0.020);
+        tel.observe_labeled("lat", "read", 0.040);
+        let snap = tel.snapshot();
+        let w0 = snap.window_series("lat", "").unwrap();
+        assert_eq!((w0[0].index, w0[0].count), (0, 1));
+        let w1 = snap.window_series("lat", "read").unwrap();
+        assert_eq!((w1[0].index, w1[0].count), (2, 2));
+        assert!((w1[0].sum - 0.060).abs() < 1e-12);
+        assert!(snap.window_series("lat", "missing").is_none());
+    }
+
+    #[test]
+    fn exemplars_keep_the_minimum_trace_id_per_bucket() {
+        let tel = Telemetry::with_manual_clock();
+        // Same bucket, different traces: min wins regardless of order.
+        tel.observe_traced("lat", "", 0.010, 900);
+        tel.observe_traced("lat", "", 0.010, 7);
+        tel.observe_traced("lat", "", 0.010, 55);
+        // A different bucket keeps its own exemplar.
+        tel.observe_traced("lat", "", 100.0, 3);
+        // Non-finite samples never produce exemplars.
+        tel.observe_traced("lat", "", f64::NAN, 1);
+        let snap = tel.snapshot();
+        let ex = snap.exemplar("lat", "").unwrap();
+        assert_eq!(ex.len(), 2);
+        assert!(ex.iter().any(|&(_, t)| t == 7));
+        assert!(ex.iter().any(|&(_, t)| t == 3));
+        assert!(!ex.iter().any(|&(_, t)| t == 1));
+    }
+
+    #[test]
+    fn slo_counts_only_its_registered_series() {
+        let tel = Telemetry::with_manual_clock();
+        tel.set_slo("lat", "", 0.050, 0.99);
+        tel.observe("lat", 0.010);
+        tel.observe("lat", 0.500); // violation
+        tel.observe_labeled("lat", "other", 9.0); // different series: ignored
+        let snap = tel.snapshot();
+        let slo = snap.slo("lat", "").unwrap();
+        assert_eq!((slo.total, slo.violations), (2, 1));
+        assert!(slo.burn_rate() > 1.0);
+        assert!(snap.slo("lat", "other").is_none());
+    }
+
+    #[test]
+    fn slow_decisions_flow_into_snapshots() {
+        let tel = Telemetry::with_manual_clock();
+        tel.slow_decision(SlowDecision {
+            duration_seconds: 0.2,
+            stream_id: 1,
+            anchor: 16,
+            trace_id: 42,
+            stages: vec![("inference", 0.15)],
+        });
+        let snap = tel.snapshot();
+        assert_eq!(snap.slow.len(), 1);
+        assert_eq!(snap.slow[0].trace_id, 42);
+    }
+
+    #[test]
+    fn disabled_recorder_ignores_observability_plane_calls() {
+        let tel = Telemetry::disabled();
+        tel.observe_labeled("lat", "x", 1.0);
+        tel.observe_traced("lat", "x", 1.0, 9);
+        tel.set_slo("lat", "x", 0.05, 0.99);
+        tel.slow_decision(SlowDecision {
+            duration_seconds: 1.0,
+            stream_id: 0,
+            anchor: 0,
+            trace_id: 0,
+            stages: Vec::new(),
+        });
+        let snap = tel.snapshot();
+        assert!(snap.windows.is_empty());
+        assert!(snap.exemplars.is_empty());
+        assert!(snap.slos.is_empty());
+        assert!(snap.slow.is_empty());
     }
 }

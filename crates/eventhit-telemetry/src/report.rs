@@ -2,14 +2,18 @@
 //!
 //! A [`TelemetrySnapshot`] is a frozen copy of everything a recorder has
 //! seen. It serialises to JSONL in a canonical order (meta line, then
-//! counters, gauges, histograms sorted by `(name, label)`, then spans in
-//! trace order), and the run fingerprint is FNV-1a over those exact
-//! bytes — so two runs fingerprint equal iff their telemetry is
-//! bit-identical.
+//! counters, gauges, histograms, exemplars, windowed series, and SLO
+//! trackers sorted by `(name, label)`, then slow-decision entries in
+//! retention order, then spans in trace order), and the run fingerprint
+//! is FNV-1a over those exact bytes — so two runs fingerprint equal iff
+//! their telemetry is bit-identical.
 
 use crate::clock::ClockKind;
 use crate::hist::LogHistogram;
 use crate::registry::{GaugeStat, SpanRecord};
+use crate::slo::SloStat;
+use crate::slowlog::SlowDecision;
+use crate::window::WindowStat;
 
 /// FNV-1a over a byte stream — the same fingerprinting primitive the
 /// fault-injection trace uses, kept dependency-free on purpose.
@@ -74,6 +78,10 @@ pub struct SpanStat {
     pub self_time: f64,
 }
 
+/// `(bucket index, minimum trace id)` exemplar pairs for one labeled
+/// histogram, sorted by bucket index.
+pub type ExemplarBuckets = Vec<(usize, u64)>;
+
 /// A frozen copy of a recorder's state. Produced by
 /// [`crate::Telemetry::snapshot`].
 #[derive(Debug, Clone, PartialEq)]
@@ -86,6 +94,18 @@ pub struct TelemetrySnapshot {
     pub gauges: Vec<(String, String, GaugeStat)>,
     /// `(name, label, histogram)` sorted by `(name, label)`.
     pub histograms: Vec<(String, String, LogHistogram)>,
+    /// Width in clock seconds of the time-series windows below.
+    pub window_secs: f64,
+    /// `(name, label, per-window stats)` sorted by `(name, label)` —
+    /// the windowed time-series ring behind every observed histogram.
+    pub windows: Vec<(String, String, Vec<WindowStat>)>,
+    /// `(name, label, (bucket index, trace id) exemplars)` sorted by
+    /// `(name, label)`; each bucket remembers the minimum trace id seen.
+    pub exemplars: Vec<(String, String, ExemplarBuckets)>,
+    /// `(name, label, SLO state)` sorted by `(name, label)`.
+    pub slos: Vec<(String, String, SloStat)>,
+    /// Retained slow-decision log entries, slowest first.
+    pub slow: Vec<SlowDecision>,
     /// Closed spans in trace order.
     pub spans: Vec<SpanRecord>,
     /// Spans still open when the snapshot was taken (not exported).
@@ -133,10 +153,37 @@ impl TelemetrySnapshot {
             .map(|(_, _, h)| h)
     }
 
+    /// The windowed time-series for the `label` series of `name`.
+    pub fn window_series(&self, name: &str, label: &str) -> Option<&[WindowStat]> {
+        self.windows
+            .iter()
+            .find(|(n, l, _)| n == name && l == label)
+            .map(|(_, _, w)| w.as_slice())
+    }
+
+    /// The `(bucket index, trace id)` exemplars of the `label` series of
+    /// `name`.
+    pub fn exemplar(&self, name: &str, label: &str) -> Option<&[(usize, u64)]> {
+        self.exemplars
+            .iter()
+            .find(|(n, l, _)| n == name && l == label)
+            .map(|(_, _, e)| e.as_slice())
+    }
+
+    /// The SLO state registered on the `label` series of `name`.
+    pub fn slo(&self, name: &str, label: &str) -> Option<SloStat> {
+        self.slos
+            .iter()
+            .find(|(n, l, _)| n == name && l == label)
+            .map(|&(_, _, s)| s)
+    }
+
     /// Canonical JSONL export: one `meta` line, then counters, gauges,
-    /// histograms (each sorted by name/label), then spans in trace order.
-    /// Floats use Rust's shortest-roundtrip `Display`, so the bytes are a
-    /// deterministic function of the recorded values.
+    /// histograms, exemplars, windowed series, and SLO trackers (each
+    /// sorted by name/label), then slow-decision entries in retention
+    /// order, then spans in trace order. Floats use Rust's
+    /// shortest-roundtrip `Display`, so the bytes are a deterministic
+    /// function of the recorded values.
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
@@ -184,6 +231,50 @@ impl TelemetrySnapshot {
                 buckets.join(",")
             ));
         }
+        for (name, label, ex) in &self.exemplars {
+            let pairs: Vec<String> = ex.iter().map(|&(b, t)| format!("[{b},{t}]")).collect();
+            out.push_str(&format!(
+                "{{\"type\":\"exemplar\",\"name\":{},\"label\":{},\"buckets\":[{}]}}\n",
+                json_str(name),
+                json_str(label),
+                pairs.join(",")
+            ));
+        }
+        for (name, label, windows) in &self.windows {
+            let ws: Vec<String> = windows
+                .iter()
+                .map(|w| {
+                    format!(
+                        "[{},{},{},{},{}]",
+                        w.index,
+                        w.count,
+                        json_f64(w.sum),
+                        json_f64(w.p50),
+                        json_f64(w.p99)
+                    )
+                })
+                .collect();
+            out.push_str(&format!(
+                "{{\"type\":\"window\",\"name\":{},\"label\":{},\"window_secs\":{},\"windows\":[{}]}}\n",
+                json_str(name),
+                json_str(label),
+                json_f64(self.window_secs),
+                ws.join(",")
+            ));
+        }
+        for (name, label, s) in &self.slos {
+            out.push_str(&format!(
+                "{{\"type\":\"slo\",\"name\":{},\"label\":{},\"threshold\":{},\"objective\":{},\"total\":{},\"violations\":{},\"burn_rate\":{}}}\n",
+                json_str(name),
+                json_str(label),
+                json_f64(s.threshold),
+                json_f64(s.objective),
+                s.total,
+                s.violations,
+                json_f64(s.burn_rate())
+            ));
+        }
+        out.push_str(&self.slow_jsonl());
         for s in &self.spans {
             let parent = match s.parent {
                 Some(p) => p.to_string(),
@@ -196,6 +287,29 @@ impl TelemetrySnapshot {
                 json_str(s.name),
                 json_f64(s.start),
                 json_f64(s.end)
+            ));
+        }
+        out
+    }
+
+    /// Just the `"slow"` lines of [`TelemetrySnapshot::to_jsonl`]: one
+    /// JSON object per retained slow decision, slowest first. The serve
+    /// frontend uses this to export a standalone slow-decision log file.
+    pub fn slow_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.slow {
+            let stages: Vec<String> = e
+                .stages
+                .iter()
+                .map(|(n, v)| format!("[{},{}]", json_str(n), json_f64(*v)))
+                .collect();
+            out.push_str(&format!(
+                "{{\"type\":\"slow\",\"duration\":{},\"stream\":{},\"anchor\":{},\"trace\":{},\"stages\":[{}]}}\n",
+                json_f64(e.duration_seconds),
+                e.stream_id,
+                e.anchor,
+                e.trace_id,
+                stages.join(",")
             ));
         }
         out
@@ -567,5 +681,46 @@ mod tests {
     #[test]
     fn json_str_escapes() {
         assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn observability_plane_lines_are_exported() {
+        let tel = Telemetry::with_manual_clock();
+        tel.set_slo("latency_seconds", "", 0.3, 0.99);
+        tel.observe_traced("latency_seconds", "", 0.25, 41);
+        tel.observe_traced("latency_seconds", "", 0.5, 40);
+        tel.slow_decision(crate::slowlog::SlowDecision {
+            duration_seconds: 0.5,
+            stream_id: 2,
+            anchor: 8,
+            trace_id: 40,
+            stages: vec![("inference", 0.4)],
+        });
+        let jsonl = tel.snapshot().to_jsonl();
+        assert!(jsonl.contains("\"type\":\"exemplar\",\"name\":\"latency_seconds\""));
+        assert!(jsonl.contains("\"type\":\"window\",\"name\":\"latency_seconds\""));
+        assert!(jsonl.contains(
+            "\"type\":\"slo\",\"name\":\"latency_seconds\",\"label\":\"\",\"threshold\":0.3,\
+             \"objective\":0.99,\"total\":2,\"violations\":1"
+        ));
+        assert!(jsonl
+            .contains("\"type\":\"slow\",\"duration\":0.5,\"stream\":2,\"anchor\":8,\"trace\":40"));
+        assert!(jsonl.contains("[\"inference\",0.4]"));
+        // Fingerprint covers the new sections: same inputs, same bytes.
+        let again = {
+            let t = Telemetry::with_manual_clock();
+            t.set_slo("latency_seconds", "", 0.3, 0.99);
+            t.observe_traced("latency_seconds", "", 0.25, 41);
+            t.observe_traced("latency_seconds", "", 0.5, 40);
+            t.slow_decision(crate::slowlog::SlowDecision {
+                duration_seconds: 0.5,
+                stream_id: 2,
+                anchor: 8,
+                trace_id: 40,
+                stages: vec![("inference", 0.4)],
+            });
+            t.snapshot()
+        };
+        assert_eq!(tel.snapshot().fingerprint(), again.fingerprint());
     }
 }

@@ -1,0 +1,118 @@
+//! Service-level-objective tracking: a latency target plus error-budget
+//! burn rate, computed from the same observations that feed histograms.
+//!
+//! An SLO here is "at least `objective` of samples must land at or under
+//! `threshold` seconds". The tracker counts total and violating samples;
+//! the *burn rate* is the observed violation fraction divided by the
+//! allowed fraction (`1 - objective`): 1.0 means the error budget is
+//! being spent exactly as fast as it accrues, above 1.0 the budget is
+//! burning down, and 0.0 means no violations at all. Counts are plain
+//! integers updated sample-by-sample, so the tracker is deterministic
+//! for a given multiset of observations regardless of worker count.
+
+/// Running state of one registered SLO.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloStat {
+    /// Latency threshold in seconds a sample must not exceed.
+    pub threshold: f64,
+    /// Target fraction of compliant samples (e.g. 0.99 for "99% under
+    /// threshold").
+    pub objective: f64,
+    /// Total samples observed against this SLO.
+    pub total: u64,
+    /// Samples that exceeded the threshold.
+    pub violations: u64,
+}
+
+impl SloStat {
+    /// A fresh tracker with zero samples. Non-finite or out-of-range
+    /// inputs are clamped to something sane (threshold ≥ 0, objective in
+    /// `[0, 1)` so the error budget is never zero-width).
+    pub fn new(threshold: f64, objective: f64) -> Self {
+        let threshold = if threshold.is_finite() && threshold > 0.0 {
+            threshold
+        } else {
+            0.0
+        };
+        let objective = if objective.is_finite() {
+            objective.clamp(0.0, 0.999_999)
+        } else {
+            0.0
+        };
+        SloStat {
+            threshold,
+            objective,
+            total: 0,
+            violations: 0,
+        }
+    }
+
+    /// Counts one sample against the objective. `NaN` counts as a
+    /// violation — an unmeasurable latency is not a compliant one.
+    pub fn observe(&mut self, v: f64) {
+        self.total += 1;
+        if v > self.threshold || v.is_nan() {
+            self.violations += 1;
+        }
+    }
+
+    /// Observed violation fraction (0 when no samples yet).
+    pub fn error_rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.violations as f64 / self.total as f64
+        }
+    }
+
+    /// Error-budget burn rate: observed violation fraction over the
+    /// allowed fraction `1 - objective`. 1.0 = spending the budget
+    /// exactly as it accrues; > 1.0 = burning it down.
+    pub fn burn_rate(&self) -> f64 {
+        let budget = 1.0 - self.objective;
+        self.error_rate() / budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_violations_against_threshold() {
+        let mut s = SloStat::new(0.050, 0.99);
+        for _ in 0..99 {
+            s.observe(0.010);
+        }
+        s.observe(0.500);
+        assert_eq!(s.total, 100);
+        assert_eq!(s.violations, 1);
+        assert_eq!(s.error_rate(), 0.01);
+        // 1% violations against a 1% budget: burning at exactly 1.0.
+        assert!((s.burn_rate() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nan_samples_count_as_violations() {
+        let mut s = SloStat::new(0.050, 0.99);
+        s.observe(f64::NAN);
+        assert_eq!(s.violations, 1);
+    }
+
+    #[test]
+    fn zero_samples_means_zero_burn() {
+        let s = SloStat::new(0.050, 0.99);
+        assert_eq!(s.burn_rate(), 0.0);
+        assert_eq!(s.error_rate(), 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_clamped() {
+        let s = SloStat::new(f64::NAN, 1.0);
+        assert_eq!(s.threshold, 0.0);
+        assert!(s.objective < 1.0);
+        let mut s = SloStat::new(0.01, f64::INFINITY);
+        s.observe(1.0);
+        assert!(s.burn_rate().is_finite());
+    }
+}

@@ -1,0 +1,151 @@
+//! Bounded structured log of the slowest serving decisions.
+//!
+//! Aggregates (histograms, windows) tell an operator *that* the tail is
+//! slow; the slow-decision log tells them *which* decisions were slow and
+//! how the time split across stages. The log is bounded to
+//! [`SLOW_LOG_CAP`] entries and retains the top-K by a total order over
+//! `(duration bits, stream id, anchor, trace id)` — a pure function of
+//! the multiset of recorded entries, so the retained set is bit-identical
+//! across worker counts and replay runs.
+
+/// Maximum entries the slow-decision log retains.
+pub const SLOW_LOG_CAP: usize = 64;
+
+/// One slow-decision record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlowDecision {
+    /// End-to-end serving latency of the decision, in clock seconds.
+    pub duration_seconds: f64,
+    /// Stream the decision belongs to.
+    pub stream_id: u32,
+    /// Anchor frame index of the decision.
+    pub anchor: u64,
+    /// Client-assigned trace id of the push that produced it (0 when the
+    /// push was untraced).
+    pub trace_id: u64,
+    /// Per-stage latency breakdown, `(stage name, seconds)`.
+    pub stages: Vec<(&'static str, f64)>,
+}
+
+impl SlowDecision {
+    /// Total order used for retention and export: slower first, ties
+    /// broken by stream, anchor, then trace id (all descending) so the
+    /// outcome never depends on arrival order.
+    fn rank(&self) -> (u64, u32, u64, u64) {
+        // Durations are non-negative, so the IEEE-754 bit pattern orders
+        // the same way the float does.
+        (
+            self.duration_seconds.max(0.0).to_bits(),
+            self.stream_id,
+            self.anchor,
+            self.trace_id,
+        )
+    }
+}
+
+/// Bounded top-K log of [`SlowDecision`] entries.
+#[derive(Debug, Clone, Default)]
+pub struct SlowLog {
+    entries: Vec<SlowDecision>,
+}
+
+impl SlowLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        SlowLog::default()
+    }
+
+    /// Records one decision, keeping only the top [`SLOW_LOG_CAP`]
+    /// entries by the deterministic retention order.
+    pub fn record(&mut self, entry: SlowDecision) {
+        let rank = entry.rank();
+        let pos = self
+            .entries
+            .partition_point(|e| e.rank() > rank || e.rank() == rank);
+        self.entries.insert(pos, entry);
+        self.entries.truncate(SLOW_LOG_CAP);
+    }
+
+    /// Retained entries, slowest first.
+    pub fn entries(&self) -> &[SlowDecision] {
+        &self.entries
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been recorded (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(duration: f64, stream: u32, anchor: u64, trace: u64) -> SlowDecision {
+        SlowDecision {
+            duration_seconds: duration,
+            stream_id: stream,
+            anchor,
+            trace_id: trace,
+            stages: vec![("inference", duration / 2.0)],
+        }
+    }
+
+    #[test]
+    fn retains_slowest_first() {
+        let mut log = SlowLog::new();
+        log.record(entry(0.010, 1, 5, 100));
+        log.record(entry(0.500, 2, 9, 101));
+        log.record(entry(0.050, 3, 1, 102));
+        let d: Vec<f64> = log.entries().iter().map(|e| e.duration_seconds).collect();
+        assert_eq!(d, vec![0.500, 0.050, 0.010]);
+    }
+
+    #[test]
+    fn bounded_at_cap() {
+        let mut log = SlowLog::new();
+        for i in 0..(SLOW_LOG_CAP as u64 + 32) {
+            log.record(entry(i as f64 * 1e-3, 0, i, i));
+        }
+        assert_eq!(log.len(), SLOW_LOG_CAP);
+        // The fastest 32 were evicted: the slowest retained entry is the
+        // overall slowest, and the quickest retained is entry #32.
+        assert_eq!(log.entries()[0].anchor, SLOW_LOG_CAP as u64 + 31);
+        assert_eq!(log.entries().last().unwrap().anchor, 32);
+    }
+
+    #[test]
+    fn retained_set_is_order_insensitive() {
+        let mut a = SlowLog::new();
+        let mut b = SlowLog::new();
+        let mut items: Vec<SlowDecision> = (0..100u64)
+            .map(|i| entry((i % 7) as f64 * 1e-3, (i % 3) as u32, i, i))
+            .collect();
+        for e in &items {
+            a.record(e.clone());
+        }
+        items.reverse();
+        for e in &items {
+            b.record(e.clone());
+        }
+        assert_eq!(a.entries(), b.entries());
+    }
+
+    #[test]
+    fn zero_duration_ties_break_deterministically() {
+        // The manual sim clock produces all-zero durations; the log must
+        // still retain a deterministic set.
+        let mut log = SlowLog::new();
+        for i in 0..(SLOW_LOG_CAP as u64 * 2) {
+            log.record(entry(0.0, (i % 4) as u32, i / 4, i));
+        }
+        assert_eq!(log.len(), SLOW_LOG_CAP);
+        let first = log.entries()[0].clone();
+        assert_eq!(first.stream_id, 3, "highest stream id ranks first on ties");
+    }
+}

@@ -1,0 +1,187 @@
+//! Windowed time-series ring buffers: per-window rate and quantiles for
+//! every observed metric.
+//!
+//! The cumulative [`LogHistogram`] answers "what happened over the whole
+//! run"; operators watching a live server need "what is happening *now*".
+//! A [`WindowedSeries`] splits the recorder's clock into fixed-width
+//! windows and keeps one log-bucketed histogram per window in a bounded
+//! ring, so a remote dashboard can read per-window sample counts (rates)
+//! and p50/p99 without the server retaining raw samples.
+//!
+//! Determinism: the window an observation lands in is a pure function of
+//! the recorder's clock reading, so under the manual sim clock (where
+//! time only moves via `set_time`) the whole series is bit-reproducible —
+//! with an unmoved clock every sample lands in window 0.
+
+use std::collections::VecDeque;
+
+use crate::hist::LogHistogram;
+
+/// Maximum windows a series retains; older windows are evicted.
+pub const MAX_WINDOWS: usize = 64;
+
+/// Default window width in (clock) seconds.
+pub const DEFAULT_WINDOW_SECS: f64 = 1.0;
+
+/// Per-window summary exported to dashboards and the wire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowStat {
+    /// Window index: `floor(clock_seconds / window_secs)`.
+    pub index: u64,
+    /// Samples observed in the window.
+    pub count: u64,
+    /// Sum of the observed values in the window.
+    pub sum: f64,
+    /// Median of the window's samples (0 when empty).
+    pub p50: f64,
+    /// 99th percentile of the window's samples (0 when empty).
+    pub p99: f64,
+}
+
+/// A bounded ring of per-window histograms for one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowedSeries {
+    window_secs: f64,
+    windows: VecDeque<(u64, LogHistogram)>,
+}
+
+impl WindowedSeries {
+    /// An empty series with `window_secs`-wide windows (values ≤ 0 fall
+    /// back to [`DEFAULT_WINDOW_SECS`]).
+    pub fn new(window_secs: f64) -> Self {
+        let window_secs = if window_secs.is_finite() && window_secs > 0.0 {
+            window_secs
+        } else {
+            DEFAULT_WINDOW_SECS
+        };
+        WindowedSeries {
+            window_secs,
+            windows: VecDeque::new(),
+        }
+    }
+
+    /// The configured window width in seconds.
+    pub fn window_secs(&self) -> f64 {
+        self.window_secs
+    }
+
+    /// The window index a clock reading falls into.
+    pub fn index_of(&self, now: f64) -> u64 {
+        if !now.is_finite() || now <= 0.0 {
+            return 0;
+        }
+        (now / self.window_secs) as u64
+    }
+
+    /// Records one sample at clock reading `now`. A reading behind the
+    /// newest window clamps into the matching (or oldest retained)
+    /// window, so a rewound manual clock can never panic or allocate.
+    pub fn observe(&mut self, now: f64, v: f64) {
+        let idx = self.index_of(now);
+        match self.windows.back() {
+            None => self.windows.push_back((idx, LogHistogram::new())),
+            Some(&(newest, _)) if idx > newest => {
+                self.windows.push_back((idx, LogHistogram::new()));
+                while self.windows.len() > MAX_WINDOWS {
+                    self.windows.pop_front();
+                }
+            }
+            _ => {}
+        }
+        let slot = match self.windows.iter_mut().rev().find(|(i, _)| *i <= idx) {
+            Some((_, h)) => h,
+            // Older than everything retained: fold into the oldest.
+            None => &mut self.windows.front_mut().expect("ring is non-empty").1,
+        };
+        slot.observe(v);
+    }
+
+    /// Per-window summaries, oldest first.
+    pub fn stats(&self) -> Vec<WindowStat> {
+        self.windows
+            .iter()
+            .map(|(index, h)| WindowStat {
+                index: *index,
+                count: h.count(),
+                sum: h.sum(),
+                p50: h.quantile(0.50).unwrap_or(0.0),
+                p99: h.quantile(0.99).unwrap_or(0.0),
+            })
+            .collect()
+    }
+
+    /// The newest window's summary, if any sample was ever observed.
+    pub fn latest(&self) -> Option<WindowStat> {
+        self.stats().pop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_land_in_their_clock_window() {
+        let mut s = WindowedSeries::new(1.0);
+        s.observe(0.2, 1.0);
+        s.observe(0.9, 3.0);
+        s.observe(2.5, 5.0); // window 1 is skipped entirely
+        let stats = s.stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!((stats[0].index, stats[0].count), (0, 2));
+        assert_eq!(stats[0].sum, 4.0);
+        assert_eq!((stats[1].index, stats[1].count), (2, 1));
+        assert_eq!(s.latest().unwrap().index, 2);
+    }
+
+    #[test]
+    fn unmoved_clock_keeps_everything_in_window_zero() {
+        let mut s = WindowedSeries::new(1.0);
+        for i in 0..100 {
+            s.observe(0.0, i as f64);
+        }
+        let stats = s.stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].count, 100);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_evicts_oldest() {
+        let mut s = WindowedSeries::new(1.0);
+        for w in 0..(MAX_WINDOWS + 10) {
+            s.observe(w as f64 + 0.5, 1.0);
+        }
+        let stats = s.stats();
+        assert_eq!(stats.len(), MAX_WINDOWS);
+        assert_eq!(stats[0].index, 10, "oldest ten windows evicted");
+    }
+
+    #[test]
+    fn rewound_clock_clamps_instead_of_allocating() {
+        let mut s = WindowedSeries::new(1.0);
+        s.observe(5.0, 1.0);
+        s.observe(2.0, 9.0); // behind every retained window
+        let stats = s.stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].count, 2);
+    }
+
+    #[test]
+    fn quantiles_summarize_each_window() {
+        let mut s = WindowedSeries::new(10.0);
+        for v in 1..=100 {
+            s.observe(0.0, v as f64);
+        }
+        let w = s.latest().unwrap();
+        assert_eq!(w.p50, 52.0); // bucket midpoint, same as LogHistogram
+        assert_eq!(w.p99, 100.0);
+    }
+
+    #[test]
+    fn degenerate_window_width_falls_back_to_default() {
+        let s = WindowedSeries::new(0.0);
+        assert_eq!(s.window_secs(), DEFAULT_WINDOW_SECS);
+        let s = WindowedSeries::new(f64::NAN);
+        assert_eq!(s.window_secs(), DEFAULT_WINDOW_SECS);
+    }
+}

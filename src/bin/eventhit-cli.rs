@@ -8,9 +8,11 @@
 //! eventhit-cli marshal  --task TA10 --scale 0.3 --seed 7 --model model.evht \
 //!                       [--c 0.95] [--alpha 0.9]
 //! eventhit-cli serve        --task TA10 --scale 0.1 --seed 7 --addr 127.0.0.1:7077 \
-//!                           [--lane exact|quantized] [--durable DIR] [--snapshot-every N]
+//!                           [--lane exact|quantized] [--durable DIR] [--snapshot-every N] \
+//!                           [--slow-log FILE]
 //! eventhit-cli bench-client --task TA10 --scale 0.1 --seed 7 --addr 127.0.0.1:7077 \
 //!                           [--streams 2] [--batch 64] [--frames 2000]
+//! eventhit-cli top          --addr 127.0.0.1:7077 [--interval-ms 1000] [--iters 0]
 //! ```
 //!
 //! The synthetic stream is a pure function of `(task, scale, seed)`, so
@@ -32,8 +34,10 @@ use eventhit::core::tasks::{all_tasks, task};
 use eventhit::core::InferenceLane;
 use eventhit::parallel::Pool;
 use eventhit::serve::{
-    is_disconnected, DurableOptions, Response, ServeClient, ServeConfig, Server,
+    is_disconnected, DurableOptions, MetricsInfo, Response, ServeClient, ServeConfig, Server,
 };
+use eventhit::telemetry::Telemetry;
+use std::sync::Arc;
 
 #[derive(Debug, Clone)]
 struct Args {
@@ -52,6 +56,9 @@ struct Args {
     lane: InferenceLane,
     durable: Option<String>,
     snapshot_every: u64,
+    slow_log: Option<String>,
+    interval_ms: u64,
+    iters: u64,
 }
 
 impl Default for Args {
@@ -72,17 +79,21 @@ impl Default for Args {
             lane: InferenceLane::Exact,
             durable: None,
             snapshot_every: 256,
+            slow_log: None,
+            interval_ms: 1000,
+            iters: 0,
         }
     }
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: eventhit-cli <tasks|train|evaluate|marshal|serve|bench-client> \
+        "usage: eventhit-cli <tasks|train|evaluate|marshal|serve|bench-client|top> \
          [--task TAi] [--scale F] [--seed N] [--model PATH] [--out PATH] \
          [--c F] [--alpha F] [--addr HOST:PORT] [--streams N] [--batch N] \
          [--frames N] [--sessions N] [--lane exact|quantized] \
-         [--durable DIR] [--snapshot-every N]"
+         [--durable DIR] [--snapshot-every N] [--slow-log FILE] \
+         [--interval-ms N] [--iters N]"
     );
     exit(2)
 }
@@ -107,6 +118,9 @@ fn parse(mut it: impl Iterator<Item = String>) -> Args {
             "--lane" => args.lane = value().parse().unwrap_or_else(|_| usage()),
             "--durable" => args.durable = Some(value()),
             "--snapshot-every" => args.snapshot_every = value().parse().unwrap_or_else(|_| usage()),
+            "--slow-log" => args.slow_log = Some(value()),
+            "--interval-ms" => args.interval_ms = value().parse().unwrap_or_else(|_| usage()),
+            "--iters" => args.iters = value().parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
     }
@@ -280,13 +294,17 @@ fn cmd_serve(args: &Args) {
             opts.snapshot_every = args.snapshot_every;
             opts
         }),
+        slow_log: args.slow_log.as_ref().map(Into::into),
         ..ServeConfig::default()
     };
-    let server = Server::bind(
+    // A live (wall-clock) recorder so `eventhit-cli top` has windowed
+    // rates, stage p99s, and SLO burn to render via MetricsQuery.
+    let server = Server::bind_with_telemetry(
         cfg,
         Box::new(move |_stream_id| {
             OnlinePredictor::with_lane(model.clone(), state.clone(), strategy, lane)
         }),
+        Arc::new(Telemetry::new()),
     )
     .unwrap_or_else(|e| {
         eprintln!("failed to bind {}: {e}", args.addr);
@@ -304,6 +322,9 @@ fn cmd_serve(args: &Args) {
              (snapshot every {} events)",
             args.snapshot_every
         );
+    }
+    if let Some(path) = &args.slow_log {
+        println!("slow log: rewriting {path} at every session end");
     }
     let pool = Pool::current();
     if args.sessions == 0 {
@@ -421,6 +442,133 @@ fn cmd_bench_client(args: &Args) {
     );
 }
 
+/// Polls a running server's `MetricsQuery` endpoint and renders a live
+/// terminal dashboard: SLO burn, per-stage p99s, per-stream ingest
+/// rates, and reject counters. `--iters 0` (the default) polls until
+/// interrupted; a positive `--iters` renders that many frames and exits
+/// (useful for scripting and smoke tests).
+fn cmd_top(args: &Args) {
+    let mut client = ServeClient::connect(&args.addr).unwrap_or_else(|e| {
+        eprintln!("failed to connect to {}: {e}", args.addr);
+        exit(1)
+    });
+    let mut rendered = 0u64;
+    loop {
+        let m = client.metrics().unwrap_or_else(|e| {
+            if is_disconnected(&e) {
+                eprintln!("server disconnected");
+            } else {
+                eprintln!("metrics query failed: {e}");
+            }
+            exit(1)
+        });
+        render_top(&args.addr, &m);
+        rendered += 1;
+        if args.iters != 0 && rendered >= args.iters {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(args.interval_ms.max(1)));
+    }
+}
+
+/// One `top` frame: clear the terminal and redraw from a `MetricsReply`.
+fn render_top(addr: &str, m: &MetricsInfo) {
+    print!("\x1b[2J\x1b[H");
+    println!(
+        "eventhit top — {addr} @ clock {:.1}s (windows of {:.0} ms)",
+        m.clock_now,
+        m.window_secs * 1000.0
+    );
+    println!();
+    if m.slos.is_empty() {
+        println!("SLOs: none registered (server running without telemetry?)");
+    }
+    for slo in &m.slos {
+        let label = if slo.label.is_empty() {
+            String::new()
+        } else {
+            format!("{{{}}}", slo.label)
+        };
+        println!(
+            "SLO {}{}: p99 < {:.0} ms @ {:.1}% — {} served, {} violations, burn {:.2}x",
+            slo.name,
+            label,
+            slo.threshold * 1000.0,
+            slo.objective * 100.0,
+            slo.total,
+            slo.violations,
+            slo.burn_rate()
+        );
+    }
+    println!();
+    println!("stage p99 (latest window):");
+    let mut any_stage = false;
+    for series in &m.series {
+        if series.name != "serve.stage_seconds" && series.name != "stream.stage_seconds" {
+            continue;
+        }
+        if let Some(w) = series.windows.last() {
+            any_stage = true;
+            println!(
+                "  {:<14} {:>10.1} us  ({} samples)",
+                series.label,
+                w.p99 * 1e6,
+                w.count
+            );
+        }
+    }
+    if !any_stage {
+        println!("  (no decisions yet)");
+    }
+    println!();
+    println!("streams (latest-window ingest):");
+    let mut any_stream = false;
+    for series in &m.series {
+        if series.name != "serve.stream_frames" {
+            continue;
+        }
+        if let Some(w) = series.windows.last() {
+            any_stream = true;
+            println!(
+                "  stream {:<6} {:>9.1} frames/s  ({} batches)",
+                series.label,
+                w.sum / m.window_secs.max(1e-9),
+                w.count
+            );
+        }
+    }
+    if !any_stream {
+        println!("  (no frames yet)");
+    }
+    println!();
+    let rejects: Vec<_> = m
+        .counters
+        .iter()
+        .filter(|c| c.name == "serve.rejected")
+        .collect();
+    if rejects.is_empty() {
+        println!("rejects: none");
+    } else {
+        println!("rejects:");
+        for c in rejects {
+            println!("  {:<16} {}", c.label, c.value);
+        }
+    }
+    let total = |name: &str| {
+        m.counters
+            .iter()
+            .find(|c| c.name == name && c.label.is_empty())
+            .map_or(0, |c| c.value)
+    };
+    println!();
+    println!(
+        "totals: {} sessions, {} frames, {} decisions",
+        total("serve.sessions"),
+        total("serve.frames"),
+        total("serve.decisions")
+    );
+}
+
 fn main() {
     let mut argv = std::env::args().skip(1);
     let Some(cmd) = argv.next() else { usage() };
@@ -431,6 +579,7 @@ fn main() {
         "marshal" => cmd_marshal(&parse(argv)),
         "serve" => cmd_serve(&parse(argv)),
         "bench-client" => cmd_bench_client(&parse(argv)),
+        "top" => cmd_top(&parse(argv)),
         "--help" | "-h" | "help" => usage(),
         _ => usage(),
     }

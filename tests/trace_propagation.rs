@@ -1,0 +1,391 @@
+//! End-to-end decision tracing: every `SubmitTraced` batch must get its
+//! client-assigned trace id echoed back verbatim on `TracedDecisions`
+//! (the client verifies the echo on every reply), the traced path must
+//! stay bit-identical to the in-process `run_lanes` baseline at 1 and 4
+//! workers — including across a durable kill-and-resume — and the
+//! serving telemetry fingerprint under the manual clock must be
+//! bit-identical across worker counts.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+
+use eventhit::core::experiment::{ExperimentConfig, TaskRun};
+use eventhit::core::model::EventHit;
+use eventhit::core::multi::{run_lanes, LaneDecision, StreamLane};
+use eventhit::core::pipeline::{ConformalState, Strategy};
+use eventhit::core::streaming::OnlinePredictor;
+use eventhit::core::tasks::task;
+use eventhit::nn::matrix::Matrix;
+use eventhit::parallel::{with_workers, Pool};
+use eventhit::serve::convert::decision_from_wire;
+use eventhit::serve::{DurableOptions, ServeClient, ServeConfig, Server};
+use eventhit::telemetry::Telemetry;
+
+struct Trained {
+    model: EventHit,
+    state: ConformalState,
+    features: Matrix,
+}
+
+fn trained() -> &'static Trained {
+    static RUN: OnceLock<Trained> = OnceLock::new();
+    RUN.get_or_init(|| {
+        let run = TaskRun::execute(&task("TA10").unwrap(), &ExperimentConfig::quick(77));
+        Trained {
+            model: run.model,
+            state: run.state,
+            features: run.features,
+        }
+    })
+}
+
+const STRATEGY: Strategy = Strategy::Ehcr { c: 0.9, alpha: 0.5 };
+
+fn predictor() -> OnlinePredictor {
+    let t = trained();
+    OnlinePredictor::new(t.model.clone(), t.state.clone(), STRATEGY)
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("evtrace-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn spawn_server(cfg: ServeConfig, sessions: usize, workers: usize) -> (SocketAddr, JoinHandle<()>) {
+    let server = Server::bind(cfg, Box::new(|_| predictor())).expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let handle = std::thread::spawn(move || {
+        server.serve_sessions(sessions, &Pool::new(workers));
+    });
+    (addr, handle)
+}
+
+/// A deterministic, never-zero trace id for a `(stream, batch)` pair.
+fn trace_for(stream: u32, round: usize) -> u64 {
+    ((stream as u64 + 1) << 32) | (round as u64 + 1)
+}
+
+/// Submits `features[at..hi]` on `stream` with a trace id; the client
+/// verifies the echoed id matches before returning. Decisions append to
+/// `out`.
+fn feed_traced(
+    client: &mut ServeClient,
+    stream: u32,
+    features: &Matrix,
+    at: usize,
+    hi: usize,
+    trace: u64,
+    out: &mut Vec<LaneDecision>,
+) {
+    let dim = features.cols() as u32;
+    let mut data = Vec::with_capacity((hi - at) * dim as usize);
+    for r in at..hi {
+        data.extend_from_slice(features.row(r));
+    }
+    let decisions = client
+        .submit_traced(stream, trace, dim, data)
+        .expect("submit_traced I/O (echo verified by the client)")
+        .expect_ok("submit_traced");
+    out.extend(decisions.iter().map(|d| LaneDecision {
+        stream_id: stream as usize,
+        decision: decision_from_wire(d),
+    }));
+}
+
+/// The in-process baseline the traced wire path must reproduce
+/// bit-for-bit.
+fn baseline(froms: &[usize], workers: usize) -> Vec<LaneDecision> {
+    let t = trained();
+    let lanes: Vec<StreamLane> = froms
+        .iter()
+        .enumerate()
+        .map(|(i, &from)| StreamLane {
+            stream_id: i,
+            predictor: predictor(),
+            features: t.features.clone(),
+            from,
+        })
+        .collect();
+    with_workers(workers, || run_lanes(lanes, &Pool::current()))
+}
+
+/// Two concurrent sessions, one traced stream each: every batch carries
+/// a distinct trace id, every reply's echo is verified, and the merged
+/// decisions must equal the uninterrupted in-process baseline.
+fn traced_loopback_scenario(workers: usize) {
+    let t = trained();
+    let froms = [0usize, 11];
+    let batch = 97;
+    let expected = baseline(&froms, workers);
+    assert!(!expected.is_empty(), "baseline produced no decisions");
+    assert!(t.features.rows() > batch, "need at least two batches");
+
+    let (addr, handle) = spawn_server(ServeConfig::default(), froms.len(), workers);
+    let clients: Vec<JoinHandle<Vec<LaneDecision>>> = froms
+        .iter()
+        .enumerate()
+        .map(|(i, &from)| {
+            std::thread::spawn(move || {
+                let t = trained();
+                let mut client = ServeClient::connect(addr).expect("connect");
+                let stream = i as u32;
+                client.open_stream(stream).unwrap().expect_ok("open");
+                let mut out = Vec::new();
+                let mut at = from;
+                let mut round = 0usize;
+                while at < t.features.rows() {
+                    let hi = (at + batch).min(t.features.rows());
+                    feed_traced(
+                        &mut client,
+                        stream,
+                        &t.features,
+                        at,
+                        hi,
+                        trace_for(stream, round),
+                        &mut out,
+                    );
+                    at = hi;
+                    round += 1;
+                }
+                client.close_stream(stream).unwrap().expect_ok("close");
+                out
+            })
+        })
+        .collect();
+    let mut served: Vec<LaneDecision> = clients
+        .into_iter()
+        .flat_map(|h| h.join().expect("client thread"))
+        .collect();
+    handle.join().expect("server thread");
+
+    served.sort_by_key(|d| (d.decision.anchor, d.stream_id));
+    assert_eq!(
+        served, expected,
+        "traced decisions must be bit-identical to run_lanes at {workers} workers"
+    );
+}
+
+#[test]
+fn traced_decisions_echo_and_match_run_lanes_at_1_worker() {
+    traced_loopback_scenario(1);
+}
+
+#[test]
+fn traced_decisions_echo_and_match_run_lanes_at_4_workers() {
+    traced_loopback_scenario(4);
+}
+
+/// Traced serving across a durable kill-and-resume: the server vanishes
+/// mid-serve, a new one recovers the lanes from disk, the client resumes
+/// and keeps submitting traced batches — echoes verified throughout, and
+/// the combined decision stream bit-identical to the baseline.
+fn traced_kill_and_resume_scenario(workers: usize) {
+    let t = trained();
+    let rows = t.features.rows();
+    let froms = [0usize, 11];
+    let batch = 97;
+    let expected = baseline(&froms, workers);
+
+    let rounds = rows.div_ceil(batch);
+    let kill_round = (rounds / 2).clamp(1, rounds - 1);
+    let dir = fresh_dir(&format!("kill{workers}"));
+    let mut opts = DurableOptions::new(&dir);
+    opts.snapshot_every = 24;
+    let cfg = ServeConfig {
+        durable: Some(opts),
+        ..ServeConfig::default()
+    };
+
+    // Phase A: traced serving until the kill round, then an abrupt FIN.
+    let mut served: Vec<LaneDecision> = Vec::new();
+    let mut cursors = froms;
+    let mut acked = [0u64; 2];
+    let mut round = 0usize;
+    let (addr, handle) = spawn_server(cfg.clone(), 1, workers);
+    {
+        let mut client = ServeClient::connect(addr).expect("connect A");
+        for s in 0..froms.len() as u32 {
+            client.open_stream(s).unwrap().expect_ok("open");
+        }
+        while round < kill_round {
+            for (i, cursor) in cursors.iter_mut().enumerate() {
+                if *cursor >= rows {
+                    continue;
+                }
+                let hi = (*cursor + batch).min(rows);
+                feed_traced(
+                    &mut client,
+                    i as u32,
+                    &t.features,
+                    *cursor,
+                    hi,
+                    trace_for(i as u32, round),
+                    &mut served,
+                );
+                acked[i] += (hi - *cursor) as u64;
+                *cursor = hi;
+            }
+            round += 1;
+        }
+    } // dropped: the "kill"; streams left open
+    handle.join().expect("server A thread");
+
+    // Phase B: recover, resume, finish — still traced.
+    let (addr, handle) = spawn_server(cfg, 1, workers);
+    let mut client = ServeClient::connect(addr).expect("connect B");
+    for (i, &last) in acked.iter().enumerate() {
+        let next = client
+            .resume_stream(i as u32, last)
+            .expect("resume I/O")
+            .expect_ok("resume");
+        assert_eq!(next, last, "stream {i}: every batch was acked");
+    }
+    loop {
+        let mut progressed = false;
+        for (i, cursor) in cursors.iter_mut().enumerate() {
+            if *cursor >= rows {
+                continue;
+            }
+            progressed = true;
+            let hi = (*cursor + batch).min(rows);
+            feed_traced(
+                &mut client,
+                i as u32,
+                &t.features,
+                *cursor,
+                hi,
+                trace_for(i as u32, round),
+                &mut served,
+            );
+            *cursor = hi;
+        }
+        round += 1;
+        if !progressed {
+            break;
+        }
+    }
+    for s in 0..froms.len() as u32 {
+        client.close_stream(s).unwrap().expect_ok("close");
+    }
+    drop(client);
+    handle.join().expect("server B thread");
+
+    served.sort_by_key(|d| (d.decision.anchor, d.stream_id));
+    assert_eq!(
+        served, expected,
+        "traced decisions across the kill must match the baseline at {workers} workers"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trace_ids_survive_durable_kill_and_resume_at_1_worker() {
+    traced_kill_and_resume_scenario(1);
+}
+
+#[test]
+fn trace_ids_survive_durable_kill_and_resume_at_4_workers() {
+    traced_kill_and_resume_scenario(4);
+}
+
+/// Runs two strictly sequential sessions (joined between servers so the
+/// `serve.session` spans can never interleave) against one manual-clock
+/// recorder, and returns the canonical telemetry fingerprint.
+fn telemetry_scenario(workers: usize) -> u64 {
+    let t = trained();
+    let rows = t.features.rows().min(600);
+    let batch = 97;
+    let telemetry = Arc::new(Telemetry::with_manual_clock());
+
+    for session in 0..2u64 {
+        let server = Server::bind_with_telemetry(
+            ServeConfig::default(),
+            Box::new(|_| predictor()),
+            Arc::clone(&telemetry),
+        )
+        .expect("bind");
+        let addr = server.local_addr().expect("local addr");
+        let handle = std::thread::spawn(move || {
+            server.serve_sessions(1, &Pool::new(workers));
+        });
+        let mut client = ServeClient::connect(addr).expect("connect");
+        for s in 0..2u32 {
+            client.open_stream(s).unwrap().expect_ok("open");
+        }
+        let mut out = Vec::new();
+        let mut at = 0usize;
+        let mut round = 0usize;
+        while at < rows {
+            let hi = (at + batch).min(rows);
+            for s in 0..2u32 {
+                // Stream 0 traced, stream 1 plain — both shapes must
+                // fingerprint identically across worker counts.
+                if s == 0 {
+                    feed_traced(
+                        &mut client,
+                        s,
+                        &t.features,
+                        at,
+                        hi,
+                        trace_for(s, round) + session,
+                        &mut out,
+                    );
+                } else {
+                    let dim = t.features.cols() as u32;
+                    let mut data = Vec::with_capacity((hi - at) * dim as usize);
+                    for r in at..hi {
+                        data.extend_from_slice(t.features.row(r));
+                    }
+                    client
+                        .submit(s, dim, data)
+                        .expect("submit I/O")
+                        .expect_ok("submit");
+                }
+            }
+            at = hi;
+            round += 1;
+        }
+        // The live metrics plane must be queryable mid-session and carry
+        // the SLO plus stage series.
+        let metrics = client.metrics().expect("metrics I/O");
+        let slo = metrics
+            .slos
+            .iter()
+            .find(|s| s.name == "serve.decision_seconds")
+            .expect("registered serving SLO present in MetricsReply");
+        assert!(slo.total > 0, "SLO series saw decisions");
+        assert!(
+            metrics
+                .series
+                .iter()
+                .any(|s| s.name == "serve.stage_seconds"),
+            "stage series present in MetricsReply"
+        );
+        for s in 0..2u32 {
+            client.close_stream(s).unwrap().expect_ok("close");
+        }
+        drop(client);
+        handle.join().expect("server thread");
+    }
+
+    let snap = telemetry.snapshot();
+    assert!(snap.counter("serve.decisions").unwrap_or(0) > 0);
+    assert!(
+        !snap.slow.is_empty(),
+        "slow-decision log retained entries under the manual clock"
+    );
+    snap.fingerprint()
+}
+
+#[test]
+fn telemetry_fingerprint_is_bit_identical_at_1_and_4_workers() {
+    assert_eq!(
+        telemetry_scenario(1),
+        telemetry_scenario(4),
+        "serving telemetry must fingerprint identically across worker counts"
+    );
+}
