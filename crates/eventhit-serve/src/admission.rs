@@ -1,20 +1,26 @@
 //! Admission control and per-stream ingest bounds.
 //!
-//! Two mechanisms keep the server's memory proportional to its
+//! Three mechanisms keep the server's memory proportional to its
 //! configuration instead of its traffic:
 //!
-//! 1. [`AdmissionController`] — a server-wide cap on concurrently open
-//!    streams. `OpenStream` beyond the cap is rejected with
-//!    `TooManyStreams` and a retry-after hint; slots are released on
+//! 1. [`AdmissionController`] — a per-shard cap on concurrently open
+//!    streams. `OpenStream` beyond the owning shard's cap is rejected
+//!    with `TooManyStreams` and a retry-after hint; slots are released on
 //!    `CloseStream` *and* when a session dies mid-stream, so a crashed
-//!    client can never leak capacity.
+//!    client can never leak capacity. An unsharded server is simply the
+//!    one-shard case.
 //! 2. [`FrameQueue`] — a bounded per-stream staging buffer between the
 //!    socket and the predictor. A batch that does not fit is rejected
 //!    whole with `QueueFull` (explicit backpressure: the client holds the
 //!    data and retries after the hint), never buffered unboundedly.
+//! 3. [`ServeTotals`] — the cross-shard aggregate: lifetime totals served
+//!    by `Health` queries plus the live stream count behind the
+//!    `serve.active_streams` gauge, so dashboards keep one fleet-wide
+//!    number no matter how many shards sit underneath.
 //!
-//! Both are plain counters — no clocks, no threads — so the admission
-//! decisions a test observes are a pure function of the request sequence.
+//! All three are plain counters — no clocks, no threads — so the
+//! admission decisions a test observes are a pure function of the
+//! request sequence.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
@@ -22,8 +28,7 @@ use std::sync::Arc;
 
 use eventhit_telemetry::Telemetry;
 
-/// Server-wide admission state: the open-stream cap plus lifetime totals
-/// served by `Health` queries.
+/// One shard's admission state: the open-stream cap and the live count.
 ///
 /// All methods take `&self`; the controller is shared across session
 /// threads behind an `Arc`.
@@ -31,9 +36,6 @@ use eventhit_telemetry::Telemetry;
 pub struct AdmissionController {
     max_streams: u32,
     active: AtomicU32,
-    sessions: AtomicU64,
-    frames: AtomicU64,
-    decisions: AtomicU64,
 }
 
 impl AdmissionController {
@@ -42,9 +44,6 @@ impl AdmissionController {
         AdmissionController {
             max_streams,
             active: AtomicU32::new(0),
-            sessions: AtomicU64::new(0),
-            frames: AtomicU64::new(0),
-            decisions: AtomicU64::new(0),
         }
     }
 
@@ -53,7 +52,7 @@ impl AdmissionController {
         self.max_streams
     }
 
-    /// Tries to claim one stream slot. Returns `false` when the server is
+    /// Tries to claim one stream slot. Returns `false` when the shard is
     /// at capacity; on `true` the caller owes a matching [`release`].
     ///
     /// [`release`]: AdmissionController::release
@@ -83,7 +82,45 @@ impl AdmissionController {
         debug_assert!(prev > 0, "release without a matching admit");
     }
 
-    /// Streams currently open across all sessions.
+    /// Streams currently open on this shard.
+    pub fn active(&self) -> u32 {
+        self.active.load(Ordering::Acquire)
+    }
+}
+
+/// Cross-shard aggregate state: lifetime totals behind `Health` plus the
+/// fleet-wide live stream count behind the `serve.active_streams` gauge.
+///
+/// One instance per server, shared by every shard; shard-local capacity
+/// decisions never touch it, so it is a pure observer of the fleet.
+#[derive(Debug, Default)]
+pub struct ServeTotals {
+    active: AtomicU32,
+    sessions: AtomicU64,
+    frames: AtomicU64,
+    decisions: AtomicU64,
+}
+
+impl ServeTotals {
+    /// A zeroed aggregate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one stream attaching (slot claimed on some shard); returns
+    /// the new fleet-wide live count.
+    pub fn stream_attached(&self) -> u32 {
+        self.active.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Records one stream detaching; returns the new fleet-wide count.
+    pub fn stream_detached(&self) -> u32 {
+        let prev = self.active.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "detach without a matching attach");
+        prev - 1
+    }
+
+    /// Streams currently open across all shards and sessions.
     pub fn active(&self) -> u32 {
         self.active.load(Ordering::Acquire)
     }
@@ -116,45 +153,63 @@ impl AdmissionController {
 /// RAII ownership of one admitted stream slot.
 ///
 /// Holding a `SlotGuard` *is* holding the slot: [`SlotGuard::claim`]
-/// pairs the controller's `try_admit` with a `serve.active_streams`
-/// gauge update, and dropping the guard pairs the `release` with the
-/// matching update. Every exit path — clean close, session teardown,
-/// durable park, even an error return between admission and lane
-/// insertion — releases the slot and keeps the gauge honest by
-/// construction, where the previous hand-maintained updates could leak
-/// on a path that forgot one.
+/// pairs the owning shard's `try_admit` with updates to that shard's
+/// `serve.shard{N}.active_streams` gauge *and* the cross-shard
+/// `serve.active_streams` aggregate, and dropping the guard pairs the
+/// `release` with the matching updates. Every exit path — clean close,
+/// session teardown, durable park, even an error return between
+/// admission and lane insertion — releases the slot and keeps both
+/// gauges honest by construction.
 #[derive(Debug)]
 pub struct SlotGuard {
     admission: Arc<AdmissionController>,
+    totals: Arc<ServeTotals>,
     telemetry: Arc<Telemetry>,
+    shard_gauge: &'static str,
 }
 
+/// Name of the cross-shard aggregate gauge: the fleet-wide live stream
+/// count `eventhit-cli top` and the telemetry tests read.
+pub const ACTIVE_STREAMS_GAUGE: &str = "serve.active_streams";
+
 impl SlotGuard {
-    /// Tries to claim one stream slot, updating the
-    /// `serve.active_streams` gauge on success. `None` means the server
-    /// is at capacity.
-    pub fn claim(admission: &Arc<AdmissionController>, telemetry: &Arc<Telemetry>) -> Option<Self> {
+    /// Tries to claim one stream slot on `admission` (the owning shard's
+    /// controller), updating the shard's `shard_gauge` and the aggregate
+    /// [`ACTIVE_STREAMS_GAUGE`] on success. `None` means the shard is at
+    /// capacity.
+    pub fn claim(
+        admission: &Arc<AdmissionController>,
+        totals: &Arc<ServeTotals>,
+        telemetry: &Arc<Telemetry>,
+        shard_gauge: &'static str,
+    ) -> Option<Self> {
         if !admission.try_admit() {
             return None;
         }
+        totals.stream_attached();
         let guard = SlotGuard {
             admission: Arc::clone(admission),
+            totals: Arc::clone(totals),
             telemetry: Arc::clone(telemetry),
+            shard_gauge,
         };
-        guard.record_gauge();
+        guard.record_gauges();
         Some(guard)
     }
 
-    fn record_gauge(&self) {
+    fn record_gauges(&self) {
         self.telemetry
-            .gauge_set("serve.active_streams", self.admission.active() as f64);
+            .gauge_set(self.shard_gauge, self.admission.active() as f64);
+        self.telemetry
+            .gauge_set(ACTIVE_STREAMS_GAUGE, self.totals.active() as f64);
     }
 }
 
 impl Drop for SlotGuard {
     fn drop(&mut self) {
         self.admission.release();
-        self.record_gauge();
+        self.totals.stream_detached();
+        self.record_gauges();
     }
 }
 
@@ -223,28 +278,68 @@ mod tests {
     }
 
     #[test]
-    fn totals_accumulate() {
-        let a = AdmissionController::new(1);
-        assert_eq!(a.session_started(), 1);
-        assert_eq!(a.session_started(), 2);
-        a.add_frames(10);
-        a.add_decisions(3);
-        a.add_frames(5);
-        assert_eq!(a.totals(), (2, 15, 3));
+    fn totals_accumulate_across_shards() {
+        let t = ServeTotals::new();
+        assert_eq!(t.session_started(), 1);
+        assert_eq!(t.session_started(), 2);
+        t.add_frames(10);
+        t.add_decisions(3);
+        t.add_frames(5);
+        assert_eq!(t.totals(), (2, 15, 3));
+        assert_eq!(t.stream_attached(), 1);
+        assert_eq!(t.stream_attached(), 2);
+        assert_eq!(t.stream_detached(), 1);
+        assert_eq!(t.active(), 1);
     }
 
     #[test]
     fn slot_guard_releases_on_every_drop_path() {
         let a = Arc::new(AdmissionController::new(1));
+        let totals = Arc::new(ServeTotals::new());
         let t = Arc::new(Telemetry::with_manual_clock());
-        let g = SlotGuard::claim(&a, &t).expect("slot free");
-        assert!(SlotGuard::claim(&a, &t).is_none(), "cap reached");
+        let g = SlotGuard::claim(&a, &totals, &t, "serve.shard0.active_streams").expect("slot");
+        assert!(
+            SlotGuard::claim(&a, &totals, &t, "serve.shard0.active_streams").is_none(),
+            "cap reached"
+        );
         assert_eq!(a.active(), 1);
+        assert_eq!(totals.active(), 1);
         drop(g);
         assert_eq!(a.active(), 0);
-        // The gauge saw the claim (1) and the release (0).
-        let gauge = t.snapshot().gauge("serve.active_streams").unwrap();
-        assert_eq!((gauge.last, gauge.max, gauge.samples), (0.0, 1.0, 2));
+        assert_eq!(totals.active(), 0);
+        // Both the per-shard gauge and the aggregate saw the claim (1)
+        // and the release (0).
+        let snap = t.snapshot();
+        for name in ["serve.shard0.active_streams", ACTIVE_STREAMS_GAUGE] {
+            let gauge = snap.gauge(name).unwrap_or_else(|| panic!("gauge {name}"));
+            assert_eq!(
+                (gauge.last, gauge.max, gauge.samples),
+                (0.0, 1.0, 2),
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_guards_share_one_aggregate() {
+        // Two shards, one aggregate: each shard caps independently while
+        // the fleet-wide count sums both.
+        let shard0 = Arc::new(AdmissionController::new(1));
+        let shard1 = Arc::new(AdmissionController::new(1));
+        let totals = Arc::new(ServeTotals::new());
+        let t = Arc::new(Telemetry::with_manual_clock());
+        let g0 = SlotGuard::claim(&shard0, &totals, &t, "serve.shard0.active_streams").unwrap();
+        let g1 = SlotGuard::claim(&shard1, &totals, &t, "serve.shard1.active_streams").unwrap();
+        assert!(
+            SlotGuard::claim(&shard0, &totals, &t, "serve.shard0.active_streams").is_none(),
+            "shard 0 is full even though shard 1 has capacity counted elsewhere"
+        );
+        assert_eq!(totals.active(), 2);
+        let agg = t.snapshot().gauge(ACTIVE_STREAMS_GAUGE).unwrap();
+        assert_eq!((agg.last, agg.max), (2.0, 2.0));
+        drop(g0);
+        drop(g1);
+        assert_eq!(totals.active(), 0);
     }
 
     #[test]

@@ -11,12 +11,20 @@
 //! - [`protocol`] — the length-prefixed, versioned binary wire format and
 //!   its pure codec. Deterministic byte-for-byte; `f32` features and
 //!   scores cross the wire bit-exactly.
-//! - [`admission`] — the server-wide stream cap and the bounded per-stream
-//!   ingest queues behind the reject-with-retry-after backpressure policy.
+//! - [`admission`] — the per-shard stream caps and the bounded per-stream
+//!   ingest queues behind the reject-with-retry-after backpressure policy,
+//!   plus the cross-shard aggregate totals.
+//! - [`router`] — the deterministic stream → shard router (jump
+//!   consistent hashing over mixed stream ids) that makes scale-out
+//!   partitioning invisible on the wire.
 //! - [`server`] — the TCP frontend: sessions multiplexed onto an
 //!   `eventhit-parallel` [`Pool`](eventhit_parallel::Pool), one
-//!   `OnlinePredictor` lane per admitted stream, optional resilient-CI
-//!   wiring so degradation tags reach clients, `serve.*` telemetry.
+//!   `OnlinePredictor` lane per admitted stream, stream ownership
+//!   partitioned across shards, optional resilient-CI wiring so
+//!   degradation tags reach clients, `serve.*` telemetry.
+//! - [`fleet`] — the deterministic synthetic-fleet load harness behind
+//!   `eventhit-cli bench-fleet`: thousands of seeded streams, uniform or
+//!   bursty arrivals, saturation metrics from the minor-2 metrics plane.
 //! - [`client`] — the matching blocking client library used by the CLI's
 //!   `bench-client` and the loopback tests; its typed [`Disconnected`]
 //!   error tells callers a dead server apart from a protocol violation.
@@ -51,12 +59,16 @@
 pub mod admission;
 pub mod client;
 pub mod convert;
+pub mod fleet;
 pub mod protocol;
+pub mod router;
 pub mod server;
 
-pub use admission::SlotGuard;
+pub use admission::{ServeTotals, SlotGuard};
 pub use client::{
     is_disconnected, Disconnected, HealthInfo, MetricsInfo, Negotiated, Rejection, Response,
     ServeClient,
 };
+pub use fleet::{ArrivalPattern, FleetReport, FleetSpec};
+pub use router::ShardRouter;
 pub use server::{DurableOptions, LaneFactory, ResilienceSpec, ServeConfig, Server};

@@ -1,0 +1,136 @@
+//! Deterministic stream → shard routing.
+//!
+//! Scale-out serving partitions streams across shards, each shard owning
+//! its own admission caps, lanes, pool, durable directory, and telemetry
+//! scope. The router is the seam that makes the partition invisible on
+//! the wire: a pure function from stream id to shard index, so any
+//! session thread — and any future replica — resolves the same stream to
+//! the same shard without coordination.
+//!
+//! The implementation is Lamping–Veach *jump consistent hashing* over a
+//! SplitMix64-mixed stream id: stateless (no ring to store), uniform
+//! (each shard gets `1/N` of the id space), and monotone under resize
+//! (growing `N → N+1` only moves the `1/(N+1)` of streams that land on
+//! the new shard — no shuffling among survivors). Determinism and
+//! balance are property-tested in `tests/router_props.rs`.
+
+/// Stateless, deterministic stream → shard router.
+///
+/// Two routers built with the same shard count agree on every stream id,
+/// across threads, processes, and restarts — which is what lets a
+/// durable, sharded server recover each shard's directory independently
+/// and still resolve every `Resume` to the shard that journaled it.
+///
+/// ```
+/// use eventhit_serve::router::ShardRouter;
+/// let r = ShardRouter::new(4);
+/// for id in 0..1000 {
+///     let s = r.route(id);
+///     assert!(s < 4);
+///     assert_eq!(s, r.route(id), "same id, same shard — always");
+/// }
+/// assert_eq!(ShardRouter::new(1).route(123), 0, "one shard owns everything");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRouter {
+    shards: u32,
+}
+
+impl ShardRouter {
+    /// A router over `shards` shards. `shards` must be at least 1.
+    pub fn new(shards: u32) -> Self {
+        assert!(shards >= 1, "a server needs at least one shard");
+        ShardRouter { shards }
+    }
+
+    /// The number of shards routed over.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// The shard owning `stream_id`; always in `0..shards`.
+    pub fn route(&self, stream_id: u32) -> u32 {
+        jump_hash(mix(stream_id), self.shards)
+    }
+}
+
+/// SplitMix64 finalizer (same constants as `eventhit-rng`'s SplitMix64):
+/// spreads dense, sequential stream ids over the full u64 space so the
+/// jump hash sees uniform keys.
+fn mix(stream_id: u32) -> u64 {
+    let mut z = (stream_id as u64).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Lamping–Veach jump consistent hash: maps `key` to a bucket in
+/// `0..buckets` such that growing the bucket count only reassigns the
+/// keys that move to the new bucket.
+fn jump_hash(mut key: u64, buckets: u32) -> u32 {
+    debug_assert!(buckets >= 1);
+    let mut b: i64 = -1;
+    let mut j: i64 = 0;
+    while j < buckets as i64 {
+        b = j;
+        key = key.wrapping_mul(2_862_933_555_777_941_757).wrapping_add(1);
+        j = (((b + 1) as f64) * ((1i64 << 31) as f64 / (((key >> 33) + 1) as f64))) as i64;
+    }
+    b as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_shard_owns_every_stream() {
+        let r = ShardRouter::new(1);
+        for id in (0..10_000).chain([u32::MAX - 1, u32::MAX]) {
+            assert_eq!(r.route(id), 0);
+        }
+    }
+
+    #[test]
+    fn routes_stay_in_range_at_every_shard_count() {
+        for shards in 1..=32 {
+            let r = ShardRouter::new(shards);
+            for id in 0..2_000 {
+                assert!(r.route(id) < shards, "id {id} escaped {shards} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn golden_routes_are_pinned() {
+        // Pinned routes: any change to the mix or jump constants is a
+        // routing change that strands durable per-shard directories, and
+        // must show up here as a deliberate diff.
+        let r4 = ShardRouter::new(4);
+        let got: Vec<u32> = (0..16).map(|id| r4.route(id)).collect();
+        assert_eq!(got, [3, 3, 0, 1, 3, 3, 0, 1, 0, 2, 2, 0, 1, 2, 3, 1]);
+        let r8 = ShardRouter::new(8);
+        let got: Vec<u32> = (0..16).map(|id| r8.route(id)).collect();
+        assert_eq!(got, [7, 3, 0, 4, 7, 3, 5, 7, 5, 7, 5, 6, 7, 2, 7, 1]);
+    }
+
+    #[test]
+    fn resize_is_monotone() {
+        // Jump hashing's defining property: growing N → N+1 either keeps
+        // a stream where it was or moves it to the *new* shard.
+        for n in 1..16u32 {
+            let small = ShardRouter::new(n);
+            let grown = ShardRouter::new(n + 1);
+            for id in 0..4_000 {
+                let (a, b) = (small.route(id), grown.route(id));
+                assert!(a == b || b == n, "id {id}: {a} -> {b} at {n}+1 shards");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_is_refused() {
+        let _ = ShardRouter::new(0);
+    }
+}

@@ -1,5 +1,6 @@
 //! The TCP serving frontend: sessions multiplexed onto a [`Pool`], one
-//! `OnlinePredictor` lane per admitted stream.
+//! `OnlinePredictor` lane per admitted stream, streams partitioned across
+//! shards by a deterministic router.
 //!
 //! # Determinism
 //!
@@ -8,24 +9,37 @@
 //! session drains each accepted batch through the lane synchronously
 //! before replying. A stream's decision sequence is therefore a pure
 //! function of its own frame sequence, exactly as in the in-process
-//! `run_lanes` path, regardless of how many sessions run concurrently or
-//! how many workers the pool has. The loopback soak test in
-//! `tests/serve.rs` checks this bit-for-bit.
+//! `run_lanes` path, regardless of how many sessions run concurrently,
+//! how many workers the pool has, or how many shards the server runs.
+//! The loopback soak tests in `tests/serve.rs` and `tests/fleet_serve.rs`
+//! check this bit-for-bit.
+//!
+//! # Sharding
+//!
+//! With [`ServeConfig::shards`] > 1 the server partitions *stream
+//! ownership* — admission slots, predictor lanes, durable directories,
+//! and `serve.shard{N}.*` telemetry — across shards using the
+//! [`ShardRouter`] (`DESIGN.md` §16). Sharding is invisible on the wire:
+//! one listener, one protocol, and a session may drive streams on any
+//! mix of shards; only the owning shard's capacity, journal, and metrics
+//! are touched for each stream. [`ServeConfig::max_streams`] stays the
+//! fleet-wide cap, partitioned evenly across shards.
 //!
 //! # Backpressure
 //!
-//! The server never buffers without bound. Streams beyond
-//! [`ServeConfig::max_streams`] are refused (`TooManyStreams`), batches
-//! beyond [`ServeConfig::max_batch_frames`] are refused (`BatchTooLarge`),
-//! and batches that do not fit the per-stream queue are refused whole
-//! (`QueueFull`) with a `retry_after_ms` hint — the client keeps the data
-//! and retries; the server's memory stays bounded by its configuration.
+//! The server never buffers without bound. Streams beyond the owning
+//! shard's slice of [`ServeConfig::max_streams`] are refused
+//! (`TooManyStreams`), batches beyond [`ServeConfig::max_batch_frames`]
+//! are refused (`BatchTooLarge`), and batches that do not fit the
+//! per-stream queue are refused whole (`QueueFull`) with a
+//! `retry_after_ms` hint — the client keeps the data and retries; the
+//! server's memory stays bounded by its configuration.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 use eventhit_core::faults::FaultConfig;
 use eventhit_core::resilient::{DegradationTag, ResilienceConfig, ResilientCiClient};
@@ -38,12 +52,13 @@ use eventhit_parallel::Pool;
 use eventhit_telemetry::{SlowDecision, Telemetry};
 use eventhit_video::detector::StageModel;
 
-use crate::admission::{AdmissionController, FrameQueue, SlotGuard};
+use crate::admission::{AdmissionController, FrameQueue, ServeTotals, SlotGuard};
 use crate::convert::decision_to_wire;
 use crate::protocol::{
     read_message, write_message, Message, RejectCode, StreamSummary, WireCounter, WireDecision,
     WireSeries, WireSlo, WireWindow, PROTOCOL_MAJOR, PROTOCOL_MINOR,
 };
+use crate::router::ShardRouter;
 
 /// Per-stream resilient-CI wiring: when set, every decision's relayed
 /// frames are submitted through a [`ResilientCiClient`] (seeded
@@ -67,7 +82,10 @@ pub struct ResilienceSpec {
 /// hub checkpoints (see `DESIGN.md` §14).
 #[derive(Debug, Clone)]
 pub struct DurableOptions {
-    /// Session directory: log, snapshots, and persisted reloads.
+    /// Session directory: log, snapshots, and persisted reloads. A
+    /// single-shard server uses `dir` itself (the PR 7 layout); a
+    /// sharded server journals each shard under `dir/shard-{i:03}`, so
+    /// shards commit and recover independently.
     pub dir: PathBuf,
     /// Snapshot after this many new log events (0 disables snapshots;
     /// recovery then replays the whole log).
@@ -91,7 +109,21 @@ impl DurableOptions {
 pub struct ServeConfig {
     /// Address to bind (`"127.0.0.1:0"` picks a free port).
     pub addr: String,
-    /// Cap on concurrently open streams, across all sessions.
+    /// Number of shards stream ownership is partitioned across (minimum
+    /// 1). Shard membership is decided by the deterministic
+    /// [`ShardRouter`], so it is stable across sessions and restarts;
+    /// a durable directory must keep the shard count it was created
+    /// with, or per-shard journals end up on the wrong shard.
+    pub shards: u32,
+    /// Workers per shard pool when serving with more than one shard
+    /// (`0` resolves the ambient `eventhit-parallel` worker count).
+    /// Ignored at `shards == 1`, where the caller's pool serves alone.
+    pub workers_per_shard: usize,
+    /// Cap on concurrently open streams, across all sessions and shards.
+    /// Partitioned evenly across shards (shard `i` gets
+    /// `max_streams / shards`, the first `max_streams % shards` shards
+    /// one more); a stream is refused when its *owning* shard is full,
+    /// even if other shards still have room.
     pub max_streams: u32,
     /// Largest accepted `SubmitFrames` batch, in frames.
     pub max_batch_frames: u32,
@@ -122,6 +154,8 @@ impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
             addr: "127.0.0.1:0".into(),
+            shards: 1,
+            workers_per_shard: 0,
             max_streams: 16,
             max_batch_frames: 4096,
             max_queue_frames: 8192,
@@ -213,13 +247,79 @@ impl DurableHub {
     }
 }
 
+/// Interned per-shard metric names. Telemetry metric names are
+/// `&'static str`; shard-scoped names are built once per `(shard, metric)`
+/// pair and leaked through a global intern table, so repeated binds (test
+/// suites construct many servers) reuse the same allocation instead of
+/// leaking per bind.
+fn intern_metric(name: String) -> &'static str {
+    static TABLE: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+    let mut table = TABLE
+        .get_or_init(|| Mutex::new(BTreeSet::new()))
+        .lock()
+        .expect("metric intern table poisoned");
+    if let Some(&existing) = table.get(name.as_str()) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(name.into_boxed_str());
+    table.insert(leaked);
+    leaked
+}
+
+/// The `serve.shard{N}.*` telemetry scope for one shard.
+#[derive(Clone, Copy)]
+struct ShardNames {
+    active_streams: &'static str,
+    streams_opened: &'static str,
+    frames: &'static str,
+    decisions: &'static str,
+    rejected: &'static str,
+}
+
+impl ShardNames {
+    fn new(shard: u32) -> Self {
+        let name = |metric: &str| intern_metric(format!("serve.shard{shard}.{metric}"));
+        ShardNames {
+            active_streams: name("active_streams"),
+            streams_opened: name("streams_opened"),
+            frames: name("frames"),
+            decisions: name("decisions"),
+            rejected: name("rejected"),
+        }
+    }
+}
+
+/// One shard: the unit of stream ownership. Every stream id resolves to
+/// exactly one shard (via the [`ShardRouter`]), and only that shard's
+/// admission slice, durable journal, and telemetry scope are touched on
+/// its behalf. Shards share the listener and the wire — sessions are not
+/// shard-bound.
+struct Shard {
+    admission: Arc<AdmissionController>,
+    durable: Option<Mutex<DurableHub>>,
+    names: ShardNames,
+}
+
 struct Shared {
     listener: TcpListener,
     cfg: ServeConfig,
     factory: Box<LaneFactory>,
-    admission: Arc<AdmissionController>,
+    router: ShardRouter,
+    shards: Vec<Shard>,
+    totals: Arc<ServeTotals>,
     telemetry: Arc<Telemetry>,
-    durable: Option<Mutex<DurableHub>>,
+}
+
+impl Shared {
+    /// The shard owning `stream_id`.
+    fn shard_of(&self, stream_id: u32) -> &Shard {
+        &self.shards[self.router.route(stream_id) as usize]
+    }
+
+    /// True iff the server journals durably (all shards do, or none).
+    fn is_durable(&self) -> bool {
+        self.shards[0].durable.is_some()
+    }
 }
 
 /// Maps a durable-layer failure onto the session's `io::Result` plumbing.
@@ -227,13 +327,19 @@ fn durable_io(e: DurableError) -> io::Error {
     io::Error::other(e.to_string())
 }
 
-fn lock_hub(shared: &Shared) -> MutexGuard<'_, DurableHub> {
-    shared
+fn lock_hub(shard: &Shard) -> MutexGuard<'_, DurableHub> {
+    shard
         .durable
         .as_ref()
         .expect("durable loop requires a hub")
         .lock()
         .expect("durable hub poisoned")
+}
+
+/// Shard `i`'s slice of the fleet-wide stream cap: an even partition of
+/// `max_streams` whose slices sum exactly to `max_streams`.
+fn shard_cap(max_streams: u32, shards: u32, i: u32) -> u32 {
+    max_streams / shards + u32::from(i < max_streams % shards)
 }
 
 /// The serving frontend. Bind once, then push session-serving work onto
@@ -275,58 +381,92 @@ impl Server {
                  breaker state is not captured by snapshots",
             ));
         }
-        // Durable recovery happens before the listener accepts anything:
-        // replay the log through factory-built predictors and park every
-        // recovered lane until its client resumes.
-        let durable = match &cfg.durable {
-            None => None,
-            Some(opts) => {
-                let (store, recovery) =
-                    DurableStore::open_with_telemetry(&opts.dir, Arc::clone(&telemetry))
+        if cfg.shards == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a server needs at least one shard",
+            ));
+        }
+        let router = ShardRouter::new(cfg.shards);
+        let mut shards = Vec::with_capacity(cfg.shards as usize);
+        for i in 0..cfg.shards {
+            // Durable recovery happens before the listener accepts
+            // anything: replay each shard's log through factory-built
+            // predictors and park every recovered lane until its client
+            // resumes. Shards recover independently — one directory per
+            // shard (the single-shard layout is `dir` itself, unchanged
+            // from PR 7).
+            let durable = match &cfg.durable {
+                None => None,
+                Some(opts) => {
+                    let dir = if cfg.shards == 1 {
+                        opts.dir.clone()
+                    } else {
+                        let d = opts.dir.join(format!("shard-{i:03}"));
+                        std::fs::create_dir_all(&d)?;
+                        d
+                    };
+                    let (store, recovery) =
+                        DurableStore::open_with_telemetry(&dir, Arc::clone(&telemetry))
+                            .map_err(durable_io)?;
+                    let replayed = replay(&dir, &recovery, &mut |stream_id| (factory)(stream_id))
                         .map_err(durable_io)?;
-                let replayed = replay(&opts.dir, &recovery, &mut |stream_id| (factory)(stream_id))
-                    .map_err(durable_io)?;
-                let lanes = replayed
-                    .lanes
-                    .into_iter()
-                    .map(|(stream_id, rl)| {
-                        // Telemetry attaches only after replay finished:
-                        // recovery must not pollute the live stream
-                        // metrics with replayed frames.
-                        let mut predictor = rl.predictor;
-                        predictor.set_telemetry(Arc::clone(&telemetry));
-                        (
-                            stream_id,
-                            Lane {
-                                predictor,
-                                queue: FrameQueue::new(cfg.max_queue_frames as usize),
-                                resilient: None,
-                                stream_fps: 30.0,
-                                frames: rl.frames,
-                                decisions: rl.decisions,
-                                slot: None,
-                            },
-                        )
-                    })
-                    .collect();
-                let reload = replayed.reload.map(|r| ActiveReload {
-                    model: r.model,
-                    state: r.state,
-                    fingerprint: r.fingerprint,
-                });
-                let events = store.events_applied();
-                Some(Mutex::new(DurableHub {
-                    store,
-                    lanes,
-                    reload,
-                    snapshot_every: opts.snapshot_every,
-                    events_at_last_snapshot: events,
-                }))
-            }
-        };
+                    let lanes: BTreeMap<u32, Lane> = replayed
+                        .lanes
+                        .into_iter()
+                        .map(|(stream_id, rl)| {
+                            debug_assert_eq!(
+                                router.route(stream_id),
+                                i,
+                                "shard {i} recovered a stream it does not own; \
+                                 was the directory created with a different --shards?"
+                            );
+                            // Telemetry attaches only after replay
+                            // finished: recovery must not pollute the
+                            // live stream metrics with replayed frames.
+                            let mut predictor = rl.predictor;
+                            predictor.set_telemetry(Arc::clone(&telemetry));
+                            (
+                                stream_id,
+                                Lane {
+                                    predictor,
+                                    queue: FrameQueue::new(cfg.max_queue_frames as usize),
+                                    resilient: None,
+                                    stream_fps: 30.0,
+                                    frames: rl.frames,
+                                    decisions: rl.decisions,
+                                    slot: None,
+                                },
+                            )
+                        })
+                        .collect();
+                    let reload = replayed.reload.map(|r| ActiveReload {
+                        model: r.model,
+                        state: r.state,
+                        fingerprint: r.fingerprint,
+                    });
+                    let events = store.events_applied();
+                    Some(Mutex::new(DurableHub {
+                        store,
+                        lanes,
+                        reload,
+                        snapshot_every: opts.snapshot_every,
+                        events_at_last_snapshot: events,
+                    }))
+                }
+            };
+            shards.push(Shard {
+                admission: Arc::new(AdmissionController::new(shard_cap(
+                    cfg.max_streams,
+                    cfg.shards,
+                    i,
+                ))),
+                durable,
+                names: ShardNames::new(i),
+            });
+        }
         let addrs: Vec<SocketAddr> = cfg.addr.to_socket_addrs()?.collect();
         let listener = TcpListener::bind(&addrs[..])?;
-        let admission = Arc::new(AdmissionController::new(cfg.max_streams));
         // The serving SLO the `serve.decision_seconds` series burns
         // against: p99 of decision latency under 50 ms.
         telemetry.set_slo("serve.decision_seconds", "", 0.050, 0.99);
@@ -335,9 +475,10 @@ impl Server {
                 listener,
                 cfg,
                 factory,
-                admission,
+                router,
+                shards,
+                totals: Arc::new(ServeTotals::new()),
                 telemetry,
-                durable,
             }),
         })
     }
@@ -347,16 +488,47 @@ impl Server {
         self.shared.listener.local_addr()
     }
 
-    /// Accepts and serves exactly `n` sessions, multiplexed onto `pool`
-    /// (up to `pool.workers()` concurrently). Returns when all `n`
+    /// Accepts and serves exactly `n` sessions. Returns when all `n`
     /// sessions have ended.
+    ///
+    /// A single-shard server multiplexes sessions onto the caller's
+    /// `pool` (up to `pool.workers()` concurrently), exactly as before
+    /// sharding existed. A sharded server gives every shard its own
+    /// [`Pool`] of [`ServeConfig::workers_per_shard`] workers (falling
+    /// back to `pool.workers()`) and deals the `n` sessions round-robin
+    /// across the shard pools — total session concurrency scales with
+    /// the shard count.
     pub fn serve_sessions(&self, n: usize, pool: &Pool) {
         let shared = &self.shared;
-        pool.run_tasks(vec![(); n], |_i, ()| {
+        let serve_one = |_i: usize, ()| {
             if let Ok((sock, _peer)) = shared.listener.accept() {
                 serve_session(shared, sock);
             }
+        };
+        let shards = shared.cfg.shards as usize;
+        if shards <= 1 {
+            pool.run_tasks(vec![(); n], serve_one);
+            return;
+        }
+        let shard_pool = self.shard_pool(pool.workers());
+        std::thread::scope(|scope| {
+            for i in 0..shards {
+                let quota = n / shards + usize::from(i < n % shards);
+                if quota == 0 {
+                    continue;
+                }
+                let shard_pool = shard_pool.clone();
+                let serve_one = &serve_one;
+                scope.spawn(move || shard_pool.run_tasks(vec![(); quota], serve_one));
+            }
         });
+    }
+
+    /// The per-shard session pool: `workers_per_shard` workers, falling
+    /// back to the caller's pool width when unset.
+    fn shard_pool(&self, fallback_workers: usize) -> Pool {
+        let w = self.shared.cfg.workers_per_shard;
+        Pool::new(if w > 0 { w } else { fallback_workers })
     }
 
     /// Hot-swaps the serving model mid-serve (durable servers only).
@@ -369,30 +541,36 @@ impl Server {
     /// fingerprint the reload is journaled under; replay after a crash
     /// reproduces pre- and post-reload decisions exactly.
     pub fn reload_model(&self, mut model: EventHit, state: ConformalState) -> io::Result<u64> {
-        let Some(hub) = &self.shared.durable else {
+        if !self.shared.is_durable() {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
                 "model hot-reload requires durable serving (the swap must be journaled)",
             ));
-        };
-        let mut hub = hub.lock().expect("durable hub poisoned");
-        let fingerprint = hub
-            .store
-            .save_reload(&mut model, &state)
-            .map_err(durable_io)?;
-        hub.store
-            .append(&SessionEvent::ModelReloaded { fingerprint })
-            .map_err(durable_io)?;
-        for lane in hub.lanes.values_mut() {
-            lane.predictor
-                .reload_model(model.clone(), state.clone())
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
         }
-        hub.reload = Some(ActiveReload {
-            model,
-            state,
-            fingerprint,
-        });
+        // Every shard journals the reload in its own log (replay of any
+        // one shard's directory must be self-contained); the fingerprint
+        // is a pure function of the weights, so all shards agree on it.
+        let mut fingerprint = 0;
+        for shard in &self.shared.shards {
+            let mut hub = lock_hub(shard);
+            fingerprint = hub
+                .store
+                .save_reload(&mut model, &state)
+                .map_err(durable_io)?;
+            hub.store
+                .append(&SessionEvent::ModelReloaded { fingerprint })
+                .map_err(durable_io)?;
+            for lane in hub.lanes.values_mut() {
+                lane.predictor
+                    .reload_model(model.clone(), state.clone())
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+            }
+            hub.reload = Some(ActiveReload {
+                model: model.clone(),
+                state: state.clone(),
+                fingerprint,
+            });
+        }
         self.shared.telemetry.add("serve.model_reloads", 1);
         Ok(fingerprint)
     }
@@ -402,10 +580,25 @@ impl Server {
     /// use [`Server::serve_sessions`] so the server can wind down.
     pub fn serve_forever(&self, pool: &Pool) {
         let shared = &self.shared;
-        pool.run_tasks(vec![(); pool.workers().max(1)], |_i, ()| loop {
+        let accept_loop = |_i: usize, ()| loop {
             match shared.listener.accept() {
                 Ok((sock, _peer)) => serve_session(shared, sock),
                 Err(_) => return,
+            }
+        };
+        let shards = shared.cfg.shards as usize;
+        if shards <= 1 {
+            pool.run_tasks(vec![(); pool.workers().max(1)], accept_loop);
+            return;
+        }
+        let shard_pool = self.shard_pool(pool.workers());
+        std::thread::scope(|scope| {
+            for _ in 0..shards {
+                let shard_pool = shard_pool.clone();
+                let accept_loop = &accept_loop;
+                scope.spawn(move || {
+                    shard_pool.run_tasks(vec![(); shard_pool.workers().max(1)], accept_loop)
+                });
             }
         });
     }
@@ -418,25 +611,24 @@ impl Server {
 fn serve_session(shared: &Shared, sock: TcpStream) {
     let t = &shared.telemetry;
     let _span = t.span("serve.session");
-    shared.admission.session_started();
+    shared.totals.session_started();
     t.add("serve.sessions", 1);
 
-    let outcome = if shared.durable.is_some() {
+    let outcome = if shared.is_durable() {
         let mut owned: BTreeSet<u32> = BTreeSet::new();
         let outcome = durable_session_loop(shared, &sock, &mut owned);
         // Durable cleanup: lanes survive the session. Park whatever the
         // session still drives — dropping the slot guard releases the
-        // admission slot and refreshes the gauge — so a future `Resume`
+        // admission slot and refreshes the gauges — so a future `Resume`
         // (possibly after a server restart) picks up exactly where this
-        // connection stopped.
-        if !owned.is_empty() {
-            let mut hub = lock_hub(shared);
-            for id in &owned {
-                if let Some(lane) = hub.lanes.get_mut(id) {
-                    lane.slot = None;
-                }
-                t.add("serve.streams_parked", 1);
+        // connection stopped. Each stream parks in its owning shard's
+        // hub.
+        for id in &owned {
+            let mut hub = lock_hub(shared.shard_of(*id));
+            if let Some(lane) = hub.lanes.get_mut(id) {
+                lane.slot = None;
             }
+            t.add("serve.streams_parked", 1);
         }
         outcome
     } else {
@@ -548,16 +740,23 @@ fn session_loop(
                     )?;
                     continue;
                 }
-                let Some(slot) = SlotGuard::claim(&shared.admission, t) else {
+                let shard = shared.shard_of(stream_id);
+                let Some(slot) = SlotGuard::claim(
+                    &shard.admission,
+                    &shared.totals,
+                    t,
+                    shard.names.active_streams,
+                ) else {
+                    t.add(shard.names.rejected, 1);
                     reject(
                         &mut chan,
                         t,
                         RejectCode::TooManyStreams,
                         cfg.retry_after_ms,
                         format!(
-                            "at capacity: {} of {} streams open",
-                            shared.admission.active(),
-                            cfg.max_streams
+                            "at capacity: {} of {} streams open on stream {stream_id}'s shard",
+                            shard.admission.active(),
+                            shard.admission.max_streams()
                         ),
                     )?;
                     continue;
@@ -596,6 +795,7 @@ fn session_loop(
                     },
                 );
                 t.add("serve.streams_opened", 1);
+                t.add(shard.names.streams_opened, 1);
                 write_message(&mut chan, &Message::StreamOpened { stream_id })?;
             }
 
@@ -653,11 +853,11 @@ fn session_loop(
             }
 
             Message::Health => {
-                let (sessions, frames, decisions) = shared.admission.totals();
+                let (sessions, frames, decisions) = shared.totals.totals();
                 write_message(
                     &mut chan,
                     &Message::HealthReport {
-                        active_streams: shared.admission.active(),
+                        active_streams: shared.totals.active(),
                         sessions,
                         frames,
                         decisions,
@@ -722,7 +922,8 @@ fn durable_session_loop(
         observe_stage(t, "session_read", t.now() - read_start, None);
         match msg {
             Message::OpenStream { stream_id } => {
-                let mut hub = lock_hub(shared);
+                let shard = shared.shard_of(stream_id);
+                let mut hub = lock_hub(shard);
                 if hub.lanes.contains_key(&stream_id) {
                     // Durable ids are global: the stream exists (maybe
                     // parked by a dead session). Opening would fork its
@@ -737,17 +938,23 @@ fn durable_session_loop(
                     )?;
                     continue;
                 }
-                let Some(slot) = SlotGuard::claim(&shared.admission, t) else {
+                let Some(slot) = SlotGuard::claim(
+                    &shard.admission,
+                    &shared.totals,
+                    t,
+                    shard.names.active_streams,
+                ) else {
                     drop(hub);
+                    t.add(shard.names.rejected, 1);
                     reject(
                         &mut chan,
                         t,
                         RejectCode::TooManyStreams,
                         cfg.retry_after_ms,
                         format!(
-                            "at capacity: {} of {} streams open",
-                            shared.admission.active(),
-                            cfg.max_streams
+                            "at capacity: {} of {} streams open on stream {stream_id}'s shard",
+                            shard.admission.active(),
+                            shard.admission.max_streams()
                         ),
                     )?;
                     continue;
@@ -778,6 +985,7 @@ fn durable_session_loop(
                 drop(hub);
                 owned.insert(stream_id);
                 t.add("serve.streams_opened", 1);
+                t.add(shard.names.streams_opened, 1);
                 write_message(&mut chan, &Message::StreamOpened { stream_id })?;
             }
 
@@ -785,7 +993,8 @@ fn durable_session_loop(
                 stream_id,
                 last_seq,
             } => {
-                let mut hub = lock_hub(shared);
+                let shard = shared.shard_of(stream_id);
+                let mut hub = lock_hub(shard);
                 let Some(lane) = hub.lanes.get_mut(&stream_id) else {
                     drop(hub);
                     reject(
@@ -826,17 +1035,23 @@ fn durable_session_loop(
                     )?;
                     return Ok(());
                 }
-                let Some(slot) = SlotGuard::claim(&shared.admission, t) else {
+                let Some(slot) = SlotGuard::claim(
+                    &shard.admission,
+                    &shared.totals,
+                    t,
+                    shard.names.active_streams,
+                ) else {
                     drop(hub);
+                    t.add(shard.names.rejected, 1);
                     reject(
                         &mut chan,
                         t,
                         RejectCode::TooManyStreams,
                         cfg.retry_after_ms,
                         format!(
-                            "at capacity: {} of {} streams open",
-                            shared.admission.active(),
-                            cfg.max_streams
+                            "at capacity: {} of {} streams open on stream {stream_id}'s shard",
+                            shard.admission.active(),
+                            shard.admission.max_streams()
                         ),
                     )?;
                     continue;
@@ -895,7 +1110,7 @@ fn durable_session_loop(
                     )?;
                     continue;
                 }
-                let mut hub = lock_hub(shared);
+                let mut hub = lock_hub(shared.shard_of(stream_id));
                 hub.store
                     .append(&SessionEvent::StreamClosed { stream_id })
                     .map_err(durable_io)?;
@@ -920,11 +1135,11 @@ fn durable_session_loop(
             }
 
             Message::Health => {
-                let (sessions, frames, decisions) = shared.admission.totals();
+                let (sessions, frames, decisions) = shared.totals.totals();
                 write_message(
                     &mut chan,
                     &Message::HealthReport {
-                        active_streams: shared.admission.active(),
+                        active_streams: shared.totals.active(),
                         sessions,
                         frames,
                         decisions,
@@ -1061,14 +1276,18 @@ fn record_decisions(
     }
 }
 
-/// Counts an accepted batch: shared admission totals, the serve
-/// counters, and the per-stream `serve.stream_frames` rate series.
+/// Counts an accepted batch: the fleet-wide totals behind `Health`, the
+/// global serve counters, the owning shard's `serve.shard{N}.*` scope,
+/// and the per-stream `serve.stream_frames` rate series.
 fn count_batch(shared: &Shared, stream_id: u32, rows: usize, decisions: usize) {
     let t = &shared.telemetry;
-    shared.admission.add_frames(rows as u64);
-    shared.admission.add_decisions(decisions as u64);
+    let names = shared.shard_of(stream_id).names;
+    shared.totals.add_frames(rows as u64);
+    shared.totals.add_decisions(decisions as u64);
     t.add("serve.frames", rows as u64);
     t.add("serve.decisions", decisions as u64);
+    t.add(names.frames, rows as u64);
+    t.add(names.decisions, decisions as u64);
     if t.is_enabled() && rows > 0 {
         t.observe_labeled("serve.stream_frames", &stream_id.to_string(), rows as f64);
     }
@@ -1271,7 +1490,7 @@ fn submit_durable(
         )?;
         return Ok(true);
     }
-    let mut hub = lock_hub(shared);
+    let mut hub = lock_hub(shared.shard_of(stream_id));
     let lane = hub
         .lanes
         .get_mut(&stream_id)

@@ -1,0 +1,72 @@
+//! Property-based tests of the shard router: total coverage, stability
+//! across "restarts" (independently constructed routers), and load
+//! balance over hashed stream-id populations.
+
+use eventhit_rng::testkit::{from_fn, Strategy};
+use eventhit_rng::{prop_assert, prop_assert_eq, property, Rng};
+use eventhit_serve::ShardRouter;
+
+fn shard_count() -> impl Strategy<Value = u32> {
+    from_fn(|rng| rng.random_range(1u32..=32))
+}
+
+fn stream_id() -> impl Strategy<Value = u32> {
+    from_fn(|rng| rng.random::<u32>())
+}
+
+property! {
+    #[test]
+    fn every_stream_maps_to_exactly_one_shard(shards in shard_count(), id in stream_id()) {
+        // Total coverage: route() is a total function into 0..shards, and
+        // repeated calls on one router cannot disagree.
+        let r = ShardRouter::new(shards);
+        let s = r.route(id);
+        prop_assert!(s < shards, "id {id} escaped {shards} shards: {s}");
+        prop_assert_eq!(s, r.route(id));
+    }
+
+    #[test]
+    fn routing_is_stable_across_restarts(shards in shard_count(), id in stream_id()) {
+        // A restarted server builds a brand-new router from the same
+        // shard count; durable per-shard directories only stay valid if
+        // both resolve every id identically.
+        let before = ShardRouter::new(shards);
+        let after = ShardRouter::new(shards);
+        prop_assert_eq!(before.route(id), after.route(id));
+    }
+
+    #[test]
+    fn growing_the_fleet_only_moves_streams_to_the_new_shard(
+        shards in from_fn(|rng| rng.random_range(1u32..=16)),
+        id in stream_id(),
+    ) {
+        let small = ShardRouter::new(shards).route(id);
+        let grown = ShardRouter::new(shards + 1).route(id);
+        prop_assert!(
+            grown == small || grown == shards,
+            "id {id}: shard {small} -> {grown} when growing {shards} -> {}",
+            shards + 1
+        );
+    }
+}
+
+#[test]
+fn load_balances_within_2x_over_10k_ids() {
+    // The ISSUE's balance bar: over 10k hashed stream ids, the heaviest
+    // shard carries at most twice the lightest, at every fleet size the
+    // bench matrix exercises.
+    for shards in [2u32, 4, 8, 16] {
+        let r = ShardRouter::new(shards);
+        let mut load = vec![0u32; shards as usize];
+        for id in 0..10_000u32 {
+            load[r.route(id) as usize] += 1;
+        }
+        let max = *load.iter().max().unwrap();
+        let min = *load.iter().min().unwrap();
+        assert!(min > 0, "{shards} shards: an empty shard ({load:?})");
+        assert!(
+            max <= 2 * min,
+            "{shards} shards: max/min load {max}/{min} exceeds 2x ({load:?})"
+        );
+    }
+}

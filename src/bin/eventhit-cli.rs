@@ -8,10 +8,14 @@
 //! eventhit-cli marshal  --task TA10 --scale 0.3 --seed 7 --model model.evht \
 //!                       [--c 0.95] [--alpha 0.9]
 //! eventhit-cli serve        --task TA10 --scale 0.1 --seed 7 --addr 127.0.0.1:7077 \
+//!                           [--shards 4] [--workers-per-shard 2] \
 //!                           [--lane exact|quantized] [--durable DIR] [--snapshot-every N] \
 //!                           [--slow-log FILE]
 //! eventhit-cli bench-client --task TA10 --scale 0.1 --seed 7 --addr 127.0.0.1:7077 \
 //!                           [--streams 2] [--batch 64] [--frames 2000]
+//! eventhit-cli bench-fleet  --task TA10 --seed 7 [--streams 1024] [--shards 4] \
+//!                           [--sessions 16] [--window 4] [--rounds 4] [--batch 64] \
+//!                           [--pattern uniform|bursty] [--cap N] [--smoke]
 //! eventhit-cli top          --addr 127.0.0.1:7077 [--interval-ms 1000] [--iters 0]
 //! ```
 //!
@@ -34,7 +38,8 @@ use eventhit::core::tasks::{all_tasks, task};
 use eventhit::core::InferenceLane;
 use eventhit::parallel::Pool;
 use eventhit::serve::{
-    is_disconnected, DurableOptions, MetricsInfo, Response, ServeClient, ServeConfig, Server,
+    fleet, is_disconnected, ArrivalPattern, DurableOptions, FleetSpec, MetricsInfo, Response,
+    ServeClient, ServeConfig, Server,
 };
 use eventhit::telemetry::Telemetry;
 use std::sync::Arc;
@@ -59,6 +64,13 @@ struct Args {
     slow_log: Option<String>,
     interval_ms: u64,
     iters: u64,
+    shards: u32,
+    workers_per_shard: usize,
+    pattern: ArrivalPattern,
+    rounds: usize,
+    window: usize,
+    cap: u32,
+    smoke: bool,
 }
 
 impl Default for Args {
@@ -82,24 +94,39 @@ impl Default for Args {
             slow_log: None,
             interval_ms: 1000,
             iters: 0,
+            shards: 1,
+            workers_per_shard: 0,
+            pattern: ArrivalPattern::Uniform,
+            rounds: 4,
+            window: 4,
+            cap: 0,
+            smoke: false,
         }
     }
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: eventhit-cli <tasks|train|evaluate|marshal|serve|bench-client|top> \
+        "usage: eventhit-cli <tasks|train|evaluate|marshal|serve|bench-client|bench-fleet|top> \
          [--task TAi] [--scale F] [--seed N] [--model PATH] [--out PATH] \
          [--c F] [--alpha F] [--addr HOST:PORT] [--streams N] [--batch N] \
          [--frames N] [--sessions N] [--lane exact|quantized] \
+         [--shards N] [--workers-per-shard N] \
          [--durable DIR] [--snapshot-every N] [--slow-log FILE] \
-         [--interval-ms N] [--iters N]"
+         [--interval-ms N] [--iters N] \
+         [--pattern uniform|bursty] [--rounds N] [--window N] [--cap N] [--smoke]"
     );
     exit(2)
 }
 
-fn parse(mut it: impl Iterator<Item = String>) -> Args {
-    let mut args = Args::default();
+fn parse(it: impl Iterator<Item = String>) -> Args {
+    parse_from(Args::default(), it)
+}
+
+/// Parses flags on top of `base`, letting each subcommand pick its own
+/// defaults (e.g. `bench-fleet` starts from a 1024-stream fleet).
+fn parse_from(base: Args, mut it: impl Iterator<Item = String>) -> Args {
+    let mut args = base;
     while let Some(flag) = it.next() {
         let mut value = || it.next().unwrap_or_else(|| usage());
         match flag.as_str() {
@@ -121,6 +148,21 @@ fn parse(mut it: impl Iterator<Item = String>) -> Args {
             "--slow-log" => args.slow_log = Some(value()),
             "--interval-ms" => args.interval_ms = value().parse().unwrap_or_else(|_| usage()),
             "--iters" => args.iters = value().parse().unwrap_or_else(|_| usage()),
+            "--shards" => args.shards = value().parse().unwrap_or_else(|_| usage()),
+            "--workers-per-shard" => {
+                args.workers_per_shard = value().parse().unwrap_or_else(|_| usage())
+            }
+            "--pattern" => {
+                args.pattern = match value().as_str() {
+                    "uniform" => ArrivalPattern::Uniform,
+                    "bursty" => ArrivalPattern::Bursty,
+                    _ => usage(),
+                }
+            }
+            "--rounds" => args.rounds = value().parse().unwrap_or_else(|_| usage()),
+            "--window" => args.window = value().parse().unwrap_or_else(|_| usage()),
+            "--cap" => args.cap = value().parse().unwrap_or_else(|_| usage()),
+            "--smoke" => args.smoke = true,
             _ => usage(),
         }
     }
@@ -289,6 +331,8 @@ fn cmd_serve(args: &Args) {
     };
     let cfg = ServeConfig {
         addr: args.addr.clone(),
+        shards: args.shards.max(1),
+        workers_per_shard: args.workers_per_shard,
         durable: args.durable.as_ref().map(|dir| {
             let mut opts = DurableOptions::new(dir);
             opts.snapshot_every = args.snapshot_every;
@@ -312,9 +356,11 @@ fn cmd_serve(args: &Args) {
     });
     let addr = server.local_addr().expect("bound listener has an address");
     println!(
-        "serving {} on {addr} (dim {}, {lane} lane)",
+        "serving {} on {addr} (dim {}, {lane} lane, {} shard{})",
         t.id,
-        run.features.cols()
+        run.features.cols(),
+        args.shards.max(1),
+        if args.shards.max(1) == 1 { "" } else { "s" }
     );
     if let Some(dir) = &args.durable {
         println!(
@@ -439,6 +485,279 @@ fn cmd_bench_client(args: &Args) {
     println!(
         "server totals: {} sessions, {} frames, {} decisions",
         health.sessions, health.frames, health.decisions
+    );
+}
+
+/// Trains a model, binds a sharded server in-process, and drives a
+/// deterministic synthetic fleet of `--streams` streams against it:
+/// seeded arrival schedule (uniform or Gilbert–Elliott bursty), sliding
+/// per-session admission windows, retry-after honored under a cap. After
+/// the drive it pulls the minor-2 metrics plane for per-stage saturation
+/// quantiles, re-runs every stream through the in-process `run_lanes`
+/// baseline, and exits non-zero if any served decision diverges. Results
+/// go to `results/fleet_load.tsv` and `BENCH_fleet.json` at the
+/// workspace root. `--smoke` shrinks training and pacing for CI.
+fn cmd_bench_fleet(args: &Args) {
+    use eventhit::core::multi::{run_lanes, LaneDecision, StreamLane};
+    use eventhit::nn::matrix::Matrix;
+    use eventhit::serve::convert::decision_from_wire;
+
+    let t = task(&args.task).unwrap_or_else(|| {
+        eprintln!("unknown task {}", args.task);
+        exit(2)
+    });
+    let exp = if args.smoke {
+        ExperimentConfig::quick(args.seed)
+    } else {
+        config(args)
+    };
+    eprintln!(
+        "training {} at scale {} (seed {}) before the fleet drive ...",
+        t.id, exp.scale, exp.seed
+    );
+    let run = TaskRun::execute(&t, &exp);
+    let state = run.state_for_lane(args.lane);
+    let (model, lane) = (run.model.clone(), args.lane);
+    let strategy = Strategy::Ehcr {
+        c: args.c,
+        alpha: args.alpha,
+    };
+    // The shared feature pool every synthetic stream draws its rows from
+    // (each stream wraps the pool from its own deterministic offset).
+    let rows: Vec<Vec<f32>> = (0..run.features.rows())
+        .map(|r| run.features.row(r).to_vec())
+        .collect();
+
+    let shards = args.shards.max(1);
+    let spec = FleetSpec {
+        streams: args.streams,
+        sessions: args.sessions.max(1),
+        window: args.window.max(1),
+        batch: args.batch.max(1),
+        rounds: if args.smoke {
+            args.rounds.clamp(1, 2)
+        } else {
+            args.rounds.max(1)
+        },
+        pattern: args.pattern,
+        seed: args.seed,
+        slot_micros: if args.smoke { 20 } else { 100 },
+        retry_cap_ms: 2,
+    };
+    // Undersize the cap against offered concurrency so admission rejects
+    // are observable, but never below the shard count — a shard with a
+    // zero-stream slice could never admit its streams.
+    let cap = if args.cap > 0 {
+        args.cap.max(shards)
+    } else {
+        ((spec.sessions * spec.window * 3 / 4) as u32).max(shards)
+    };
+
+    let (model_f, state_f) = (model.clone(), state.clone());
+    let server = Server::bind_with_telemetry(
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            shards,
+            workers_per_shard: args.workers_per_shard,
+            max_streams: cap,
+            ..ServeConfig::default()
+        },
+        Box::new(move |_stream_id| {
+            OnlinePredictor::with_lane(model_f.clone(), state_f.clone(), strategy, lane)
+        }),
+        Arc::new(Telemetry::new()),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("failed to bind fleet server: {e}");
+        exit(1)
+    });
+    let addr = server.local_addr().expect("bound listener has an address");
+    let driver_sessions = spec.sessions;
+    // +1 session: the post-drive metrics/health probe below.
+    let server_thread = std::thread::spawn(move || {
+        server.serve_sessions(driver_sessions + 1, &Pool::current());
+    });
+
+    eprintln!(
+        "driving {} streams x {} frames over {} sessions \
+         ({:?} arrivals, {} shard(s), cap {} streams) ...",
+        spec.streams,
+        spec.frames_per_stream(),
+        spec.sessions,
+        spec.pattern,
+        shards,
+        cap
+    );
+    let report = fleet::drive(&addr.to_string(), &rows, &spec).unwrap_or_else(|e| {
+        eprintln!("fleet drive failed: {e}");
+        exit(1)
+    });
+
+    let mut probe = ServeClient::connect(addr).unwrap_or_else(|e| {
+        eprintln!("failed to connect metrics probe: {e}");
+        exit(1)
+    });
+    let metrics = probe.metrics().expect("metrics I/O");
+    let health = probe.health().expect("health I/O");
+    drop(probe);
+    server_thread.join().expect("server thread");
+    let stages = fleet::summarize_stages(&metrics);
+
+    // Decision-divergence check: every stream, re-run through the
+    // in-process run_lanes path from identical rows. The fleet report is
+    // already in run_lanes' global (anchor, stream_id) order.
+    eprintln!("verifying decisions against the in-process run_lanes baseline ...");
+    let frames = spec.frames_per_stream();
+    let lanes: Vec<StreamLane> = (0..spec.streams)
+        .map(|s| StreamLane {
+            stream_id: s as usize,
+            predictor: OnlinePredictor::with_lane(model.clone(), state.clone(), strategy, lane),
+            features: Matrix::from_rows(
+                &(0..frames)
+                    .map(|r| fleet::stream_row(&rows, s, r).to_vec())
+                    .collect::<Vec<_>>(),
+            ),
+            from: 0,
+        })
+        .collect();
+    let baseline = run_lanes(lanes, &Pool::current());
+    let served: Vec<LaneDecision> = report
+        .decisions
+        .iter()
+        .map(|(s, d)| LaneDecision {
+            stream_id: *s as usize,
+            decision: decision_from_wire(d),
+        })
+        .collect();
+    let diverged = served != baseline;
+
+    let fps = report.frames_sent as f64 / report.elapsed_seconds.max(1e-9);
+    let run_line = format!(
+        "task={} streams={} sessions={} window={} batch={} rounds={} \
+         shards={} cap={} pattern={:?} seed={} smoke={}",
+        t.id,
+        spec.streams,
+        spec.sessions,
+        spec.window,
+        spec.batch,
+        spec.rounds,
+        shards,
+        cap,
+        spec.pattern,
+        spec.seed,
+        args.smoke
+    );
+    let totals_line = format!(
+        "streams_driven={} frames_sent={} decisions={} admission_rejects={} \
+         queue_rejects={} retry_waited_ms={} elapsed_s={:.3} frames_per_s={:.0}",
+        report.streams_driven,
+        report.frames_sent,
+        report.decisions.len(),
+        report.admission_rejects,
+        report.queue_rejects,
+        report.retry_waited_ms,
+        report.elapsed_seconds,
+        fps
+    );
+
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let results_dir = root.join("results");
+    std::fs::create_dir_all(&results_dir).expect("create results/");
+    let mut tsv = format!("# bench-fleet {run_line}\n# {totals_line}\n");
+    tsv.push_str("stage\tlabel\tcount\tp50_peak_us\tp99_peak_us\n");
+    for s in &stages {
+        tsv.push_str(&format!(
+            "{}\t{}\t{}\t{:.1}\t{:.1}\n",
+            s.name,
+            if s.label.is_empty() { "-" } else { &s.label },
+            s.count,
+            s.p50_peak * 1e6,
+            s.p99_peak * 1e6
+        ));
+    }
+    let tsv_path = results_dir.join("fleet_load.tsv");
+    std::fs::write(&tsv_path, &tsv).expect("write fleet_load.tsv");
+
+    let stage_json: Vec<String> = stages
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"name\":\"{}\",\"label\":\"{}\",\"count\":{},\
+                 \"p50_peak_us\":{:.1},\"p99_peak_us\":{:.1}}}",
+                s.name,
+                s.label,
+                s.count,
+                s.p50_peak * 1e6,
+                s.p99_peak * 1e6
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"smoke\":{},\"task\":\"{}\",\"streams\":{},\"sessions\":{},\
+         \"window\":{},\"batch\":{},\"rounds\":{},\"shards\":{},\"cap\":{},\
+         \"pattern\":\"{:?}\",\"seed\":{},\"streams_driven\":{},\
+         \"frames_sent\":{},\"decisions\":{},\"admission_rejects\":{},\
+         \"queue_rejects\":{},\"retry_waited_ms\":{},\
+         \"elapsed_seconds\":{:.3},\"frames_per_second\":{:.0},\
+         \"stages\":[{}],\"decision_divergence\":{}}}\n",
+        args.smoke,
+        t.id,
+        spec.streams,
+        spec.sessions,
+        spec.window,
+        spec.batch,
+        spec.rounds,
+        shards,
+        cap,
+        spec.pattern,
+        spec.seed,
+        report.streams_driven,
+        report.frames_sent,
+        report.decisions.len(),
+        report.admission_rejects,
+        report.queue_rejects,
+        report.retry_waited_ms,
+        report.elapsed_seconds,
+        fps,
+        stage_json.join(","),
+        if diverged { served.len().max(1) } else { 0 }
+    );
+    let json_path = root.join("BENCH_fleet.json");
+    std::fs::write(&json_path, &json).expect("write BENCH_fleet.json");
+
+    println!("fleet: {run_line}");
+    println!("totals: {totals_line}");
+    println!(
+        "server health: {} sessions, {} frames, {} decisions, {} active streams",
+        health.sessions, health.frames, health.decisions, health.active_streams
+    );
+    for s in &stages {
+        println!(
+            "  {:<28} {:>8} samples  p50 {:>9.1} us  p99 {:>9.1} us",
+            if s.label.is_empty() {
+                s.name.clone()
+            } else {
+                format!("{}{{{}}}", s.name, s.label)
+            },
+            s.count,
+            s.p50_peak * 1e6,
+            s.p99_peak * 1e6
+        );
+    }
+    println!("wrote {}", tsv_path.display());
+    println!("wrote {}", json_path.display());
+    if diverged {
+        eprintln!(
+            "DECISION DIVERGENCE: served {} decisions, baseline {} — \
+             sharded serving must be bit-identical to run_lanes",
+            served.len(),
+            baseline.len()
+        );
+        exit(1);
+    }
+    println!(
+        "decision divergence: none ({} decisions bit-identical to run_lanes)",
+        baseline.len()
     );
 }
 
@@ -579,6 +898,14 @@ fn main() {
         "marshal" => cmd_marshal(&parse(argv)),
         "serve" => cmd_serve(&parse(argv)),
         "bench-client" => cmd_bench_client(&parse(argv)),
+        "bench-fleet" => cmd_bench_fleet(&parse_from(
+            Args {
+                streams: 1024,
+                sessions: 16,
+                ..Args::default()
+            },
+            argv,
+        )),
         "top" => cmd_top(&parse(argv)),
         "--help" | "-h" | "help" => usage(),
         _ => usage(),

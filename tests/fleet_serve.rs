@@ -1,0 +1,246 @@
+//! 512-stream fleet soak over a sharded, durable loopback server.
+//!
+//! The scale-out claim under test: partitioning stream ownership across
+//! shards is invisible in the decisions. Every (shards, workers)
+//! configuration in the matrix must serve the whole fleet bit-identical
+//! to the in-process `run_lanes` baseline — including streams that
+//! disconnect mid-soak and `Resume` through the durable path, one per
+//! shard, so the per-shard journal directories are exercised too.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+use std::thread::JoinHandle;
+
+use eventhit::core::experiment::{ExperimentConfig, TaskRun};
+use eventhit::core::model::EventHit;
+use eventhit::core::multi::{run_lanes, LaneDecision, StreamLane};
+use eventhit::core::pipeline::{ConformalState, Strategy};
+use eventhit::core::streaming::OnlinePredictor;
+use eventhit::core::tasks::task;
+use eventhit::nn::matrix::Matrix;
+use eventhit::parallel::{with_workers, Pool};
+use eventhit::serve::convert::decision_from_wire;
+use eventhit::serve::fleet::stream_row;
+use eventhit::serve::{DurableOptions, Response, ServeClient, ServeConfig, Server, ShardRouter};
+
+const STREAMS: u32 = 512;
+const BATCH: usize = 64;
+const ROUNDS: usize = 10;
+/// Frames each synthetic stream submits over the soak.
+const FRAMES: usize = BATCH * ROUNDS;
+const STRATEGY: Strategy = Strategy::Ehcr { c: 0.9, alpha: 0.5 };
+
+/// One quick training run shared by every soak in this file; `rows` is
+/// the shared feature pool the synthetic fleet wraps (see
+/// [`stream_row`]).
+struct Trained {
+    model: EventHit,
+    state: ConformalState,
+    rows: Vec<Vec<f32>>,
+}
+
+fn trained() -> &'static Trained {
+    static RUN: OnceLock<Trained> = OnceLock::new();
+    RUN.get_or_init(|| {
+        let run = TaskRun::execute(&task("TA10").unwrap(), &ExperimentConfig::quick(77));
+        let rows = (0..run.features.rows())
+            .map(|r| run.features.row(r).to_vec())
+            .collect();
+        Trained {
+            model: run.model,
+            state: run.state,
+            rows,
+        }
+    })
+}
+
+fn predictor() -> OnlinePredictor {
+    let t = trained();
+    OnlinePredictor::new(t.model.clone(), t.state.clone(), STRATEGY)
+}
+
+/// The in-process `run_lanes` truth for the whole 512-stream fleet,
+/// verified worker-invariant, computed once.
+fn baseline() -> &'static Vec<LaneDecision> {
+    static BASE: OnceLock<Vec<LaneDecision>> = OnceLock::new();
+    BASE.get_or_init(|| {
+        let t = trained();
+        let lanes = || -> Vec<StreamLane> {
+            (0..STREAMS)
+                .map(|s| StreamLane {
+                    stream_id: s as usize,
+                    predictor: predictor(),
+                    features: Matrix::from_rows(
+                        &(0..FRAMES)
+                            .map(|r| stream_row(&t.rows, s, r).to_vec())
+                            .collect::<Vec<_>>(),
+                    ),
+                    from: 0,
+                })
+                .collect()
+        };
+        let b1 = with_workers(1, || run_lanes(lanes(), &Pool::current()));
+        let b4 = with_workers(4, || run_lanes(lanes(), &Pool::current()));
+        assert_eq!(b1, b4, "run_lanes must be worker-invariant");
+        assert!(
+            b1.len() >= STREAMS as usize,
+            "the soak must decide every stream at least once ({} decisions)",
+            b1.len()
+        );
+        b1
+    })
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("evfleet-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Binds a durable sharded server and serves exactly two sessions (the
+/// mid-soak flapper, then the main driver).
+fn spawn_server(shards: u32, workers: usize, dir: &PathBuf) -> (SocketAddr, JoinHandle<()>) {
+    let mut opts = DurableOptions::new(dir);
+    opts.snapshot_every = 4096;
+    let cfg = ServeConfig {
+        shards,
+        workers_per_shard: workers,
+        max_streams: 2 * STREAMS,
+        durable: Some(opts),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(cfg, Box::new(|_| predictor())).expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let handle = std::thread::spawn(move || {
+        server.serve_sessions(2, &Pool::new(workers));
+    });
+    (addr, handle)
+}
+
+/// Submits round `round` of stream `s` and appends the decisions.
+fn feed(
+    client: &mut ServeClient,
+    s: u32,
+    rows: &[Vec<f32>],
+    round: usize,
+    out: &mut Vec<LaneDecision>,
+) {
+    let dim = rows[0].len() as u32;
+    let mut data = Vec::with_capacity(BATCH * dim as usize);
+    for r in round * BATCH..(round + 1) * BATCH {
+        data.extend_from_slice(stream_row(rows, s, r));
+    }
+    let decisions = client
+        .submit(s, dim, data)
+        .expect("submit I/O")
+        .expect_ok("submit");
+    out.extend(decisions.iter().map(|d| LaneDecision {
+        stream_id: s as usize,
+        decision: decision_from_wire(d),
+    }));
+}
+
+/// Drives the full fleet at one (shards, workers) configuration, with
+/// one stream per shard disconnecting mid-soak and resuming durably, and
+/// asserts the served decisions are bit-identical to [`baseline`].
+fn fleet_soak(shards: u32, workers: usize) {
+    let t = trained();
+    let dir = fresh_dir(&format!("{shards}x{workers}"));
+    let (addr, handle) = spawn_server(shards, workers, &dir);
+
+    // One "flappy" stream per shard, so the disconnect/resume path runs
+    // through every shard's journal directory.
+    let router = ShardRouter::new(shards);
+    let flappy: Vec<u32> = (0..shards)
+        .map(|i| {
+            (0..STREAMS)
+                .find(|s| router.route(*s) == i)
+                .expect("every shard owns at least one of 512 streams")
+        })
+        .collect();
+
+    let mut served: Vec<LaneDecision> = Vec::new();
+    let half = ROUNDS / 2;
+    {
+        let mut client = ServeClient::connect(addr).expect("connect flapper");
+        for &s in &flappy {
+            client.open_stream(s).expect("open I/O").expect_ok("open");
+        }
+        for round in 0..half {
+            for &s in &flappy {
+                feed(&mut client, s, &t.rows, round, &mut served);
+            }
+        }
+    } // abrupt TCP FIN mid-soak: the durable lanes park, one per shard
+
+    let mut client = ServeClient::connect(addr).expect("connect main");
+    for &s in &flappy {
+        let acked = (half * BATCH) as u64;
+        // The flapper's FIN races the server-side park; a reconnecting
+        // client retries `duplicate_stream` until the old session's
+        // teardown releases the lane.
+        let next = loop {
+            match client.resume_stream(s, acked).expect("resume I/O") {
+                Response::Ok(n) => break n,
+                Response::Rejected(_) => std::thread::sleep(std::time::Duration::from_millis(2)),
+            }
+        };
+        assert_eq!(
+            next, acked,
+            "stream {s}: every pre-disconnect batch was acked, so its \
+             shard must resume exactly where the flapper stopped"
+        );
+    }
+    for s in 0..STREAMS {
+        if !flappy.contains(&s) {
+            client.open_stream(s).expect("open I/O").expect_ok("open");
+        }
+    }
+    for round in 0..ROUNDS {
+        for s in 0..STREAMS {
+            if round < half && flappy.contains(&s) {
+                continue; // already fed by the flapper session
+            }
+            feed(&mut client, s, &t.rows, round, &mut served);
+        }
+    }
+    for s in 0..STREAMS {
+        client
+            .close_stream(s)
+            .expect("close I/O")
+            .expect_ok("close");
+    }
+    drop(client);
+    handle.join().expect("server thread");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Same global order as run_lanes, then bit-for-bit equality.
+    served.sort_by_key(|d| (d.decision.anchor, d.stream_id));
+    assert_eq!(
+        &served,
+        baseline(),
+        "{shards} shard(s) x {workers} worker(s) diverged from run_lanes"
+    );
+}
+
+#[test]
+fn fleet_soak_1_shard_1_worker() {
+    fleet_soak(1, 1);
+}
+
+#[test]
+fn fleet_soak_1_shard_4_workers() {
+    fleet_soak(1, 4);
+}
+
+#[test]
+fn fleet_soak_4_shards_1_worker() {
+    fleet_soak(4, 1);
+}
+
+#[test]
+fn fleet_soak_4_shards_4_workers() {
+    fleet_soak(4, 4);
+}

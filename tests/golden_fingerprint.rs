@@ -124,6 +124,105 @@ fn quantized_trace(workers: usize) -> (String, u64) {
     (text, fp)
 }
 
+/// The same two quantized lanes as [`quantized_trace`], but served over
+/// a loopback TCP server partitioned into `shards` shards, decisions
+/// rebuilt into the identical text form. Sharding is stream *ownership*
+/// partitioning — it must never move a pinned fingerprint.
+fn served_quantized_trace(shards: u32) -> (String, u64) {
+    use eventhit::serve::convert::decision_from_wire;
+    use eventhit::serve::{ServeConfig, Server};
+
+    let cfg = ExperimentConfig {
+        scale: 0.08,
+        ..ExperimentConfig::quick(40)
+    };
+    let run = TaskRun::execute(&task("TA10").unwrap(), &cfg);
+    let state = run.state_for_lane(InferenceLane::Quantized);
+    let (model, features) = (run.model, run.features);
+    let factory_state = state.clone();
+    let server = Server::bind(
+        ServeConfig {
+            shards,
+            ..ServeConfig::default()
+        },
+        Box::new(move |_| {
+            OnlinePredictor::with_lane(
+                model.clone(),
+                factory_state.clone(),
+                Strategy::Ehcr { c: 0.9, alpha: 0.5 },
+                InferenceLane::Quantized,
+            )
+        }),
+    )
+    .expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let handle = std::thread::spawn(move || server.serve_sessions(1, &Pool::new(2)));
+
+    let froms = [0usize, 11];
+    let dim = features.cols() as u32;
+    let rows = features.rows();
+    let mut client = eventhit::serve::ServeClient::connect(addr).expect("connect");
+    for s in 0..froms.len() as u32 {
+        client.open_stream(s).unwrap().expect_ok("open_stream");
+    }
+    let mut decisions: Vec<(usize, _)> = Vec::new();
+    let batch = 97; // deliberately unaligned with window/horizon
+    let mut cursors = froms;
+    loop {
+        let mut progressed = false;
+        for (i, cursor) in cursors.iter_mut().enumerate() {
+            if *cursor >= rows {
+                continue;
+            }
+            progressed = true;
+            let hi = (*cursor + batch).min(rows);
+            let mut data = Vec::with_capacity((hi - *cursor) * dim as usize);
+            for r in *cursor..hi {
+                data.extend_from_slice(features.row(r));
+            }
+            let ds = client
+                .submit(i as u32, dim, data)
+                .unwrap()
+                .expect_ok("submit");
+            decisions.extend(ds.iter().map(|d| (i, decision_from_wire(d))));
+            *cursor = hi;
+        }
+        if !progressed {
+            break;
+        }
+    }
+    for s in 0..froms.len() as u32 {
+        client.close_stream(s).unwrap().expect_ok("close_stream");
+    }
+    drop(client);
+    handle.join().expect("server thread");
+
+    // run_lanes' global merge order, then the exact trace text.
+    decisions.sort_by_key(|(stream, d)| (d.anchor, *stream));
+    let mut text = String::new();
+    for (stream, d) in &decisions {
+        text.push_str(&format!("{} {}:{:?}\n", stream, d.anchor, d.predictions));
+    }
+    let fp = fnv1a(text.as_bytes());
+    (text, fp)
+}
+
+#[test]
+fn quantized_fingerprint_is_unchanged_when_served_at_1_2_and_4_shards() {
+    for shards in [1u32, 2, 4] {
+        let (text, fp) = served_quantized_trace(shards);
+        assert!(
+            !text.is_empty(),
+            "{shards}-shard serve produced no decisions"
+        );
+        assert_eq!(
+            fp, GOLDEN_QUANTIZED_FINGERPRINT,
+            "{shards}-shard serving moved the pinned quantized \
+             fingerprint: got {fp:#018x}"
+        );
+    }
+}
+
 #[test]
 fn quantized_fingerprint_matches_golden_constant_at_any_worker_count() {
     let (text_1, fp_1) = quantized_trace(1);

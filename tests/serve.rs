@@ -506,4 +506,86 @@ fn health_and_telemetry_travel_the_wire() {
     assert_eq!(snap.counter("serve.sessions"), Some(1));
     assert_eq!(snap.counter("serve.streams_opened"), Some(1));
     assert_eq!(snap.counter_labeled("serve.rejected", "queue_full"), None);
+    // Even a single-shard server scopes its metrics: shard 0 carries the
+    // whole load, and the cross-shard aggregate gauge (what `eventhit-cli
+    // top` and the Health endpoint report) agrees with it.
+    assert_eq!(snap.counter("serve.shard0.frames"), Some(200));
+    assert_eq!(snap.counter("serve.shard0.streams_opened"), Some(1));
+    let aggregate = snap.gauge("serve.active_streams").expect("aggregate gauge");
+    let shard0 = snap
+        .gauge("serve.shard0.active_streams")
+        .expect("shard gauge");
+    assert_eq!((aggregate.last, aggregate.max), (0.0, 1.0));
+    assert_eq!((shard0.last, shard0.max), (0.0, 1.0));
+}
+
+#[test]
+fn sharded_telemetry_scopes_per_shard_and_keeps_the_aggregate() {
+    use eventhit::serve::ShardRouter;
+    use eventhit::telemetry::Telemetry;
+    use std::sync::Arc;
+
+    let t = trained();
+    let dim = t.features.cols() as u32;
+    let shards = 4u32;
+    let telemetry = Arc::new(Telemetry::new());
+    let server = Server::bind_with_telemetry(
+        ServeConfig {
+            shards,
+            ..ServeConfig::default()
+        },
+        Box::new(|_| predictor()),
+        Arc::clone(&telemetry),
+    )
+    .expect("bind");
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.serve_sessions(1, &Pool::new(1)));
+
+    // One stream per shard, so every shard's scope sees traffic.
+    let router = ShardRouter::new(shards);
+    let streams: Vec<u32> = (0..shards)
+        .map(|i| (0..64).find(|s| router.route(*s) == i).expect("owned id"))
+        .collect();
+    let mut client = ServeClient::connect(addr).expect("connect");
+    for &s in &streams {
+        client.open_stream(s).unwrap().expect_ok("open");
+    }
+    let mut data = Vec::new();
+    for r in 0..100 {
+        data.extend_from_slice(t.features.row(r));
+    }
+    for &s in &streams {
+        client
+            .submit(s, dim, data.clone())
+            .unwrap()
+            .expect_ok("submit");
+    }
+    let health = client.health().expect("health");
+    assert_eq!(
+        health.active_streams, shards,
+        "the Health aggregate must span all shards"
+    );
+    assert_eq!(health.frames, 100 * shards as u64);
+    drop(client);
+    handle.join().unwrap();
+
+    let snap = telemetry.snapshot();
+    // Per-shard scopes each saw exactly their own stream...
+    for i in 0..shards {
+        let scope = |m: &str| format!("serve.shard{i}.{m}");
+        assert_eq!(snap.counter(&scope("streams_opened")), Some(1), "shard {i}");
+        assert_eq!(snap.counter(&scope("frames")), Some(100), "shard {i}");
+        let g = snap.gauge(&scope("active_streams")).expect("shard gauge");
+        assert_eq!((g.last, g.max), (0.0, 1.0), "shard {i} gauge");
+    }
+    // ...and the cross-shard aggregates are their sums, so `top` and
+    // existing dashboards keep reading the same global names.
+    assert_eq!(snap.counter("serve.streams_opened"), Some(shards as u64));
+    assert_eq!(snap.counter("serve.frames"), Some(100 * shards as u64));
+    let aggregate = snap.gauge("serve.active_streams").expect("aggregate gauge");
+    assert_eq!(
+        (aggregate.last, aggregate.max),
+        (0.0, shards as f64),
+        "aggregate gauge must peak at one active stream per shard"
+    );
 }
