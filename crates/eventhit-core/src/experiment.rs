@@ -21,6 +21,7 @@ use crate::infer::{score_records, score_records_lane, IntervalPrediction, Scored
 use crate::metrics::{evaluate, EvalOutcome};
 use crate::model::{EncoderKind, EventHit, EventHitConfig};
 use crate::pipeline::{ConformalState, Strategy};
+use crate::sampling::SamplingPolicy;
 use crate::tasks::Task;
 use crate::train::{train, TrainConfig, TrainReport};
 
@@ -277,6 +278,55 @@ impl TaskRun {
             self.state.tau2(),
             self.horizon,
         )
+    }
+
+    /// A conformal state matched to a [`SamplingPolicy`] on `lane`: the
+    /// calibration split is rescored on *gated trajectories* — each
+    /// calibration record's window replaced by the window a deployed
+    /// gated predictor would see at that anchor (simulated by
+    /// [`sampled_records`](crate::sampling::sampled_records) with the
+    /// exact online state machine) — and the state refitted. The
+    /// nonconformity quantiles then come from the same score
+    /// distribution the gated lane produces, so split-conformal coverage
+    /// transfers to gated serving exactly as
+    /// [`TaskRun::state_for_lane`] transfers it to the int8 lane.
+    /// `Fixed` delegates to [`TaskRun::state_for_lane`] unchanged.
+    pub fn state_for_sampling(
+        &self,
+        policy: &SamplingPolicy,
+        lane: InferenceLane,
+    ) -> ConformalState {
+        if policy.is_fixed() {
+            return self.state_for_lane(lane);
+        }
+        let calib = self.sampled_split(&self.calib_records, policy, lane);
+        ConformalState::fit(
+            &calib,
+            self.task.num_events(),
+            self.state.tau2(),
+            self.horizon,
+        )
+    }
+
+    /// The test split scored on gated trajectories under `policy` — the
+    /// counterpart of [`TaskRun::state_for_sampling`] for evaluating
+    /// REC/SPL and conformal coverage under a sampling policy. `Fixed`
+    /// reproduces the plain lane scores.
+    pub fn sampled_test(&self, policy: &SamplingPolicy, lane: InferenceLane) -> Vec<ScoredRecord> {
+        self.sampled_split(&self.test_records, policy, lane)
+    }
+
+    /// Rebuilds a split's records with their gated windows and scores
+    /// them, batching maximal runs of equal window lengths.
+    fn sampled_split(
+        &self,
+        records: &[Record],
+        policy: &SamplingPolicy,
+        lane: InferenceLane,
+    ) -> Vec<ScoredRecord> {
+        let gated =
+            crate::sampling::sampled_records(&self.model, &self.features, records, policy, lane);
+        crate::sampling::score_sampled_records(&self.model, &gated, 128, lane)
     }
 
     /// Predictions of a strategy over the test split.

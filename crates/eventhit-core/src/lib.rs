@@ -17,6 +17,8 @@
 //! 5. evaluate any [`pipeline::Strategy`] with [`metrics::evaluate`], or
 //!    deploy online with [`marshal::Marshaller`].
 
+#![deny(missing_docs)]
+
 pub mod capacity;
 pub mod ci;
 pub mod ci_queue;
@@ -33,6 +35,7 @@ pub mod multi;
 pub mod pipeline;
 pub mod report;
 pub mod resilient;
+pub mod sampling;
 pub mod streaming;
 pub mod tasks;
 pub mod train;
@@ -51,6 +54,7 @@ pub use resilient::{
     BreakerConfig, BreakerState, CircuitBreaker, DegradationMode, DegradationTag, ResilienceConfig,
     ResilienceStats, ResilientCiClient, RetryPolicy, SubmissionOutcome,
 };
+pub use sampling::{GateParams, SamplingPolicy, WindowParams};
 pub use tasks::{all_tasks, task, DatasetKind, Task};
 pub use train::{train, train_instrumented, TrainConfig, TrainReport};
 

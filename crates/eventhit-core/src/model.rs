@@ -242,7 +242,7 @@ impl EventHit {
         let h = self.encoder.forward(&xs);
         let z = self.shared_fc.forward(&h);
         let z = self.dropout.forward(&z, &mut self.rng);
-        let concat = z.hcat(&xs[self.config.window - 1]);
+        let concat = z.hcat(&xs[xs.len() - 1]);
         let outputs = self
             .heads
             .iter_mut()
@@ -261,7 +261,7 @@ impl EventHit {
         let xs = self.batch_sequence(records);
         let h = self.encoder.forward_inference(&xs);
         let z = self.shared_fc.forward_inference(&h);
-        let concat = z.hcat(&xs[self.config.window - 1]);
+        let concat = z.hcat(&xs[xs.len() - 1]);
         self.heads
             .iter()
             .map(|head| head.forward_inference(&concat))
@@ -330,9 +330,21 @@ impl EventHit {
 
 /// Assembles the encoder input sequence from a batch of records:
 /// `xs[t]` is the `batch x D` matrix of the `t`-th window frame.
+///
+/// The sequence length is taken from the records themselves, not the
+/// config: a batch of shrunken `m`-row windows (`1 <= m <= M`, the
+/// adaptive-windowing path of `eventhit-core::sampling`) runs the
+/// recurrent encoder for `m` steps. All records in one batch must share
+/// the same window length; the full-window case (`m == M`) is
+/// bit-identical to the historical fixed-shape behaviour.
 fn batch_sequence(config: &EventHitConfig, records: &[&Record]) -> Vec<Matrix> {
-    let m = config.window;
+    let m = records[0].covariates.rows();
     let d = config.input_dim;
+    assert!(
+        m >= 1 && m <= config.window,
+        "window length {m} outside [1, {}]",
+        config.window
+    );
     let batch = records.len();
     (0..m)
         .map(|t| {
@@ -341,7 +353,7 @@ fn batch_sequence(config: &EventHitConfig, records: &[&Record]) -> Vec<Matrix> {
                 assert_eq!(
                     r.covariates.shape(),
                     (m, d),
-                    "record covariates must be {m}x{d}"
+                    "record covariates must be {m}x{d} (uniform per batch)"
                 );
                 x.set_row(i, r.covariates.row(t));
             }
@@ -395,7 +407,7 @@ impl QuantizedEventHit {
         let xs = batch_sequence(&self.config, records);
         let h = self.encoder.forward(&xs);
         let z = self.shared_fc.forward(&h);
-        let concat = z.hcat(&xs[self.config.window - 1]);
+        let concat = z.hcat(&xs[xs.len() - 1]);
         self.heads
             .iter()
             .map(|head| head.forward(&concat))
@@ -516,6 +528,38 @@ mod tests {
         };
         let err = check_gradients(&mut model, loss_fn, grad_fn, |m| m.params_mut(), 1e-2);
         assert!(err < 5e-2, "max rel err {err}");
+    }
+
+    #[test]
+    fn inference_accepts_shrunken_windows() {
+        // The adaptive-windowing path feeds m < M rows: the encoder runs
+        // m steps and the heads consume z ⊕ (last row), so output shapes
+        // are unchanged and results are deterministic.
+        let model = EventHit::new(tiny_config(), 7);
+        for m in 1..=5usize {
+            let r = record(m, 4, 0.3);
+            let outs = model.forward_inference(&[&r]);
+            assert_eq!(outs.len(), 2);
+            for o in &outs {
+                assert_eq!(o.shape(), (1, 11));
+            }
+            let again = model.forward_inference(&[&r]);
+            assert_eq!(outs, again);
+        }
+        // The quantized lane accepts the same shrunken windows.
+        let q = model.quantized();
+        let r = record(2, 4, 0.3);
+        let outs = q.forward_inference(&[&r]);
+        assert_eq!(outs[0].shape(), (1, 11));
+    }
+
+    #[test]
+    #[should_panic(expected = "uniform per batch")]
+    fn batch_rejects_mixed_window_lengths() {
+        let model = EventHit::new(tiny_config(), 8);
+        let a = record(5, 4, 0.1);
+        let b = record(3, 4, 0.1);
+        let _ = model.forward_inference(&[&a, &b]);
     }
 
     #[test]

@@ -151,11 +151,15 @@ pub fn merge_overlapping(mut intervals: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
 /// what lets [`run_lanes`] score them on separate threads with no shared
 /// mutable state.
 ///
-/// The inference lane (exact f32 vs the int8 fast lane) rides in through
-/// the predictor: build it with
+/// The inference lane (exact f32 vs the int8 fast lane) and the
+/// [`SamplingPolicy`](crate::sampling::SamplingPolicy) both ride in
+/// through the predictor: build it with
 /// [`OnlinePredictor::with_lane`](crate::streaming::OnlinePredictor::with_lane)
-/// and [`run_lanes`] scores that lane unchanged — the merge logic is
-/// lane-agnostic and both lanes stay bit-identical across worker counts.
+/// or
+/// [`OnlinePredictor::with_policy`](crate::streaming::OnlinePredictor::with_policy)
+/// and [`run_lanes`] scores that configuration unchanged — the merge
+/// logic is lane-agnostic, every policy's gate state is lane-local, and
+/// all combinations stay bit-identical across worker counts.
 pub struct StreamLane {
     /// Stable identifier of the stream; ties in the merged timeline break
     /// on it.

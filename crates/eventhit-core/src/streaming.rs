@@ -6,6 +6,14 @@
 //! once per horizon — the push-based complement to the batch
 //! [`Marshaller`](crate::marshal::Marshaller), for deployments where frames
 //! arrive from a live camera rather than a stored stream.
+//!
+//! Under the default [`SamplingPolicy::Fixed`] every pushed frame is
+//! encoded into the window. A [`SamplingPolicy::DeltaGate`] or
+//! [`SamplingPolicy::Adaptive`] policy (see [`crate::sampling`]) gates
+//! low-motion frames in front of the encoder — they are acknowledged
+//! (the anchor cadence still advances) but not encoded, and anchors
+//! whose window content did not change reuse the previous anchor's
+//! predictions (duplicate-carry), skipping the model forward entirely.
 
 use std::sync::Arc;
 
@@ -20,6 +28,7 @@ use crate::infer::{score_records, scored_from_outputs, IntervalPrediction, Score
 use crate::model::{EventHit, QuantizedEventHit};
 use crate::pipeline::{ConformalState, Strategy};
 use crate::resilient::{BreakerState, DegradationTag, ResilientCiClient};
+use crate::sampling::{Sampler, SamplingPolicy, HIT_TAU1};
 
 /// A relay decision emitted at a prediction anchor.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,18 +56,24 @@ impl HorizonDecision {
 }
 
 /// The complete *dynamic* state of an [`OnlinePredictor`] — everything
-/// that changes as frames are pushed. A predictor rescores its full
-/// window at every anchor (no recurrent state is carried between
-/// anchors), so the buffered rows, the frames-seen counter, and the
-/// anchor countdown are sufficient: restoring them into a predictor built
-/// from the same (model, conformal state, strategy, lane) reproduces the
-/// original's future decisions bit-for-bit. This is what durable serving
-/// snapshots persist and what crash recovery replays into.
+/// that changes as frames are pushed. A predictor rescores its window
+/// at every content-changing anchor (no recurrent state is carried
+/// between anchors), so the buffered rows, the frames-seen counter, and
+/// the anchor countdown are sufficient: restoring them into a predictor
+/// built from the same (model, conformal state, strategy, lane)
+/// reproduces the original's future decisions bit-for-bit under the
+/// default `Fixed` sampling policy. This is what durable serving
+/// snapshots persist and what crash recovery replays into (durable
+/// serving rejects non-`Fixed` policies at bind time precisely because
+/// the gate/window state below is not captured here).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PredictorState {
     /// Buffered window rows, oldest first (at most `window` rows).
     pub rows: Vec<Vec<f32>>,
-    /// Total frames ever pushed through the predictor.
+    /// Total frames ever *pushed* through the predictor (including any
+    /// gated frames, which advance the cadence without being encoded;
+    /// under the default `Fixed` sampling policy every pushed frame is
+    /// also buffered, so this equals the buffer's push count).
     pub frames_seen: u64,
     /// Frames remaining until the next prediction anchor.
     pub countdown: u64,
@@ -99,6 +114,26 @@ pub struct OnlinePredictor {
     horizon: u64,
     /// Frames remaining until the next prediction anchor.
     countdown: u64,
+    /// Content-adaptive sampling state (gate, skip runs, adaptive `m`).
+    /// [`SamplingPolicy::Fixed`] admits everything and is bit-identical
+    /// to the pre-sampling predictor.
+    sampler: Sampler,
+    /// Stream position: total frames pushed, *including* gated frames.
+    /// Decouples the anchor cadence from the buffer's push count so
+    /// gated lanes anchor at exactly the frames a `Fixed` lane would.
+    stream_pos: u64,
+    /// The last scored anchor's predictions, raw hit bit, and covariate
+    /// window — the duplicate-carry memo. An anchor whose candidate
+    /// window drifted less than the gate threshold from the memo's
+    /// window (per-dimension window means, same `m`) reuses the
+    /// memoized predictions without a forward, up to `max_carry`
+    /// consecutive anchors.
+    carry: Option<CarriedAnchor>,
+    /// `stream.frames_skipped` already flushed to telemetry. Skips are
+    /// counted in the sampler and flushed in batches at decision time so
+    /// gated streams pay no per-frame telemetry the `Fixed` policy
+    /// doesn't.
+    skipped_flushed: u64,
     /// Optional recorder; `None` keeps the hot path free of telemetry
     /// branches beyond one pointer check.
     telemetry: Option<Arc<Telemetry>>,
@@ -106,6 +141,21 @@ pub struct OnlinePredictor {
     /// serving layer sets it per traced batch). Not part of the exported
     /// predictor state: tracing never influences decisions or replay.
     trace: Option<u64>,
+}
+
+/// The duplicate-carry memo of the last scored anchor.
+struct CarriedAnchor {
+    predictions: Vec<IntervalPrediction>,
+    /// `max_k b_k >= HIT_TAU1` of the scored window (feeds the adaptive
+    /// window EMA at carried anchors without rescoring).
+    hit: bool,
+    /// Window length the memo was scored at.
+    m: usize,
+    /// The covariate window the memo was scored on — the reference
+    /// candidate windows are drift-tested against.
+    covariates: Matrix,
+    /// Consecutive anchors carried off this memo so far.
+    run: u32,
 }
 
 impl OnlinePredictor {
@@ -130,6 +180,22 @@ impl OnlinePredictor {
         strategy: Strategy,
         lane: InferenceLane,
     ) -> Self {
+        Self::with_policy(model, state, strategy, lane, SamplingPolicy::Fixed)
+    }
+
+    /// Like [`OnlinePredictor::with_lane`], plus an explicit
+    /// [`SamplingPolicy`]. Non-`Fixed` policies gate low-motion frames
+    /// and (for `Adaptive`) shrink the scored window — pair them with a
+    /// [`ConformalState`] refitted on gated trajectories (see
+    /// [`TaskRun::state_for_sampling`](crate::experiment::TaskRun::state_for_sampling))
+    /// so the coverage guarantee covers the sampling distortion.
+    pub fn with_policy(
+        model: EventHit,
+        state: ConformalState,
+        strategy: Strategy,
+        lane: InferenceLane,
+        policy: SamplingPolicy,
+    ) -> Self {
         let cfg = model.config().clone();
         let quantized = match lane {
             InferenceLane::Exact => None,
@@ -139,6 +205,10 @@ impl OnlinePredictor {
             buffer: WindowBuffer::new(cfg.window, cfg.input_dim),
             horizon: cfg.horizon as u64,
             countdown: 0,
+            sampler: Sampler::new(policy, cfg.window),
+            stream_pos: 0,
+            carry: None,
+            skipped_flushed: 0,
             model,
             quantized,
             lane,
@@ -154,6 +224,34 @@ impl OnlinePredictor {
         self.lane
     }
 
+    /// The sampling policy this predictor runs.
+    pub fn policy(&self) -> &SamplingPolicy {
+        self.sampler.policy()
+    }
+
+    /// Replaces the sampling policy, resetting the gate state, the
+    /// duplicate-carry memo, and the adaptive window. Intended at
+    /// stream-open time (the serving layer applies its per-stream
+    /// [`ServeConfig`](../../eventhit_serve/server/struct.ServeConfig.html)
+    /// policy to factory-built predictors here); switching mid-stream is
+    /// deterministic but re-warms the gate from the next frame.
+    pub fn set_policy(&mut self, policy: SamplingPolicy) {
+        self.sampler = Sampler::new(policy, self.model.config().window);
+        self.carry = None;
+        self.skipped_flushed = 0;
+    }
+
+    /// Frames gated (acknowledged but not encoded) so far.
+    pub fn frames_skipped(&self) -> u64 {
+        self.sampler.frames_skipped()
+    }
+
+    /// The window length `m` the encoder consumes at the next anchor
+    /// (the configured `M` under non-adaptive policies).
+    pub fn window_len(&self) -> usize {
+        self.sampler.window_len()
+    }
+
     /// Changes the operating strategy on the fly.
     pub fn set_strategy(&mut self, strategy: Strategy) {
         self.strategy = strategy;
@@ -167,10 +265,16 @@ impl OnlinePredictor {
     }
 
     /// Exports the predictor's dynamic state (see [`PredictorState`]).
+    ///
+    /// Complete under the default `Fixed` sampling policy (the durable
+    /// serving path, which rejects non-`Fixed` policies at bind time).
+    /// Under a gating policy the snapshot captures the window, cadence,
+    /// and stream position but not the gate's reference frame or the
+    /// adaptive window EMA — a restore re-warms those.
     pub fn export_state(&self) -> PredictorState {
         PredictorState {
             rows: self.buffer.snapshot_rows(),
-            frames_seen: self.buffer.frames_seen(),
+            frames_seen: self.stream_pos,
             countdown: self.countdown,
         }
     }
@@ -212,6 +316,14 @@ impl OnlinePredictor {
         self.buffer =
             WindowBuffer::restore(cfg.window, cfg.input_dim, st.rows.clone(), st.frames_seen);
         self.countdown = st.countdown;
+        self.stream_pos = st.frames_seen;
+        // Sampling state is not part of the snapshot (see
+        // `export_state`): reset the gate and carry. A no-op under the
+        // `Fixed` policy durable serving requires.
+        let policy = self.sampler.policy().clone();
+        self.sampler = Sampler::new(policy, cfg.window);
+        self.carry = None;
+        self.skipped_flushed = 0;
         Ok(())
     }
 
@@ -261,11 +373,17 @@ impl OnlinePredictor {
     }
 
     /// Attaches a telemetry recorder. Every pushed frame bumps
-    /// `stream.frames`; each decision records its latency into
+    /// `stream.frames`; gated frames accumulate in the sampler and flush
+    /// into `stream.frames_skipped` in one batch per decision (so the
+    /// counter trails the true skip count by at most one horizon's
+    /// frames); each decision records its latency into
     /// `stream.decision_seconds`, its model-forward and conformal stage
     /// latencies into the `inference` / `conformal` series of
-    /// `stream.stage_seconds`, and splits the horizon's frames into
-    /// `stream.frames_relayed` / `stream.frames_filtered`.
+    /// `stream.stage_seconds` (carried decisions skip the stage series
+    /// and bump `stream.decisions_carried` instead), sets the
+    /// `stream.window_len` gauge to the window length it scored, and
+    /// splits the horizon's frames into `stream.frames_relayed` /
+    /// `stream.frames_filtered`.
     pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
         self.telemetry = Some(telemetry);
     }
@@ -296,11 +414,31 @@ impl OnlinePredictor {
 
     /// Feeds one frame's features. Returns a decision when this frame is a
     /// prediction anchor.
+    ///
+    /// Under a gating [`SamplingPolicy`] a low-motion frame is
+    /// acknowledged but not encoded: the stream position (and hence the
+    /// anchor cadence) advances, the window buffer does not. An anchor
+    /// whose candidate window drifted less than the gate threshold from
+    /// the last scored anchor's window (per-dimension window means, see
+    /// [`window_drift`](crate::sampling::window_drift)) reuses that
+    /// anchor's predictions without a model forward. Carried predictions
+    /// are an approximation the conformal guarantee still covers,
+    /// because calibration replays the identical carry rule on the
+    /// calibration split (see
+    /// [`sampled_records`](crate::sampling::sampled_records)) — and the
+    /// whole trajectory remains a pure function of the frame sequence
+    /// and the policy, so decisions are bit-reproducible at any worker
+    /// count. The gate stays open until the window first fills, so
+    /// warmup is identical under every policy.
     pub fn push_frame(&mut self, features: Vec<f32>) -> Option<HorizonDecision> {
         if let Some(t) = &self.telemetry {
             t.add("stream.frames", 1);
         }
-        self.buffer.push(features);
+        self.stream_pos += 1;
+        let warmed = self.buffer.is_full();
+        if self.sampler.admit(&features, warmed) {
+            self.buffer.push(features);
+        }
         if !self.buffer.is_full() {
             return None;
         }
@@ -311,21 +449,59 @@ impl OnlinePredictor {
         self.countdown = self.horizon - 1;
 
         let started = self.telemetry.as_deref().map(Telemetry::now);
-        let anchor = self.buffer.frames_seen() - 1;
-        let record = Record {
-            anchor,
-            covariates: self.buffer.covariates(),
-            labels: vec![EventLabel::absent(); self.state.num_events()],
+        let anchor = self.stream_pos - 1;
+        let m = self.sampler.window_len();
+        let gated = !self.sampler.policy().is_fixed();
+        // Under the Fixed policy skip building the candidate window until
+        // the Record needs it — there is never a memo to drift against.
+        let candidate = gated.then(|| self.buffer.covariates_last(m));
+        let carried = match (&candidate, &self.carry, self.sampler.policy().gate()) {
+            (Some(cand), Some(c), Some(g)) if c.m == m => {
+                g.carries(crate::sampling::window_drift(cand, &c.covariates), c.run)
+            }
+            _ => false,
         };
-        let scored = self.score_one(&record);
-        let scored_at = self.telemetry.as_deref().map(Telemetry::now);
+        let mut scored_at = None;
+        if carried {
+            self.carry.as_mut().expect("carried implies memo").run += 1;
+        } else {
+            let covariates = candidate.unwrap_or_else(|| self.buffer.covariates_last(m));
+            let record = Record {
+                anchor,
+                covariates,
+                labels: vec![EventLabel::absent(); self.state.num_events()],
+            };
+            let scored = self.score_one(&record);
+            scored_at = self.telemetry.as_deref().map(Telemetry::now);
+            let hit = scored.scores.iter().any(|s| s.b >= HIT_TAU1);
+            let predictions = self.state.predict(&scored, &self.strategy);
+            self.carry = Some(CarriedAnchor {
+                predictions,
+                hit,
+                m,
+                covariates: record.covariates,
+                run: 0,
+            });
+        }
+        let memo = self.carry.as_ref().expect("anchor scored or carried");
         let decision = HorizonDecision {
             anchor,
-            predictions: self.state.predict(&scored, &self.strategy),
+            predictions: memo.predictions.clone(),
             degradation: DegradationTag::None,
         };
+        let hit = memo.hit;
+        self.sampler.observe_hit(hit);
         if let (Some(t), Some(t0)) = (&self.telemetry, started) {
             t.add("stream.decisions", 1);
+            // Skips accumulate in the sampler and flush here in one
+            // batch per decision, keeping gated streams' per-frame cost
+            // identical to Fixed's.
+            let skipped = self.sampler.frames_skipped();
+            if skipped > self.skipped_flushed {
+                t.add("stream.frames_skipped", skipped - self.skipped_flushed);
+                self.skipped_flushed = skipped;
+            }
+            t.gauge_set("stream.window_len", m as f64);
             t.observe("stream.decision_seconds", t.now() - t0);
             if let Some(tm) = scored_at {
                 let (infer, conformal) = (tm - t0, t.now() - tm);
@@ -339,6 +515,8 @@ impl OnlinePredictor {
                         t.observe_labeled("stream.stage_seconds", "conformal", conformal);
                     }
                 }
+            } else {
+                t.add("stream.decisions_carried", 1);
             }
             let relayed: u64 = decision
                 .segments()

@@ -44,6 +44,16 @@
 //! clients can reconnect and `Resume` where they left off (protocol
 //! minor 1). The durability model is specified in `docs/DESIGN.md`.
 //!
+//! With [`ServeConfig::sampling`](server::ServeConfig) set to a
+//! non-`Fixed` policy, every admitted stream runs behind the
+//! content-adaptive gate from `eventhit-core`'s `sampling` module:
+//! low-motion frames are acknowledged and counted
+//! (`stream.frames_skipped`) but not encoded, the collection window
+//! adapts to recent event density (`stream.window_len`), and decisions
+//! stay bit-identical across worker counts. Non-`Fixed` policies are
+//! rejected in combination with `durable` — gate state is not captured
+//! by snapshots. The model is specified in `docs/SAMPLING.md`.
+//!
 //! Protocol minor 2 adds the observability plane: `SubmitTraced` carries
 //! a client-assigned trace id that is echoed on `TracedDecisions` and
 //! attached to stage histograms as exemplars, and `MetricsQuery` /

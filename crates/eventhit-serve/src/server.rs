@@ -44,6 +44,7 @@ use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use eventhit_core::faults::FaultConfig;
 use eventhit_core::resilient::{DegradationTag, ResilienceConfig, ResilientCiClient};
 use eventhit_core::streaming::{HorizonDecision, OnlinePredictor};
+use eventhit_core::SamplingPolicy;
 use eventhit_core::{ConformalState, EventHit};
 use eventhit_durable::{
     decision_fingerprint, replay, DurableError, DurableStore, LaneSnapshot, SessionEvent, Snapshot,
@@ -148,6 +149,13 @@ pub struct ServeConfig {
     /// slowest first) at the end of every session. Requires an enabled
     /// telemetry recorder (see [`Server::bind_with_telemetry`]).
     pub slow_log: Option<PathBuf>,
+    /// Content-adaptive sampling applied to every admitted stream (see
+    /// [`SamplingPolicy`]). Gated frames are acknowledged and counted
+    /// (`stream.frames_skipped`) but not encoded; decisions stay
+    /// bit-identical across worker counts under every policy. Mutually
+    /// exclusive with `durable` for non-`Fixed` policies — gate and
+    /// window state is not captured by snapshots.
+    pub sampling: SamplingPolicy,
 }
 
 impl Default for ServeConfig {
@@ -163,6 +171,7 @@ impl Default for ServeConfig {
             resilience: None,
             durable: None,
             slow_log: None,
+            sampling: SamplingPolicy::Fixed,
         }
     }
 }
@@ -379,6 +388,13 @@ impl Server {
                 io::ErrorKind::InvalidInput,
                 "durable serving cannot be combined with resilient-CI wiring: \
                  breaker state is not captured by snapshots",
+            ));
+        }
+        if cfg.durable.is_some() && !cfg.sampling.is_fixed() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "durable serving requires the Fixed sampling policy: \
+                 gate and window state is not captured by snapshots",
             ));
         }
         if cfg.shards == 0 {
@@ -765,6 +781,7 @@ fn session_loop(
                 // (like a resilient-wiring failure) releases it.
                 let mut predictor = (shared.factory)(stream_id);
                 predictor.set_telemetry(Arc::clone(t));
+                predictor.set_policy(cfg.sampling.clone());
                 let resilient = match &cfg.resilience {
                     None => None,
                     Some(spec) => {

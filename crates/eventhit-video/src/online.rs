@@ -150,6 +150,30 @@ impl WindowBuffer {
         }
         m
     }
+
+    /// The covariate matrix of the *last* `m` buffered frames
+    /// (`m x D`, oldest first) — the adaptive-window variant of
+    /// [`WindowBuffer::covariates`]: a shrunken collection window
+    /// consumes only the newest `m` rows. `covariates_last(window)` is
+    /// identical to `covariates()`.
+    ///
+    /// # Panics
+    /// Panics if the buffer is not yet full or `m` is not in
+    /// `[1, window]`.
+    pub fn covariates_last(&self, m: usize) -> Matrix {
+        assert!(self.is_full(), "collection window not yet full");
+        assert!(
+            m >= 1 && m <= self.window,
+            "window slice {m} outside [1, {}]",
+            self.window
+        );
+        let mut out = Matrix::zeros(m, self.dim);
+        let skip = self.frames.len() - m;
+        for (r, frame) in self.frames.iter().skip(skip).enumerate() {
+            out.set_row(r, frame);
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -218,6 +242,31 @@ mod tests {
     #[should_panic(expected = "more rows than fit")]
     fn restore_rejects_oversized_snapshots() {
         let _ = WindowBuffer::restore(2, 1, vec![vec![1.0], vec![2.0], vec![3.0]], 3);
+    }
+
+    #[test]
+    fn covariates_last_slices_the_newest_rows() {
+        let mut buf = WindowBuffer::new(4, 2);
+        for i in 0..6 {
+            buf.push(vec![i as f32, 10.0 + i as f32]);
+        }
+        // Buffer holds frames 2..=5.
+        assert_eq!(buf.covariates_last(4), buf.covariates());
+        let last2 = buf.covariates_last(2);
+        assert_eq!(last2.shape(), (2, 2));
+        assert_eq!(last2.row(0), &[4.0, 14.0]);
+        assert_eq!(last2.row(1), &[5.0, 15.0]);
+        assert_eq!(buf.covariates_last(1).row(0), &[5.0, 15.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [1, 4]")]
+    fn covariates_last_rejects_oversized_slice() {
+        let mut buf = WindowBuffer::new(4, 1);
+        for i in 0..4 {
+            buf.push(vec![i as f32]);
+        }
+        let _ = buf.covariates_last(5);
     }
 
     #[test]

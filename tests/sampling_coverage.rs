@@ -1,0 +1,166 @@
+//! Conformal coverage under content-adaptive sampling.
+//!
+//! Gating perturbs the trajectories the model scores: skipped frames
+//! leave the window staler, carried anchors reuse the previous anchor's
+//! scores, and the adaptive policy shrinks the window while the stream
+//! is quiet. As with the int8 lane, the system's answer is
+//! *recalibration*: [`TaskRun::state_for_sampling`] replays the
+//! identical sampling trajectory over the calibration split (simulated
+//! by `sampled_records`, bit-for-bit the deployed behaviour) and refits
+//! the conformal state on those gated scores, so the nonconformity
+//! quantiles come from the same distribution the deployed gated lane
+//! produces.
+//!
+//! This suite pools several independent runs and pins both absolute
+//! validity (the C-CLASSIFY miss bound) and relative validity: the
+//! gated lane's empirical coverage must track the ungated lane's within
+//! ±1% — the workspace's standard lane-equivalence tolerance (see
+//! `quantized_coverage.rs`).
+
+use eventhit::core::experiment::{ExperimentConfig, TaskRun};
+use eventhit::core::infer::ScoredRecord;
+use eventhit::core::pipeline::ConformalState;
+use eventhit::core::sampling::SamplingPolicy;
+use eventhit::core::tasks::task;
+use eventhit::core::InferenceLane;
+
+/// One task executed once, with the ungated state/test plus each gated
+/// policy's recalibrated state and gated test scores.
+struct GatedRun {
+    base_state: ConformalState,
+    base_test: Vec<ScoredRecord>,
+    gated: Vec<(ConformalState, Vec<ScoredRecord>)>,
+}
+
+/// The policies whose coverage the suite pins: a conservative delta
+/// gate (below the feature noise floor, so event frames still reach the
+/// window) and the pure query-aware-windowing point (threshold 0 never
+/// gates or carries; all effect is the shrunken quiet-stream window).
+fn policies() -> Vec<SamplingPolicy> {
+    vec![
+        SamplingPolicy::parse("delta:0.01").unwrap(),
+        SamplingPolicy::parse("adaptive:0:4").unwrap(),
+    ]
+}
+
+fn gated_runs() -> Vec<GatedRun> {
+    // Several tasks / seeds so the marginal guarantees are pooled over
+    // independent streams, features, and model initialisations.
+    [("TA10", 100u64), ("TA10", 101), ("TA3", 102)]
+        .iter()
+        .map(|&(id, seed)| {
+            let cfg = ExperimentConfig {
+                scale: 0.4,
+                ..ExperimentConfig::quick(seed)
+            };
+            let run = TaskRun::execute(&task(id).unwrap(), &cfg);
+            let gated = policies()
+                .iter()
+                .map(|p| {
+                    (
+                        run.state_for_sampling(p, InferenceLane::Exact),
+                        run.sampled_test(p, InferenceLane::Exact),
+                    )
+                })
+                .collect();
+            GatedRun {
+                base_state: run.state,
+                base_test: run.test,
+                gated,
+            }
+        })
+        .collect()
+}
+
+/// Pooled C-CLASSIFY miss rate of event 0 at confidence `c`.
+fn miss_rate(runs: &[(&ConformalState, &[ScoredRecord])], c: f64) -> (f64, usize) {
+    let mut misses = 0usize;
+    let mut positives = 0usize;
+    for (state, test) in runs {
+        for rec in test.iter() {
+            if !rec.labels[0].present {
+                continue;
+            }
+            positives += 1;
+            if !state.classifier(0).predict(rec.scores[0].b, c) {
+                misses += 1;
+            }
+        }
+    }
+    (misses as f64 / positives.max(1) as f64, positives)
+}
+
+#[test]
+fn gated_miss_rate_is_bounded_and_tracks_ungated() {
+    let runs = gated_runs();
+    let base: Vec<_> = runs
+        .iter()
+        .map(|r| (&r.base_state, r.base_test.as_slice()))
+        .collect();
+    let (base_rate, base_positives) = miss_rate(&base, 0.9);
+    assert!(
+        base_positives > 20,
+        "need enough positives ({base_positives})"
+    );
+    for (pi, policy) in policies().iter().enumerate() {
+        let gated: Vec<_> = runs
+            .iter()
+            .map(|r| (&r.gated[pi].0, r.gated[pi].1.as_slice()))
+            .collect();
+        let (rate, positives) = miss_rate(&gated, 0.9);
+        assert_eq!(
+            positives,
+            base_positives,
+            "{}: gating must not change the test split",
+            policy.label()
+        );
+        // Absolute validity on the gated lane, same tolerance as the
+        // ungated harness in conformal_guarantees.rs.
+        assert!(
+            rate <= 0.1 + 0.10,
+            "{}: gated miss rate {rate} badly exceeds the c=0.9 bound",
+            policy.label()
+        );
+        // And relative validity: recalibration keeps the gated lane's
+        // coverage within one percentage point of the ungated lane's.
+        assert!(
+            (rate - base_rate).abs() <= 0.01 + 1e-12,
+            "{}: gated miss rate {rate} drifted from ungated {base_rate}",
+            policy.label()
+        );
+    }
+}
+
+#[test]
+fn gated_calibration_is_deterministic() {
+    // The recalibration story rests on `sampled_records` being a pure
+    // function of (model, features, policy): two simulations of the
+    // same run must produce bit-identical gated scores.
+    let cfg = ExperimentConfig {
+        scale: 0.2,
+        ..ExperimentConfig::quick(100)
+    };
+    let run = TaskRun::execute(&task("TA10").unwrap(), &cfg);
+    for policy in policies() {
+        let a = run.sampled_test(&policy, InferenceLane::Exact);
+        let b = run.sampled_test(&policy, InferenceLane::Exact);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.anchor, y.anchor);
+            for (sx, sy) in x.scores.iter().zip(&y.scores) {
+                assert_eq!(
+                    sx.b.to_bits(),
+                    sy.b.to_bits(),
+                    "gated simulation must be bit-deterministic"
+                );
+                assert!(
+                    sx.theta
+                        .iter()
+                        .zip(&sy.theta)
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "gated simulation must be bit-deterministic"
+                );
+            }
+        }
+    }
+}
